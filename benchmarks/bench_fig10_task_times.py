@@ -1,0 +1,83 @@
+"""Figure 10 — average task completion times with 95% CIs and paired t-tests.
+
+Runs the simulated within-subjects study (12 participants, counterbalanced,
+300 s cap) and prints the per-task means for both conditions next to the
+paper's reported numbers, with the paper's significance markers (* at 99%,
+° at 90%). The benchmark measures a complete study run.
+
+Qualitative claims asserted (the reproduction target):
+* ETable is faster than Navicat on every task;
+* the aggregate tasks (5, 6) show the largest gaps and are significant;
+* Navicat's variance exceeds ETable's (error-driven).
+"""
+
+from repro.bench import banner, format_table, report, save_result
+from repro.study.simulate import ETABLE, NAVICAT, StudyConfig, run_study
+from repro.study.stats import ci95_halfwidth
+
+PAPER_ETABLE = {1: 34.9, 2: 39.5, 3: 57.2, 4: 150.5, 5: 59.0, 6: 104.8}
+PAPER_NAVICAT = {1: 53.2, 2: 54.4, 3: 92.3, 4: 218.5, 5: 231.6, 6: 198.5}
+PAPER_MARKERS = {1: "*", 2: "°", 3: "*", 4: "°", 5: "*", 6: "*"}
+
+
+def test_figure10_task_times(bench_db, bench_tgdb, benchmark):
+    result = benchmark.pedantic(
+        run_study,
+        args=(bench_db, bench_tgdb.schema, bench_tgdb.graph),
+        kwargs={"config": StudyConfig(seed=42)},
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for stats in result.per_task:
+        rows.append([
+            f"Task {stats.task_id}",
+            f"{stats.etable_mean:.1f} ±{stats.etable_ci95:.1f}",
+            f"{PAPER_ETABLE[stats.task_id]:.1f}",
+            f"{stats.navicat_mean:.1f} ±{stats.navicat_ci95:.1f}",
+            f"{PAPER_NAVICAT[stats.task_id]:.1f}",
+            f"{stats.speedup:.2f}x",
+            f"{stats.p_value:.4f}{stats.significance}",
+            PAPER_MARKERS[stats.task_id],
+        ])
+    report(banner(
+        "Figure 10: average task completion time (sec), simulated vs paper"
+    ))
+    report(format_table(
+        ["task", "ETable (sim)", "ETable (paper)", "Navicat (sim)",
+         "Navicat (paper)", "speedup", "p-value (sim)", "paper sig"],
+        rows,
+    ))
+
+    # Headline claim: ETable faster on all six tasks.
+    for stats in result.per_task:
+        assert stats.etable_mean < stats.navicat_mean
+    # Aggregates dominate the gap and are highly significant.
+    by_id = {stats.task_id: stats for stats in result.per_task}
+    assert by_id[5].p_value < 0.01 and by_id[6].p_value < 0.01
+    assert by_id[5].speedup == max(stats.speedup for stats in result.per_task)
+    # Navicat variance exceeds ETable variance overall.
+    etable_ci = sum(
+        ci95_halfwidth(result.times(ETABLE, task_id)) for task_id in range(1, 7)
+    )
+    navicat_ci = sum(
+        ci95_halfwidth(result.times(NAVICAT, task_id)) for task_id in range(1, 7)
+    )
+    assert navicat_ci > etable_ci
+
+    save_result(
+        "figure10",
+        {
+            f"task{stats.task_id}": {
+                "etable_sim": round(stats.etable_mean, 1),
+                "etable_paper": PAPER_ETABLE[stats.task_id],
+                "navicat_sim": round(stats.navicat_mean, 1),
+                "navicat_paper": PAPER_NAVICAT[stats.task_id],
+                "p_value": stats.p_value,
+                "marker_sim": stats.significance,
+                "marker_paper": PAPER_MARKERS[stats.task_id],
+            }
+            for stats in result.per_task
+        },
+    )

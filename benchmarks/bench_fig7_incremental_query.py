@@ -1,0 +1,66 @@
+"""Figures 6 & 7 — incremental construction of the Korea/SIGMOD query.
+
+Replays the eight primitive operators P1–P8 and the equivalent user-level
+action sequence U1–U4, prints the Figure 6 pattern diagram and the history
+panel, verifies both routes produce the same researchers, and benchmarks
+the full interactive construction (every step re-executes the query, as the
+real interface does).
+"""
+
+from repro.bench import banner, report, save_result
+from repro.core.operators import add, initiate, select, shift
+from repro.core.session import EtableSession
+from repro.core.transform import execute_pattern
+from repro.tgm.conditions import AttributeCompare, AttributeLike
+
+
+def _figure7_by_actions(tgdb):
+    session = EtableSession(tgdb.schema, tgdb.graph)
+    session.open("Conferences")                                   # U1
+    sigmod = session.current.find_row_by_attribute("acronym", "SIGMOD")
+    session.see_all(sigmod, "Conferences->Papers")                # U2
+    session.filter(AttributeCompare("year", ">", 2005))           # U3
+    session.pivot("Papers->Authors")                              # U4
+    session.pivot("Authors->Institutions")
+    session.filter(AttributeLike("country", "%Korea%"))
+    session.pivot("Authors")
+    return session
+
+
+def test_figure7_incremental_query(bench_tgdb, benchmark):
+    schema, graph = bench_tgdb.schema, bench_tgdb.graph
+
+    # Left side of the figure: primitive operators P1..P8.
+    pattern = initiate(schema, "Conferences")                          # P1
+    pattern = select(pattern, AttributeCompare("acronym", "=", "SIGMOD"))  # P2
+    pattern = add(pattern, schema, "Conferences->Papers")              # P3
+    pattern = select(pattern, AttributeCompare("year", ">", 2005))     # P4
+    pattern = add(pattern, schema, "Papers->Authors")                  # P5
+    pattern = add(pattern, schema, "Authors->Institutions")            # P6
+    pattern = select(pattern, AttributeLike("country", "%Korea%"))     # P7
+    pattern = shift(pattern, "Authors")                                # P8
+    by_operators = execute_pattern(pattern, graph)
+
+    report(banner("Figure 6: the final query pattern"))
+    report(pattern.to_ascii())
+
+    # Right side: interface actions (benchmarked — each one re-executes).
+    session = benchmark.pedantic(_figure7_by_actions, args=(bench_tgdb,),
+                                 rounds=3, iterations=1)
+    by_actions = session.current
+
+    report(banner("Figure 7: history panel after U1..U4 + remaining actions"))
+    for line in session.history_lines():
+        report(" ", line)
+    report(f"\nResearchers found: "
+          f"{[row.attributes['name'] for row in by_actions.rows]}")
+
+    names_ops = [row.attributes["name"] for row in by_operators.rows]
+    names_act = [row.attributes["name"] for row in by_actions.rows]
+    assert names_ops == names_act
+    assert by_actions.primary_type == "Authors"
+    assert len(session.history) == 7  # U1,U2,U3,U4 + 3 further actions
+    save_result(
+        "figure7",
+        {"researchers": names_ops, "operators": 8, "actions": len(session.history)},
+    )

@@ -1,0 +1,68 @@
+"""Benchmark fixtures.
+
+The default corpus is 1,200 papers so the full bench suite completes in a
+few minutes. Set ``REPRO_BENCH_PAPERS=38000`` to run at the paper's scale
+(Section 7.1: ~38,000 papers from 19 conferences).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.datasets.academic import (
+    AcademicConfig,
+    default_categorical_attributes,
+    default_label_overrides,
+    generate_academic,
+)
+from repro.datasets.toy import generate_toy
+from repro.translate import translate_database
+
+BENCH_PAPERS = int(os.environ.get("REPRO_BENCH_PAPERS", "1200"))
+
+
+@pytest.fixture(scope="session")
+def bench_db():
+    db, _report = generate_academic(AcademicConfig(papers=BENCH_PAPERS, seed=7))
+    return db
+
+
+@pytest.fixture(scope="session")
+def bench_tgdb(bench_db):
+    return translate_database(
+        bench_db,
+        categorical_attributes=default_categorical_attributes(),
+        label_overrides=default_label_overrides(),
+    )
+
+
+@pytest.fixture(scope="session")
+def toy_db():
+    return generate_toy()
+
+
+@pytest.fixture(scope="session")
+def toy_tgdb(toy_db):
+    return translate_database(
+        toy_db,
+        categorical_attributes={"Institutions": ["country"],
+                                "Papers": ["year"]},
+        label_overrides=default_label_overrides(),
+    )
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Replay every reproduced table/figure after the benchmark summary.
+
+    pytest captures per-test stdout of passing tests; draining the report
+    buffer here makes ``pytest benchmarks/ --benchmark-only`` emit the
+    paper-style output (and therefore land in bench_output.txt).
+    """
+    from repro.bench.reporting import drain_report
+
+    text = drain_report()
+    if text:
+        terminalreporter.write_sep("=", "reproduced tables & figures")
+        terminalreporter.write_line(text)

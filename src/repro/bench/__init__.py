@@ -1,0 +1,11 @@
+"""Benchmark reporting helpers."""
+
+from repro.bench.reporting import (
+    banner,
+    drain_report,
+    format_table,
+    report,
+    save_result,
+)
+
+__all__ = ["banner", "drain_report", "format_table", "report", "save_result"]

@@ -1,0 +1,76 @@
+"""Reporting helpers shared by the benchmarks.
+
+Each benchmark regenerates one table or figure of the paper and prints it in
+a paper-like textual form; these helpers keep the formatting consistent and
+write machine-readable copies under ``results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Sequence
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "results"
+
+# Reproduced tables/figures are buffered here as well as printed, so the
+# benchmark conftest can replay them in the terminal summary (pytest
+# captures per-test stdout of passing tests, which would otherwise hide
+# the paper-style output from `pytest benchmarks/ --benchmark-only`).
+_REPORT_LINES: list[str] = []
+
+
+def report(*parts: Any, sep: str = " ") -> None:
+    """Print and buffer one line of reproduction output."""
+    text = sep.join(str(part) for part in parts)
+    _REPORT_LINES.append(text)
+    print(text)
+
+
+def drain_report() -> str:
+    """Return everything reported so far and clear the buffer."""
+    text = "\n".join(_REPORT_LINES)
+    _REPORT_LINES.clear()
+    return text
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: str | None = None,
+) -> str:
+    """A fixed-width text table."""
+    rendered_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[index])),
+            max((len(row[index]) for row in rendered_rows), default=0))
+        for index in range(len(headers))
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("─" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: Any) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def save_result(name: str, payload: dict[str, Any]) -> Path:
+    """Persist a benchmark's reproduced numbers as JSON under results/."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, default=str)
+    return path
+
+
+def banner(text: str) -> str:
+    line = "=" * max(60, len(text) + 4)
+    return f"\n{line}\n  {text}\n{line}"

@@ -1,0 +1,120 @@
+"""User-level actions (Section 6.1), as pure pattern transformations.
+
+Each action maps to one or two primitive operators, exactly as Figure 7's
+right-hand side illustrates:
+
+    Open(τk)            = Initiate(τk)
+    Filter(C, R)        = Select(C, R)
+    Pivot(ρl, R)        = Add(ρl, R)          (neighbor column)
+    Pivot(τk, R)        = Shift(τk, R)        (participating column)
+    Single(vk, R)       = Select({u=vk}, Initiate(type(vk)))
+    SeeAll_h(vk, ρl, R) = Add(ρl, Select({u=vk}, R))
+    SeeAll_t(vk, tl, R) = Shift(tl, Select({u=vk}, R))
+
+Functions here return ``(new_pattern, [operator descriptions])`` so the
+session can log the primitive-operator trace the history view shows.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidAction
+from repro.tgm.conditions import Condition, NeighborSatisfies, NodeIs
+from repro.tgm.instance_graph import InstanceGraph, Node
+from repro.tgm.schema_graph import SchemaGraph
+from repro.core import operators
+from repro.core.etable import ColumnKind, ColumnSpec, ETable
+from repro.core.query_pattern import QueryPattern
+
+ActionResult = tuple[QueryPattern, list[str]]
+
+
+def action_open(schema: SchemaGraph, type_name: str) -> ActionResult:
+    """U1 — click a node type in the default table list."""
+    pattern = operators.initiate(schema, type_name)
+    return pattern, [f"Initiate({type_name!r})"]
+
+
+def action_filter(pattern: QueryPattern, condition: Condition) -> ActionResult:
+    """U3 — specify a condition in the column-header filter popup."""
+    updated = operators.select(pattern, condition)
+    return updated, [f"Select({condition.describe()})"]
+
+
+def action_filter_by_neighbor(
+    pattern: QueryPattern,
+    schema: SchemaGraph,
+    edge_type_name: str,
+    inner: Condition,
+) -> ActionResult:
+    """Filter rows by a neighbor column's labels.
+
+    Per Section 6.1 this "is translated into subqueries": the condition is a
+    semijoin on the primary node — the primary type does not change and no
+    participating column is added.
+    """
+    edge_type = schema.edge_type(edge_type_name)
+    if edge_type.source != pattern.primary.type_name:
+        raise InvalidAction(
+            f"neighbor filter: edge {edge_type_name!r} does not leave the "
+            f"primary type {pattern.primary.type_name!r}"
+        )
+    condition = NeighborSatisfies(edge_type_name, inner)
+    updated = operators.select(pattern, condition)
+    return updated, [f"Select({condition.describe()})"]
+
+
+def action_pivot(
+    pattern: QueryPattern, schema: SchemaGraph, column: ColumnSpec
+) -> ActionResult:
+    """U4 — click the pivot button on an entity-reference column."""
+    if column.kind is ColumnKind.NEIGHBOR:
+        updated = operators.add(pattern, schema, column.key)
+        return updated, [f"Add({column.key!r})"]
+    if column.kind is ColumnKind.PARTICIPATING:
+        updated = operators.shift(pattern, column.key)
+        return updated, [f"Shift({column.key!r})"]
+    raise InvalidAction(
+        f"cannot pivot on base-attribute column {column.display!r}"
+    )
+
+
+def action_single(
+    schema: SchemaGraph, graph: InstanceGraph, node: Node
+) -> ActionResult:
+    """Click one entity reference: a fresh single-row ETable for that node."""
+    pattern = operators.initiate(schema, node.type_name)
+    condition = NodeIs(node.node_id, label=str(node.label(schema)))
+    pattern = operators.select(pattern, condition)
+    return pattern, [
+        f"Initiate({node.type_name!r})",
+        f"Select({node.type_name} {condition.describe()})",
+    ]
+
+
+def action_see_all(
+    pattern: QueryPattern,
+    schema: SchemaGraph,
+    etable: ETable,
+    row_node: Node,
+    column: ColumnSpec,
+) -> ActionResult:
+    """U2 — click the reference-count badge in a cell.
+
+    Selects the clicked row (by node identity), then either adds the
+    neighbor edge (neighbor column) or shifts to the participating node
+    (participating column).
+    """
+    condition = NodeIs(row_node.node_id, label=str(row_node.label(schema)))
+    selected = operators.select(pattern, condition)
+    trace = [f"Select({pattern.primary.type_name} {condition.describe()})"]
+    if column.kind is ColumnKind.NEIGHBOR:
+        updated = operators.add(selected, schema, column.key)
+        trace.append(f"Add({column.key!r})")
+        return updated, trace
+    if column.kind is ColumnKind.PARTICIPATING:
+        updated = operators.shift(selected, column.key)
+        trace.append(f"Shift({column.key!r})")
+        return updated, trace
+    raise InvalidAction(
+        f"cannot expand base-attribute column {column.display!r}"
+    )

@@ -1,0 +1,92 @@
+"""Reuse of intermediate results — the paper's future-work item #2.
+
+Section 9: "(2) accelerating the execution speed of updated queries (e.g.,
+by reusing intermediate results)". Incremental query building makes this
+especially effective: the user's next pattern usually *extends* the current
+one, so prefix results recur constantly (every revert re-executes an old
+pattern verbatim).
+
+:class:`CachingExecutor` memoizes instance-matching results keyed by a
+canonical pattern serialization. Because patterns, conditions, and the
+instance graph are immutable during a browsing session, cached graph
+relations stay valid; the format transformation (which also builds neighbor
+columns) is re-run per call so presentation state never leaks between hits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.tgm.graph_relation import GraphRelation
+from repro.tgm.instance_graph import InstanceGraph
+from repro.core.etable import ETable
+from repro.core.matching import match
+from repro.core.query_pattern import QueryPattern
+from repro.core.transform import transform
+
+
+def pattern_cache_key(pattern: QueryPattern) -> tuple:
+    """A canonical, hashable rendering of a pattern.
+
+    Node order is normalized by key so that logically identical patterns
+    built in different orders share cache entries; conditions use their
+    ``describe()`` strings (deterministic for all condition types).
+    """
+    nodes = tuple(
+        (node.key, node.type_name,
+         tuple(sorted(c.describe() for c in node.conditions)))
+        for node in sorted(pattern.nodes, key=lambda n: n.key)
+    )
+    edges = tuple(
+        sorted((e.edge_type, e.source_key, e.target_key) for e in pattern.edges)
+    )
+    return (pattern.primary_key, nodes, edges)
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class CachingExecutor:
+    """Memoizes ``match()`` per pattern over one instance graph."""
+
+    def __init__(self, graph: InstanceGraph, max_entries: int = 256) -> None:
+        self.graph = graph
+        self.max_entries = max_entries
+        self.stats = CacheStats()
+        self._store: dict[tuple, GraphRelation] = {}
+
+    def match(self, pattern: QueryPattern) -> GraphRelation:
+        key = pattern_cache_key(pattern)
+        cached = self._store.get(key)
+        if cached is not None:
+            self.stats.hits += 1
+            return cached
+        self.stats.misses += 1
+        result = match(pattern, self.graph)
+        if len(self._store) >= self.max_entries:
+            # FIFO eviction keeps the implementation transparent; browsing
+            # sessions rarely exceed a few dozen distinct patterns.
+            oldest = next(iter(self._store))
+            del self._store[oldest]
+        self._store[key] = result
+        return result
+
+    def execute(
+        self, pattern: QueryPattern, row_limit: int | None = None
+    ) -> ETable:
+        """Cached counterpart of :func:`repro.core.transform.execute_pattern`."""
+        matched = self.match(pattern)
+        return transform(pattern, matched, self.graph, row_limit=row_limit)
+
+    def invalidate(self) -> None:
+        """Drop everything (call after mutating the instance graph)."""
+        self._store.clear()

@@ -1,0 +1,114 @@
+"""Column ranking — the paper's future-work item #3.
+
+Section 9: "(3) leveraging machine learning techniques to rank and select
+important columns to display"; one study participant noted "there are too
+many attributes ..., which is not easy to interpret" (Section 7.2).
+
+Full ML is out of scope for the paper itself, so we implement the
+transparent feature-scoring variant the direction implies: every column is
+scored from interpretable signals of the *current* result —
+
+* fill rate           — fraction of rows with a value / ≥1 reference;
+* distinctness        — distinct values over rows (scalar columns);
+* reference variance  — spread of reference counts (reference columns;
+                        uniform counts carry little information);
+* compactness penalty — very wide cells are hard to read;
+* kind prior          — base attributes and participating columns (the ones
+                        the user asked for) outrank speculative neighbors.
+
+``select_columns`` keeps the top-k columns and hides the rest in place,
+mirroring the envisioned UI behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.etable import ColumnKind, ColumnSpec, ETable
+
+_KIND_PRIOR = {
+    ColumnKind.BASE: 1.0,
+    ColumnKind.PARTICIPATING: 0.9,
+    ColumnKind.NEIGHBOR: 0.55,
+}
+
+
+@dataclass(frozen=True)
+class ColumnScore:
+    column: ColumnSpec
+    score: float
+    fill_rate: float
+    distinctness: float
+    spread: float
+
+    def explain(self) -> str:
+        return (
+            f"{self.column.display}: score={self.score:.3f} "
+            f"(fill={self.fill_rate:.2f}, distinct={self.distinctness:.2f}, "
+            f"spread={self.spread:.2f}, kind={self.column.kind.value})"
+        )
+
+
+def score_columns(etable: ETable) -> list[ColumnScore]:
+    """Score every column of the result, best first."""
+    scores = [_score_one(etable, column) for column in etable.columns]
+    scores.sort(key=lambda item: (-item.score, item.column.display))
+    return scores
+
+
+def _score_one(etable: ETable, column: ColumnSpec) -> ColumnScore:
+    rows = etable.rows
+    if not rows:
+        return ColumnScore(column, _KIND_PRIOR[column.kind], 0.0, 0.0, 0.0)
+
+    if column.kind is ColumnKind.BASE:
+        values = [row.attributes.get(column.key) for row in rows]
+        present = [value for value in values if value is not None]
+        fill_rate = len(present) / len(rows)
+        distinctness = (
+            len(set(map(str, present))) / len(present) if present else 0.0
+        )
+        # Constant columns say nothing; unique text ids say little more
+        # than the label already does. A mid-range distinctness is ideal;
+        # labels themselves are caught by the 'name-ish' bonus below.
+        spread = 1.0 - abs(distinctness - 0.6)
+        score = _KIND_PRIOR[column.kind] * (
+            0.45 * fill_rate + 0.3 * distinctness + 0.25 * spread
+        )
+        if column.key == etable.graph.schema.node_type(
+            etable.primary_type
+        ).label_attribute:
+            score += 0.5  # the label column is always worth showing
+        return ColumnScore(column, score, fill_rate, distinctness, spread)
+
+    counts = [row.ref_count(column.key) for row in rows]
+    non_empty = sum(1 for count in counts if count > 0)
+    fill_rate = non_empty / len(rows)
+    mean = sum(counts) / len(counts)
+    variance = sum((count - mean) ** 2 for count in counts) / len(counts)
+    spread = 1.0 - 1.0 / (1.0 + math.sqrt(variance))  # 0 = uniform
+    width_penalty = 1.0 / (1.0 + max(0.0, mean - 8.0) / 8.0)
+    distinctness = min(1.0, mean / 5.0)
+    score = _KIND_PRIOR[column.kind] * width_penalty * (
+        0.5 * fill_rate + 0.3 * spread + 0.2 * distinctness
+    )
+    return ColumnScore(column, score, fill_rate, distinctness, spread)
+
+
+def select_columns(etable: ETable, keep: int = 8) -> list[ColumnScore]:
+    """Keep the ``keep`` best columns visible; hide the rest in place.
+
+    Returns the full ranking so callers can render an explanation. The
+    pattern's own participating columns are never hidden below rank — the
+    user explicitly joined them.
+    """
+    ranking = score_columns(etable)
+    keep_keys = {item.column.key for item in ranking[:keep]}
+    keep_keys |= {column.key for column in etable.participating_columns()}
+    for column in etable.columns:
+        if column.key in keep_keys:
+            etable.show_column(column.key)
+        else:
+            etable.hide_column(column.key)
+    return ranking

@@ -1,0 +1,92 @@
+"""The four primitive operators of Section 5.3.
+
+Every ETable query is built by chaining these operators:
+
+* ``initiate(τk)``          — start a fresh single-node pattern;
+* ``select(Ck, Q)``         — add a selection condition to the primary node;
+* ``add(ρk, Q)``            — join a new node type reachable from the primary
+                              via edge type ρk; the primary shifts to it
+                              (this matches the P2→P8 trace of Figure 7);
+* ``shift(τk, Q)``          — re-focus the primary on another participating
+                              pattern node ("represent the current join
+                              result from a different angle").
+
+The user-level actions of Section 6.1 (:mod:`repro.core.actions`) compile
+down to these operators, exactly as Figure 7 illustrates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.errors import InvalidOperator
+from repro.tgm.conditions import Condition
+from repro.tgm.schema_graph import SchemaGraph
+from repro.core.query_pattern import (
+    PatternEdge,
+    PatternNode,
+    QueryPattern,
+    single_node_pattern,
+)
+
+
+def initiate(schema: SchemaGraph, type_name: str) -> QueryPattern:
+    """``Initiate(τk)``: a new pattern listing all nodes of one type."""
+    return single_node_pattern(schema, type_name)
+
+
+def select(
+    pattern: QueryPattern,
+    condition: Condition | Iterable[Condition],
+    replace_existing: bool = False,
+) -> QueryPattern:
+    """``Select(Ck, Q)``: filter the rows of the current ETable.
+
+    The condition applies to the *primary* pattern node. By default the new
+    predicate is conjoined with existing ones (the paper's UI accumulates
+    filters, cf. the history in Figure 1); ``replace_existing=True`` gives
+    the literal Definition behaviour ``C'a = Ck``.
+    """
+    if isinstance(condition, Condition):
+        conditions: Iterable[Condition] = (condition,)
+    else:
+        conditions = tuple(condition)
+    return pattern.with_conditions(
+        pattern.primary_key, conditions, replace_existing=replace_existing
+    )
+
+
+def add(
+    pattern: QueryPattern, schema: SchemaGraph, edge_type_name: str
+) -> QueryPattern:
+    """``Add(ρk, Q)``: join a neighbor type and make it the new primary.
+
+    Requires ``source(ρk)`` to be the current primary's node type — the UI
+    only offers neighbor columns of the primary, so this is the only
+    reachable case.
+    """
+    edge_type = schema.edge_type(edge_type_name)
+    primary = pattern.primary
+    if edge_type.source != primary.type_name:
+        raise InvalidOperator(
+            f"Add({edge_type_name!r}): edge source is {edge_type.source!r} "
+            f"but the primary node type is {primary.type_name!r}"
+        )
+    new_key = pattern.fresh_key(edge_type.target)
+    new_node = PatternNode(key=new_key, type_name=edge_type.target)
+    new_edge = PatternEdge(
+        edge_type=edge_type_name,
+        source_key=primary.key,
+        target_key=new_key,
+    )
+    return pattern.with_node(new_node, new_edge, new_primary=new_key)
+
+
+def shift(pattern: QueryPattern, node_key: str) -> QueryPattern:
+    """``Shift(τk, Q)``: change the primary to a participating node."""
+    if not pattern.has_node(node_key):
+        raise InvalidOperator(
+            f"Shift({node_key!r}): not a participating pattern node "
+            f"(have {[node.key for node in pattern.nodes]!r})"
+        )
+    return pattern.with_primary(node_key)

@@ -1,0 +1,277 @@
+"""ETable query patterns (Definition 3 of the paper).
+
+A query pattern ``Q = (τa, T, P, C)`` is represented as a tree of *pattern
+nodes*. Each pattern node references a schema node type and carries its own
+conjunction of selection conditions; pattern edges reference schema edge
+types. Using pattern nodes (rather than bare node types) implements the
+paper's remark that "a node type in the schema graph can exist multiple
+times in the participating node types" — e.g. a self-join on Papers through
+the citation relationship.
+
+Patterns are immutable: the primitive operators of Section 5.3 return new
+patterns, which is what makes the history view's revert operation a simple
+snapshot restore.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable
+
+from repro.errors import InvalidQueryPattern
+from repro.tgm.conditions import Condition, conjoin_conditions
+from repro.tgm.schema_graph import SchemaGraph
+
+
+@dataclass(frozen=True)
+class PatternNode:
+    """One occurrence of a node type in a pattern, with its conditions."""
+
+    key: str
+    type_name: str
+    conditions: tuple[Condition, ...] = ()
+
+    def describe_conditions(self) -> str:
+        condition = conjoin_conditions(self.conditions)
+        return condition.describe() if condition is not None else ""
+
+
+@dataclass(frozen=True)
+class PatternEdge:
+    """One participating edge type, oriented as in the schema graph."""
+
+    edge_type: str
+    source_key: str
+    target_key: str
+
+
+@dataclass(frozen=True)
+class QueryPattern:
+    """An immutable query pattern; validate against a schema before use."""
+
+    primary_key: str
+    nodes: tuple[PatternNode, ...]
+    edges: tuple[PatternEdge, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def node(self, key: str) -> PatternNode:
+        for node in self.nodes:
+            if node.key == key:
+                return node
+        raise InvalidQueryPattern(f"no pattern node with key {key!r}")
+
+    def has_node(self, key: str) -> bool:
+        return any(node.key == key for node in self.nodes)
+
+    @property
+    def primary(self) -> PatternNode:
+        return self.node(self.primary_key)
+
+    @property
+    def participating_keys(self) -> list[str]:
+        """Keys of all non-primary pattern nodes, in insertion order.
+
+        These are exactly the participating node columns ``At`` of the
+        resulting ETable (Section 5.4.2)."""
+        return [node.key for node in self.nodes if node.key != self.primary_key]
+
+    def edges_touching(self, key: str) -> list[PatternEdge]:
+        return [
+            edge
+            for edge in self.edges
+            if edge.source_key == key or edge.target_key == key
+        ]
+
+    def fresh_key(self, type_name: str) -> str:
+        """A unique pattern-node key derived from a type name."""
+        if not self.has_node(type_name):
+            return type_name
+        counter = 2
+        while self.has_node(f"{type_name}#{counter}"):
+            counter += 1
+        return f"{type_name}#{counter}"
+
+    # ------------------------------------------------------------------
+    # Functional updates (used by the primitive operators)
+    # ------------------------------------------------------------------
+    def with_conditions(self, key: str, conditions: Iterable[Condition],
+                        replace_existing: bool = False) -> "QueryPattern":
+        new_conditions = tuple(conditions)
+        nodes = tuple(
+            replace(
+                node,
+                conditions=(
+                    new_conditions
+                    if replace_existing
+                    else node.conditions + new_conditions
+                ),
+            )
+            if node.key == key
+            else node
+            for node in self.nodes
+        )
+        if not any(node.key == key for node in self.nodes):
+            raise InvalidQueryPattern(f"no pattern node with key {key!r}")
+        return replace(self, nodes=nodes)
+
+    def with_node(self, node: PatternNode, edge: PatternEdge,
+                  new_primary: str | None = None) -> "QueryPattern":
+        if self.has_node(node.key):
+            raise InvalidQueryPattern(f"pattern node key {node.key!r} already used")
+        return replace(
+            self,
+            nodes=self.nodes + (node,),
+            edges=self.edges + (edge,),
+            primary_key=new_primary or self.primary_key,
+        )
+
+    def with_primary(self, key: str) -> "QueryPattern":
+        self.node(key)  # validates
+        return replace(self, primary_key=key)
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate(self, schema: SchemaGraph) -> None:
+        """Check Definition 3's structural requirements.
+
+        The pattern must be a connected acyclic graph (a tree) containing
+        the primary node; every edge must match its endpoints' node types
+        in the schema graph.
+        """
+        if not self.nodes:
+            raise InvalidQueryPattern("a pattern needs at least one node")
+        keys = [node.key for node in self.nodes]
+        if len(set(keys)) != len(keys):
+            raise InvalidQueryPattern(f"duplicate pattern node keys in {keys!r}")
+        if not self.has_node(self.primary_key):
+            raise InvalidQueryPattern(
+                f"primary key {self.primary_key!r} is not a pattern node"
+            )
+        for node in self.nodes:
+            schema.node_type(node.type_name)  # raises UnknownNodeType
+        key_set = set(keys)
+        for edge in self.edges:
+            if edge.source_key not in key_set or edge.target_key not in key_set:
+                raise InvalidQueryPattern(
+                    f"edge {edge.edge_type!r} references unknown pattern nodes"
+                )
+            edge_type = schema.edge_type(edge.edge_type)
+            source = self.node(edge.source_key)
+            target = self.node(edge.target_key)
+            if source.type_name != edge_type.source:
+                raise InvalidQueryPattern(
+                    f"edge {edge.edge_type!r} expects source type "
+                    f"{edge_type.source!r}, pattern has {source.type_name!r}"
+                )
+            if target.type_name != edge_type.target:
+                raise InvalidQueryPattern(
+                    f"edge {edge.edge_type!r} expects target type "
+                    f"{edge_type.target!r}, pattern has {target.type_name!r}"
+                )
+        # Tree check: connected and exactly n-1 edges.
+        if len(self.edges) != len(self.nodes) - 1:
+            raise InvalidQueryPattern(
+                f"pattern must be a tree: {len(self.nodes)} nodes need "
+                f"{len(self.nodes) - 1} edges, found {len(self.edges)}"
+            )
+        if self.nodes and not self._is_connected():
+            raise InvalidQueryPattern("pattern graph is not connected")
+
+    def _is_connected(self) -> bool:
+        adjacency: dict[str, list[str]] = {node.key: [] for node in self.nodes}
+        for edge in self.edges:
+            adjacency[edge.source_key].append(edge.target_key)
+            adjacency[edge.target_key].append(edge.source_key)
+        seen = {self.primary_key}
+        frontier = [self.primary_key]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in adjacency[current]:
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return len(seen) == len(self.nodes)
+
+    # ------------------------------------------------------------------
+    # Traversal helpers used by matching and SQL translation
+    # ------------------------------------------------------------------
+    def traversal_order(self) -> list[tuple[str, PatternEdge | None]]:
+        """BFS order from the primary node: ``(node key, connecting edge)``.
+
+        The first entry is the primary with no edge; each later entry's edge
+        links it to an earlier node. This is the ``t1 ... tn`` ordering that
+        Definition 4's matching function needs.
+        """
+        adjacency: dict[str, list[PatternEdge]] = {
+            node.key: [] for node in self.nodes
+        }
+        for edge in self.edges:
+            adjacency[edge.source_key].append(edge)
+            adjacency[edge.target_key].append(edge)
+        order: list[tuple[str, PatternEdge | None]] = [(self.primary_key, None)]
+        seen = {self.primary_key}
+        queue = [self.primary_key]
+        while queue:
+            current = queue.pop(0)
+            for edge in adjacency[current]:
+                other = (
+                    edge.target_key
+                    if edge.source_key == current
+                    else edge.source_key
+                )
+                if other in seen:
+                    continue
+                seen.add(other)
+                order.append((other, edge))
+                queue.append(other)
+        return order
+
+    def children_of(self, key: str, parent: str | None) -> list[tuple[str, PatternEdge]]:
+        """Tree children of ``key`` given its ``parent`` (None for the root)."""
+        out: list[tuple[str, PatternEdge]] = []
+        for edge in self.edges_touching(key):
+            other = (
+                edge.target_key if edge.source_key == key else edge.source_key
+            )
+            if other != parent:
+                out.append((other, edge))
+        return out
+
+    # ------------------------------------------------------------------
+    # Rendering (Figure 6)
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        """One-line description, e.g. for the history panel."""
+        parts = []
+        for node in self.nodes:
+            marker = "*" if node.key == self.primary_key else ""
+            conditions = node.describe_conditions()
+            if conditions:
+                parts.append(f"{marker}{node.key}[{conditions}]")
+            else:
+                parts.append(f"{marker}{node.key}")
+        return " — ".join(parts)
+
+    def to_ascii(self) -> str:
+        """A diagrammatic rendering in the spirit of Figure 6."""
+        lines = ["Query pattern (primary marked with *):"]
+        for node in self.nodes:
+            marker = "*" if node.key == self.primary_key else " "
+            conditions = node.describe_conditions()
+            suffix = f"   {{{conditions}}}" if conditions else ""
+            lines.append(f"  {marker}[{node.key}:{node.type_name}]{suffix}")
+        for edge in self.edges:
+            lines.append(
+                f"   [{edge.source_key}] --{edge.edge_type}--> [{edge.target_key}]"
+            )
+        return "\n".join(lines)
+
+
+def single_node_pattern(schema: SchemaGraph, type_name: str) -> QueryPattern:
+    """The pattern produced by Initiate(τk): one node, no edges."""
+    schema.node_type(type_name)
+    node = PatternNode(key=type_name, type_name=type_name)
+    return QueryPattern(primary_key=type_name, nodes=(node,))

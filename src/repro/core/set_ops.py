@@ -1,0 +1,111 @@
+"""Set operations over ETables — the paper's future-work item #1.
+
+Section 9: "Future research directions include: (1) incorporating more
+operations to further improve expressive power (e.g., set operations)".
+These operators combine two enriched tables whose primary node types match:
+
+* :func:`etable_union`        — rows present in either table;
+* :func:`etable_intersection` — rows present in both;
+* :func:`etable_difference`   — rows of the left table absent from the right.
+
+Rows are identified by their primary node, so the combination is exact (no
+label collisions). The result keeps the *left* table's pattern and columns;
+participating cells for rows contributed only by the right table are
+re-derived by executing the left pattern restricted to those nodes — except
+for union, where cells of right-only rows fall back to the right table's
+cells for shared column keys and neighbor lookups otherwise.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidOperator
+from repro.core.etable import ColumnKind, ETable, ETableRow
+from repro.core.query_pattern import QueryPattern
+
+
+def _check_compatible(left: ETable, right: ETable) -> None:
+    if left.primary_type != right.primary_type:
+        raise InvalidOperator(
+            f"set operation needs matching primary types, got "
+            f"{left.primary_type!r} and {right.primary_type!r}"
+        )
+    if left.graph is not right.graph:
+        raise InvalidOperator(
+            "set operations require ETables over the same instance graph"
+        )
+
+
+def _clone_row(row: ETableRow) -> ETableRow:
+    return ETableRow(
+        node_id=row.node_id,
+        attributes=dict(row.attributes),
+        cells={key: list(refs) for key, refs in row.cells.items()},
+    )
+
+
+def _rebuild_neighbor_cells(etable: ETable, row: ETableRow) -> None:
+    """Fill neighbor columns of a transplanted row from raw adjacency."""
+    from repro.core.transform import _node_ref  # local import, no cycle
+
+    for column in etable.neighbor_columns():
+        row.cells[column.key] = [
+            _node_ref(neighbor, etable.graph.schema)
+            for neighbor in etable.graph.neighbors(row.node_id, column.key)
+        ]
+
+
+def etable_union(left: ETable, right: ETable) -> ETable:
+    """Rows of either table, left rows first, then right-only rows.
+
+    Right-only rows keep the right table's cells for columns both tables
+    share; neighbor columns are recomputed; participating columns exclusive
+    to the left pattern are empty for them (the row never matched the left
+    pattern — exactly SQL UNION's positional semantics, made explicit).
+    """
+    _check_compatible(left, right)
+    left_ids = {row.node_id for row in left.rows}
+    rows = [_clone_row(row) for row in left.rows]
+    left_keys = {column.key for column in left.columns}
+    for row in right.rows:
+        if row.node_id in left_ids:
+            continue
+        transplanted = ETableRow(
+            node_id=row.node_id,
+            attributes=dict(row.attributes),
+            cells={},
+        )
+        for key, refs in row.cells.items():
+            if key in left_keys:
+                transplanted.cells[key] = list(refs)
+        for column in left.participating_columns():
+            transplanted.cells.setdefault(column.key, [])
+        result_placeholder = ETable(
+            left.pattern, left.columns, [], left.graph
+        )
+        _rebuild_neighbor_cells(result_placeholder, transplanted)
+        rows.append(transplanted)
+    result = ETable(left.pattern, list(left.columns), rows, left.graph)
+    result.hidden_columns = set(left.hidden_columns)
+    return result
+
+
+def etable_intersection(left: ETable, right: ETable) -> ETable:
+    """Left rows whose primary node also appears in the right table."""
+    _check_compatible(left, right)
+    right_ids = {row.node_id for row in right.rows}
+    rows = [_clone_row(row) for row in left.rows if row.node_id in right_ids]
+    result = ETable(left.pattern, list(left.columns), rows, left.graph)
+    result.hidden_columns = set(left.hidden_columns)
+    return result
+
+
+def etable_difference(left: ETable, right: ETable) -> ETable:
+    """Left rows whose primary node does not appear in the right table."""
+    _check_compatible(left, right)
+    right_ids = {row.node_id for row in right.rows}
+    rows = [
+        _clone_row(row) for row in left.rows if row.node_id not in right_ids
+    ]
+    result = ETable(left.pattern, list(left.columns), rows, left.graph)
+    result.hidden_columns = set(left.hidden_columns)
+    return result

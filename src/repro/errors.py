@@ -1,0 +1,111 @@
+"""Shared exception hierarchy for the ETable reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause while
+still being able to distinguish the layer that failed (relational engine,
+typed-graph model, translator, ETable core, or study simulator).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class RelationalError(ReproError):
+    """Base class for errors raised by the relational engine."""
+
+
+class SchemaError(RelationalError):
+    """A table or database schema is malformed (duplicate columns, bad FK...)."""
+
+
+class ConstraintViolation(RelationalError):
+    """An insert or update violates a declared constraint."""
+
+
+class PrimaryKeyViolation(ConstraintViolation):
+    """A duplicate primary-key value was inserted."""
+
+
+class ForeignKeyViolation(ConstraintViolation):
+    """A foreign-key value does not reference an existing row."""
+
+
+class NotNullViolation(ConstraintViolation):
+    """A NULL value was supplied for a NOT NULL column."""
+
+
+class TypeMismatch(RelationalError):
+    """A value cannot be coerced to the declared column type."""
+
+
+class UnknownTable(RelationalError):
+    """A query referenced a table that is not in the catalog."""
+
+
+class UnknownColumn(RelationalError):
+    """An expression referenced a column that does not exist in scope."""
+
+
+class AmbiguousColumn(RelationalError):
+    """An unqualified column name matched more than one column in scope."""
+
+
+class SqlSyntaxError(RelationalError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        self.position = position
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+
+
+class SqlSemanticError(RelationalError):
+    """The SQL parsed but is not executable (bad grouping, bad aggregate...)."""
+
+
+class TgmError(ReproError):
+    """Base class for typed-graph-model errors."""
+
+
+class UnknownNodeType(TgmError):
+    """A node type name is not part of the schema graph."""
+
+
+class UnknownEdgeType(TgmError):
+    """An edge type name is not part of the schema graph."""
+
+
+class GraphIntegrityError(TgmError):
+    """An instance-graph operation would break schema conformance."""
+
+
+class TranslationError(ReproError):
+    """The relational schema violates the Appendix A translation assumptions."""
+
+
+class EtableError(ReproError):
+    """Base class for ETable presentation-model errors."""
+
+
+class InvalidQueryPattern(EtableError):
+    """A query pattern is not a connected acyclic graph rooted in its types."""
+
+
+class InvalidOperator(EtableError):
+    """A primitive operator was applied in a state where it is undefined."""
+
+
+class InvalidAction(EtableError):
+    """A user-level action referenced a column, row, or cell that is absent."""
+
+
+class StudyError(ReproError):
+    """Base class for user-study simulator errors."""
+
+
+class TaskDefinitionError(StudyError):
+    """A study task is malformed or has no ground-truth answer in the data."""

@@ -1,0 +1,111 @@
+"""A small in-memory relational engine.
+
+This package is the reproduction's substitute for the PostgreSQL backend the
+paper's prototype used (Section 6.2): typed tables with primary/foreign-key
+enforcement, a relational-algebra execution layer, and a SQL dialect rich
+enough to run the queries that ETable's translation layer emits (Section 8),
+including ``ENT_LIST`` — our analogue of PostgreSQL's ``json_agg``.
+
+Public entry points::
+
+    from repro.relational import (
+        Column, DataType, Database, ForeignKey, TableSchema, table_schema,
+        execute_sql,
+    )
+
+    db = Database("demo")
+    db.create_table(table_schema("conferences", [("id", DataType.INTEGER),
+                                                 ("acronym", DataType.TEXT)],
+                                 primary_key="id"))
+    db.insert("conferences", {"id": 1, "acronym": "SIGMOD"})
+    result = execute_sql(db, "SELECT acronym FROM conferences WHERE id = 1")
+"""
+
+from repro.relational.algebra import (
+    AggregateSpec,
+    Relation,
+    SortKey,
+    cross_join,
+    distinct,
+    equi_join,
+    from_table,
+    group_by,
+    limit,
+    order_by,
+    project,
+    project_columns,
+    rename,
+    select,
+    theta_join,
+)
+from repro.relational.database import Database
+from repro.relational.datatypes import DataType, coerce, infer_type
+from repro.relational.expressions import (
+    And,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Scope,
+    column,
+    conjoin,
+    equals,
+)
+from repro.relational.schema import Column, ForeignKey, TableSchema, table_schema
+from repro.relational.sql.executor import execute_sql, execute_statement
+from repro.relational.sql.parser import parse, parse_select
+from repro.relational.table import Table
+
+__all__ = [
+    "AggregateSpec",
+    "And",
+    "Arithmetic",
+    "Column",
+    "ColumnRef",
+    "Comparison",
+    "DataType",
+    "Database",
+    "Expression",
+    "ForeignKey",
+    "FunctionCall",
+    "InList",
+    "IsNull",
+    "Like",
+    "Literal",
+    "Not",
+    "Or",
+    "Relation",
+    "Scope",
+    "SortKey",
+    "Table",
+    "TableSchema",
+    "coerce",
+    "column",
+    "conjoin",
+    "cross_join",
+    "distinct",
+    "equals",
+    "equi_join",
+    "execute_sql",
+    "execute_statement",
+    "from_table",
+    "group_by",
+    "infer_type",
+    "limit",
+    "order_by",
+    "parse",
+    "parse_select",
+    "project",
+    "project_columns",
+    "rename",
+    "select",
+    "table_schema",
+    "theta_join",
+]

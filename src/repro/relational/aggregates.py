@@ -1,0 +1,110 @@
+"""Aggregate functions for GROUP BY evaluation.
+
+Besides the standard SQL five (COUNT, SUM, AVG, MIN, MAX) we implement
+``ENT_LIST``, the engine's analogue of PostgreSQL's ``json_agg`` that the
+paper uses to gather entity references into one cell (Section 8's general
+query pattern: ``SELECT τa.*, ent-list(t1), ...``). ``ENT_LIST`` collects the
+distinct non-null input values in first-appearance order and returns them as
+a tuple, which the ETable layer then turns into entity-reference cells.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.errors import SqlSemanticError
+from repro.relational.datatypes import is_comparable
+
+
+def _non_null(values: Iterable[Any]) -> list[Any]:
+    return [value for value in values if value is not None]
+
+
+def agg_count(values: Iterable[Any]) -> int:
+    """COUNT(expr): number of non-null values."""
+    return len(_non_null(values))
+
+
+def agg_count_star(values: Iterable[Any]) -> int:
+    """COUNT(*): number of rows, nulls included."""
+    return sum(1 for _ in values)
+
+
+def agg_count_distinct(values: Iterable[Any]) -> int:
+    """COUNT(DISTINCT expr)."""
+    return len(set(_non_null(values)))
+
+
+def agg_sum(values: Iterable[Any]) -> Any:
+    present = _non_null(values)
+    if not present:
+        return None
+    _require_numeric(present, "SUM")
+    return sum(present)
+
+
+def agg_avg(values: Iterable[Any]) -> Any:
+    present = _non_null(values)
+    if not present:
+        return None
+    _require_numeric(present, "AVG")
+    return sum(present) / len(present)
+
+
+def agg_min(values: Iterable[Any]) -> Any:
+    present = _non_null(values)
+    if not present:
+        return None
+    _require_uniform(present, "MIN")
+    return min(present)
+
+
+def agg_max(values: Iterable[Any]) -> Any:
+    present = _non_null(values)
+    if not present:
+        return None
+    _require_uniform(present, "MAX")
+    return max(present)
+
+
+def agg_ent_list(values: Iterable[Any]) -> tuple[Any, ...]:
+    """Collect distinct non-null values, preserving first-appearance order."""
+    seen: set[Any] = set()
+    out: list[Any] = []
+    for value in values:
+        if value is None or value in seen:
+            continue
+        seen.add(value)
+        out.append(value)
+    return tuple(out)
+
+
+def _require_numeric(values: list[Any], name: str) -> None:
+    for value in values:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SqlSemanticError(f"{name} requires numeric input, got {value!r}")
+
+
+def _require_uniform(values: list[Any], name: str) -> None:
+    first = values[0]
+    for value in values[1:]:
+        if not is_comparable(first, value):
+            raise SqlSemanticError(
+                f"{name} over incomparable values {first!r} and {value!r}"
+            )
+
+
+AGGREGATES: dict[str, Callable[[Iterable[Any]], Any]] = {
+    "count": agg_count,
+    "count_star": agg_count_star,
+    "count_distinct": agg_count_distinct,
+    "sum": agg_sum,
+    "avg": agg_avg,
+    "min": agg_min,
+    "max": agg_max,
+    "ent_list": agg_ent_list,
+}
+
+
+def is_aggregate_name(name: str) -> bool:
+    return name.lower() in ("count", "sum", "avg", "min", "max", "ent_list")

@@ -1,0 +1,309 @@
+"""Relational algebra over materialized relations.
+
+A :class:`Relation` is an ordered list of rows plus a header of
+``(qualifier, name)`` column identities. The operators here (selection,
+projection, joins, grouping, ordering, distinct) are the execution primitives
+the SQL planner lowers to, and they are also used directly by the TGDB
+storage layer and by tests.
+
+Joins use a hash strategy whenever an equality pair between the two sides is
+available, falling back to nested loops for general theta-joins — mirroring
+how the paper's PostgreSQL backend would execute FK joins with indexes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.errors import RelationalError, UnknownColumn
+from repro.relational.expressions import Expression, Scope
+from repro.relational.table import Table
+
+ColumnId = tuple[str | None, str]
+
+
+@dataclass
+class Relation:
+    """A materialized intermediate result."""
+
+    columns: list[ColumnId]
+    rows: list[tuple[Any, ...]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        for row in self.rows:
+            if len(row) != len(self.columns):
+                raise RelationalError(
+                    f"row arity {len(row)} != header arity {len(self.columns)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [name for _, name in self.columns]
+
+    def column_position(self, name: str, qualifier: str | None = None) -> int:
+        """Position of a column; unqualified lookups must be unambiguous."""
+        matches = [
+            index
+            for index, (col_qual, col_name) in enumerate(self.columns)
+            if col_name.lower() == name.lower()
+            and (qualifier is None or (col_qual or "").lower() == qualifier.lower())
+        ]
+        if not matches:
+            label = f"{qualifier}.{name}" if qualifier else name
+            raise UnknownColumn(f"no column {label!r} in relation")
+        if len(matches) > 1 and qualifier is None:
+            raise RelationalError(f"column name {name!r} is ambiguous")
+        return matches[0]
+
+    def column_values(self, name: str, qualifier: str | None = None) -> list[Any]:
+        position = self.column_position(name, qualifier)
+        return [row[position] for row in self.rows]
+
+    def scope(self, row: tuple[Any, ...]) -> Scope:
+        return Scope(self.columns, row)
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """Rows as name->value dicts; qualified names win on collision."""
+        out: list[dict[str, Any]] = []
+        for row in self.rows:
+            item: dict[str, Any] = {}
+            for (qualifier, name), value in zip(self.columns, row):
+                item[name] = value
+                if qualifier:
+                    item[f"{qualifier}.{name}"] = value
+            out.append(item)
+        return out
+
+
+def from_table(table: Table, alias: str | None = None) -> Relation:
+    """Lift a stored table into a relation, optionally renaming its qualifier."""
+    qualifier = alias or table.name
+    columns: list[ColumnId] = [(qualifier, name) for name in table.schema.column_names]
+    return Relation(columns, list(table.rows))
+
+
+def select(relation: Relation, predicate: Expression) -> Relation:
+    """Keep rows where ``predicate`` evaluates to exactly True (3VL)."""
+    kept = [
+        row
+        for row in relation.rows
+        if predicate.evaluate(Scope(relation.columns, row)) is True
+    ]
+    return Relation(list(relation.columns), kept)
+
+
+def project(
+    relation: Relation,
+    items: Sequence[tuple[Expression, ColumnId]],
+) -> Relation:
+    """Compute each expression per row; ``items`` supply output identities."""
+    columns = [identity for _, identity in items]
+    expressions = [expression for expression, _ in items]
+    rows = [
+        tuple(expr.evaluate(Scope(relation.columns, row)) for expr in expressions)
+        for row in relation.rows
+    ]
+    return Relation(columns, rows)
+
+
+def project_columns(
+    relation: Relation, names: Sequence[tuple[str | None, str]]
+) -> Relation:
+    """Positional projection by column identity (no expression evaluation)."""
+    positions = [relation.column_position(name, qualifier) for qualifier, name in names]
+    columns = [relation.columns[position] for position in positions]
+    rows = [tuple(row[position] for position in positions) for row in relation.rows]
+    return Relation(columns, rows)
+
+
+def rename(relation: Relation, qualifier: str) -> Relation:
+    """Re-qualify every column (SQL table alias semantics)."""
+    columns: list[ColumnId] = [(qualifier, name) for _, name in relation.columns]
+    return Relation(columns, list(relation.rows))
+
+
+def cross_join(left: Relation, right: Relation) -> Relation:
+    columns = list(left.columns) + list(right.columns)
+    rows = [l_row + r_row for l_row in left.rows for r_row in right.rows]
+    return Relation(columns, rows)
+
+
+def equi_join(
+    left: Relation,
+    right: Relation,
+    pairs: Sequence[tuple[ColumnId, ColumnId]],
+    residual: Expression | None = None,
+) -> Relation:
+    """Hash join on equality ``pairs`` of (left column, right column).
+
+    NULL join keys never match (SQL semantics). ``residual`` is an optional
+    extra predicate applied to each joined row.
+    """
+    if not pairs:
+        joined = cross_join(left, right)
+        return select(joined, residual) if residual is not None else joined
+
+    left_positions = [
+        left.column_position(name, qualifier) for (qualifier, name), _ in pairs
+    ]
+    right_positions = [
+        right.column_position(name, qualifier) for _, (qualifier, name) in pairs
+    ]
+
+    # Build hash table on the smaller side.
+    build_left = len(left.rows) <= len(right.rows)
+    if build_left:
+        build, probe = left, right
+        build_positions, probe_positions = left_positions, right_positions
+    else:
+        build, probe = right, left
+        build_positions, probe_positions = right_positions, left_positions
+
+    buckets: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+    for row in build.rows:
+        key = tuple(row[position] for position in build_positions)
+        if any(part is None for part in key):
+            continue
+        buckets.setdefault(key, []).append(row)
+
+    columns = list(left.columns) + list(right.columns)
+    rows: list[tuple[Any, ...]] = []
+    for probe_row in probe.rows:
+        key = tuple(probe_row[position] for position in probe_positions)
+        if any(part is None for part in key):
+            continue
+        for build_row in buckets.get(key, ()):
+            combined = (
+                build_row + probe_row if build_left else probe_row + build_row
+            )
+            rows.append(combined)
+    result = Relation(columns, rows)
+    return select(result, residual) if residual is not None else result
+
+
+def theta_join(left: Relation, right: Relation, predicate: Expression) -> Relation:
+    """Nested-loop join for arbitrary predicates."""
+    columns = list(left.columns) + list(right.columns)
+    rows: list[tuple[Any, ...]] = []
+    for l_row in left.rows:
+        for r_row in right.rows:
+            combined = l_row + r_row
+            if predicate.evaluate(Scope(columns, combined)) is True:
+                rows.append(combined)
+    return Relation(columns, rows)
+
+
+def distinct(relation: Relation) -> Relation:
+    """Remove duplicate rows, preserving first-appearance order."""
+    seen: set[tuple[Any, ...]] = set()
+    rows: list[tuple[Any, ...]] = []
+    for row in relation.rows:
+        if row in seen:
+            continue
+        seen.add(row)
+        rows.append(row)
+    return Relation(list(relation.columns), rows)
+
+
+@dataclass(frozen=True)
+class SortKey:
+    """One ORDER BY term. NULLs sort last ascending, first descending."""
+
+    expression: Expression
+    descending: bool = False
+
+
+def order_by(relation: Relation, keys: Sequence[SortKey]) -> Relation:
+    """Stable multi-key sort (applied right-to-left for stability)."""
+    rows = list(relation.rows)
+    for key in reversed(keys):
+        evaluated = [
+            key.expression.evaluate(Scope(relation.columns, row)) for row in rows
+        ]
+        decorated = list(zip(evaluated, range(len(rows)), rows))
+        decorated.sort(
+            key=lambda item: _null_aware_key(item[0]), reverse=key.descending
+        )
+        rows = [row for _, _, row in decorated]
+    return Relation(list(relation.columns), rows)
+
+
+def _null_aware_key(value: Any) -> tuple[int, Any]:
+    if value is None:
+        return (1, 0)
+    if isinstance(value, bool):
+        return (0, int(value))
+    if isinstance(value, (int, float)):
+        return (0, value)
+    return (0, str(value))
+
+
+def limit(relation: Relation, count: int, offset: int = 0) -> Relation:
+    if count < 0 or offset < 0:
+        raise RelationalError("LIMIT/OFFSET must be non-negative")
+    return Relation(list(relation.columns), relation.rows[offset : offset + count])
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate output: ``function`` applied to ``argument`` per group.
+
+    ``argument`` is None for COUNT(*). ``identity`` names the output column.
+    """
+
+    function: Callable[[Iterable[Any]], Any]
+    argument: Expression | None
+    identity: ColumnId
+
+
+def group_by(
+    relation: Relation,
+    keys: Sequence[Expression],
+    key_identities: Sequence[ColumnId],
+    aggregates: Sequence[AggregateSpec],
+) -> Relation:
+    """Group rows by ``keys`` and evaluate ``aggregates`` per group.
+
+    With no keys, the whole relation forms one group (scalar aggregation),
+    which yields a single row even for empty input — matching SQL.
+    """
+    if len(keys) != len(key_identities):
+        raise RelationalError("group_by: keys and identities must align")
+
+    groups: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+    order: list[tuple[Any, ...]] = []
+    for row in relation.rows:
+        scope = Scope(relation.columns, row)
+        key = tuple(expr.evaluate(scope) for expr in keys)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+
+    if not keys and not order:
+        order.append(())
+        groups[()] = []
+
+    columns = list(key_identities) + [spec.identity for spec in aggregates]
+    rows: list[tuple[Any, ...]] = []
+    for key in order:
+        member_rows = groups[key]
+        values = list(key)
+        for spec in aggregates:
+            if spec.argument is None:
+                inputs: list[Any] = [None] * len(member_rows)
+            else:
+                inputs = [
+                    spec.argument.evaluate(Scope(relation.columns, row))
+                    for row in member_rows
+                ]
+            values.append(spec.function(inputs))
+        rows.append(tuple(values))
+    return Relation(columns, rows)

@@ -1,0 +1,99 @@
+"""CSV import/export for tables and databases.
+
+The dataset generators can persist their output so benches and examples can
+reload a fixed corpus instead of regenerating it. The format is plain CSV
+with a header row; NULL is encoded as the empty string.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any
+
+from repro.errors import SchemaError
+from repro.relational.database import Database
+from repro.relational.datatypes import DataType
+from repro.relational.table import Table
+
+
+def write_table_csv(table: Table, path: str | Path) -> int:
+    """Write ``table`` to ``path``; returns the number of data rows written."""
+    path = Path(path)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.schema.column_names)
+        for row in table.rows:
+            writer.writerow(["" if value is None else value for value in row])
+    return len(table.rows)
+
+
+def read_table_csv(table: Table, path: str | Path) -> int:
+    """Load rows from ``path`` into ``table``; returns rows loaded.
+
+    The CSV header must list exactly the table's columns (order-sensitive).
+    Values are coerced by the table's declared types; empty strings load as
+    NULL except in TEXT columns, where they load as empty strings only when
+    the column is part of no key.
+    """
+    path = Path(path)
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty: missing CSV header") from None
+        expected = list(table.schema.column_names)
+        if header != expected:
+            raise SchemaError(
+                f"CSV header {header!r} does not match table columns {expected!r}"
+            )
+        count = 0
+        for raw in reader:
+            if len(raw) != len(expected):
+                raise SchemaError(
+                    f"{path}: row {count + 2} has {len(raw)} fields, "
+                    f"expected {len(expected)}"
+                )
+            row = [_decode(value, column.dtype) for value, column in
+                   zip(raw, table.schema.columns)]
+            table.insert(row)
+            count += 1
+    return count
+
+
+def _decode(text: str, dtype: DataType) -> Any:
+    if text == "":
+        return None
+    return text
+
+
+def dump_database(database: Database, directory: str | Path) -> dict[str, int]:
+    """Write every table as ``<directory>/<table>.csv``; returns row counts."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    counts: dict[str, int] = {}
+    for name, table in database.tables.items():
+        counts[name] = write_table_csv(table, directory / f"{name}.csv")
+    return counts
+
+
+def load_database(database: Database, directory: str | Path) -> dict[str, int]:
+    """Load ``<directory>/<table>.csv`` into each catalog table that has one.
+
+    Tables are loaded without per-row FK checks (the dump is trusted), then
+    the whole database is validated once; any violation raises.
+    """
+    directory = Path(directory)
+    counts: dict[str, int] = {}
+    for name, table in database.tables.items():
+        path = directory / f"{name}.csv"
+        if path.exists():
+            counts[name] = read_table_csv(table, path)
+    problems = database.validate_integrity()
+    if problems:
+        raise SchemaError(
+            f"CSV load left {len(problems)} integrity violations; "
+            f"first: {problems[0]}"
+        )
+    return counts

@@ -1,0 +1,186 @@
+"""Table and database schema declarations.
+
+A :class:`TableSchema` mirrors a ``CREATE TABLE`` statement: named, typed
+columns, an optional (possibly composite) primary key, and foreign keys.
+Schemas are immutable once constructed; the instance data lives in
+:mod:`repro.relational.table`.
+
+The reverse-engineering translator (Appendix A of the paper) reads these
+declarations — primary keys, foreign keys, and column types — to classify
+every relation into entity / relationship / multivalued-attribute categories
+(Table 1 of the paper), so the declarations here carry exactly the metadata
+that procedure needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.errors import SchemaError
+from repro.relational.datatypes import DataType
+
+
+@dataclass(frozen=True)
+class Column:
+    """A single typed column.
+
+    ``nullable`` defaults to True, matching SQL. Primary-key columns are
+    implicitly NOT NULL regardless of this flag.
+    """
+
+    name: str
+    dtype: DataType
+    nullable: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name {self.name!r}")
+
+
+@dataclass(frozen=True)
+class ForeignKey:
+    """A foreign key from ``columns`` to ``ref_table`` (``ref_columns``).
+
+    Composite foreign keys are supported (``len(columns) > 1``) although the
+    paper's schemas only use single-column keys.
+    """
+
+    columns: tuple[str, ...]
+    ref_table: str
+    ref_columns: tuple[str, ...]
+
+    def __init__(
+        self,
+        columns: Sequence[str] | str,
+        ref_table: str,
+        ref_columns: Sequence[str] | str = ("id",),
+    ) -> None:
+        if isinstance(columns, str):
+            columns = (columns,)
+        if isinstance(ref_columns, str):
+            ref_columns = (ref_columns,)
+        if len(columns) != len(ref_columns):
+            raise SchemaError(
+                f"foreign key arity mismatch: {columns!r} -> {ref_columns!r}"
+            )
+        if not columns:
+            raise SchemaError("foreign key needs at least one column")
+        object.__setattr__(self, "columns", tuple(columns))
+        object.__setattr__(self, "ref_table", ref_table)
+        object.__setattr__(self, "ref_columns", tuple(ref_columns))
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(self.columns)
+        refs = ", ".join(self.ref_columns)
+        return f"FOREIGN KEY ({cols}) REFERENCES {self.ref_table}({refs})"
+
+
+class TableSchema:
+    """Schema of one relation: columns, primary key, and foreign keys."""
+
+    def __init__(
+        self,
+        name: str,
+        columns: Iterable[Column],
+        primary_key: Sequence[str] | str | None = None,
+        foreign_keys: Iterable[ForeignKey] = (),
+    ) -> None:
+        if not name or not name.isidentifier():
+            raise SchemaError(f"invalid table name {name!r}")
+        self.name = name
+        self.columns: tuple[Column, ...] = tuple(columns)
+        if not self.columns:
+            raise SchemaError(f"table {name!r} must have at least one column")
+        seen: set[str] = set()
+        for column in self.columns:
+            lowered = column.name.lower()
+            if lowered in seen:
+                raise SchemaError(f"duplicate column {column.name!r} in table {name!r}")
+            seen.add(lowered)
+        self._by_name = {column.name: column for column in self.columns}
+
+        if primary_key is None:
+            pk: tuple[str, ...] = ()
+        elif isinstance(primary_key, str):
+            pk = (primary_key,)
+        else:
+            pk = tuple(primary_key)
+        for key_col in pk:
+            if key_col not in self._by_name:
+                raise SchemaError(
+                    f"primary key column {key_col!r} not in table {name!r}"
+                )
+        self.primary_key: tuple[str, ...] = pk
+
+        self.foreign_keys: tuple[ForeignKey, ...] = tuple(foreign_keys)
+        for fk in self.foreign_keys:
+            for col in fk.columns:
+                if col not in self._by_name:
+                    raise SchemaError(
+                        f"foreign key column {col!r} not in table {name!r}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(column.name for column in self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._by_name
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise SchemaError(f"no column {name!r} in table {self.name!r}") from None
+
+    def column_index(self, name: str) -> int:
+        for index, column in enumerate(self.columns):
+            if column.name == name:
+                return index
+        raise SchemaError(f"no column {name!r} in table {self.name!r}")
+
+    def is_primary_key_column(self, name: str) -> bool:
+        return name in self.primary_key
+
+    def foreign_key_for(self, column: str) -> ForeignKey | None:
+        """Return the (single-column) foreign key declared on ``column``."""
+        for fk in self.foreign_keys:
+            if fk.columns == (column,):
+                return fk
+        return None
+
+    def foreign_key_columns(self) -> set[str]:
+        """All column names that participate in some foreign key."""
+        names: set[str] = set()
+        for fk in self.foreign_keys:
+            names.update(fk.columns)
+        return names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name} {c.dtype}" for c in self.columns)
+        return f"TableSchema({self.name}: {cols})"
+
+
+def table_schema(
+    name: str,
+    columns: Sequence[tuple[str, DataType] | tuple[str, DataType, bool]],
+    primary_key: Sequence[str] | str | None = None,
+    foreign_keys: Iterable[ForeignKey] = (),
+) -> TableSchema:
+    """Concise :class:`TableSchema` factory used throughout tests and datasets.
+
+    Each column spec is ``(name, dtype)`` or ``(name, dtype, nullable)``.
+    """
+    built: list[Column] = []
+    for spec in columns:
+        if len(spec) == 2:
+            col_name, dtype = spec  # type: ignore[misc]
+            built.append(Column(col_name, dtype))
+        else:
+            col_name, dtype, nullable = spec  # type: ignore[misc]
+            built.append(Column(col_name, dtype, nullable=nullable))
+    return TableSchema(name, built, primary_key=primary_key, foreign_keys=foreign_keys)

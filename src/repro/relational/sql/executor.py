@@ -1,0 +1,790 @@
+"""SQL execution: lowering to runtime expressions + the select pipeline.
+
+The executor implements INNER-join SELECT semantics with predicate pushdown
+and greedy equi-join ordering (hash joins), grouped aggregation with the
+permissive "first row of group" rule for non-aggregated columns (this is what
+lets the paper's general pattern ``SELECT τa.*, ENT_LIST(...) GROUP BY τa.id``
+run unchanged — every τa column is functionally dependent on the primary
+key), correlated EXISTS / IN subqueries, DISTINCT, ORDER BY (aliases,
+ordinals, or arbitrary expressions), LIMIT/OFFSET, and UNION [ALL].
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.errors import (
+    AmbiguousColumn,
+    SqlSemanticError,
+    UnknownColumn,
+)
+from repro.relational.aggregates import AGGREGATES
+from repro.relational.algebra import (
+    ColumnId,
+    Relation,
+    _null_aware_key,
+    equi_join,
+    from_table,
+    select as algebra_select,
+)
+from repro.relational.database import Database
+from repro.relational.expressions import (
+    And,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    Expression,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Scope,
+    conjoin,
+)
+from repro.relational.sql.ast_nodes import (
+    AndNode,
+    BetweenNode,
+    BinaryNode,
+    ColumnNode,
+    ExistsNode,
+    ExprNode,
+    FuncNode,
+    InListNode,
+    InSubqueryNode,
+    IsNullNode,
+    JoinClause,
+    LikeNode,
+    LiteralNode,
+    NotNode,
+    OrNode,
+    SelectItem,
+    SelectStatement,
+    StarNode,
+    Statement,
+    TableRef,
+    UnionStatement,
+)
+from repro.relational.sql.parser import parse
+from repro.relational.sql.planner import (
+    ScopeMap,
+    contains_aggregate,
+    contains_subquery,
+    find_equi_pair,
+    split_conjuncts,
+)
+
+_COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
+_ARITHMETIC_OPS = {"+", "-", "*", "/"}
+
+
+def execute_sql(database: Database, sql: str) -> Relation:
+    """Parse and execute one SQL statement against ``database``."""
+    return execute_statement(database, parse(sql))
+
+
+def execute_statement(database: Database, statement: Statement) -> Relation:
+    if isinstance(statement, UnionStatement):
+        return _execute_union(database, statement)
+    return _execute_select(database, statement)
+
+
+# ----------------------------------------------------------------------
+# Runtime subquery predicates
+# ----------------------------------------------------------------------
+class ExistsPredicate(Expression):
+    """Correlated EXISTS with equality decorrelation.
+
+    When the only correlation between the subquery and the outer query is a
+    conjunction of equalities ``inner_column = outer_reference``, the
+    subquery is rewritten once into an uncorrelated
+    ``SELECT inner_columns ...`` whose result is hashed; each outer row then
+    costs a single set lookup (textbook semi-join decorrelation). Any other
+    correlation shape falls back to per-row re-execution.
+    """
+
+    def __init__(self, database: Database, subquery: SelectStatement,
+                 negate: bool = False) -> None:
+        self._database = database
+        self._subquery = subquery
+        self._negate = negate
+        # None = not attempted yet; False = fall back to per-row execution;
+        # otherwise (outer_refs, hashed inner tuples).
+        self._plan: tuple[list[tuple[str | None, str]], set] | bool | None = None
+
+    def evaluate(self, scope: Scope) -> bool:
+        if self._plan is None:
+            self._plan = _decorrelate_exists(self._database, self._subquery)
+        if self._plan is False:
+            result = _execute_select(
+                self._database, self._subquery, outer_scope=scope
+            )
+            found = bool(result.rows)
+            return not found if self._negate else found
+        outer_refs, values = self._plan  # type: ignore[misc]
+        key = tuple(
+            scope.resolve(qualifier, name) for qualifier, name in outer_refs
+        )
+        found = not any(part is None for part in key) and key in values
+        return not found if self._negate else found
+
+    def __str__(self) -> str:
+        keyword = "NOT EXISTS" if self._negate else "EXISTS"
+        return f"{keyword} (...)"
+
+
+def _decorrelate_exists(
+    database: Database, subquery: SelectStatement
+) -> tuple[list[tuple[str | None, str]], set] | bool:
+    """Rewrite EXISTS into a hashed semi-join when correlation is equality-only.
+
+    Returns ``False`` when the rewrite is not applicable (grouping, limits,
+    non-equality correlation, correlation inside nested subqueries).
+    """
+    if (subquery.group_by or subquery.having or subquery.order_by
+            or subquery.limit is not None or subquery.offset is not None
+            or subquery.distinct):
+        return False
+    refs = list(subquery.from_tables) + [j.table for j in subquery.joins]
+    try:
+        scope_map = ScopeMap({
+            ref.qualifier: set(
+                database.table(ref.name).schema.column_names
+            )
+            for ref in refs
+        })
+    except Exception:
+        return False
+
+    conjuncts: list[ExprNode] = split_conjuncts(subquery.where)
+    for join in subquery.joins:
+        conjuncts.extend(split_conjuncts(join.condition))
+
+    kept: list[ExprNode] = []
+    inner_columns: list[ColumnNode] = []
+    outer_refs: list[tuple[str | None, str]] = []
+    for conjunct in conjuncts:
+        if contains_subquery(conjunct):
+            return False  # nested subqueries may correlate arbitrarily
+        if scope_map.tables_for(conjunct) is not None:
+            kept.append(conjunct)
+            continue
+        pair = _equality_with_outer(conjunct, scope_map)
+        if pair is None:
+            return False
+        inner_columns.append(pair[0])
+        outer_refs.append(pair[1])
+    if not outer_refs:
+        kept_where = _conjoin_nodes(kept)
+        flat = SelectStatement(
+            items=[SelectItem(LiteralNode(1))],
+            from_tables=list(subquery.from_tables),
+            joins=list(subquery.joins),
+            where=kept_where,
+            limit=1,
+        )
+        result = _execute_select(database, flat)
+        # Uncorrelated EXISTS: constant truth value for every outer row.
+        return ([], {()} if result.rows else set())
+
+    rewritten = SelectStatement(
+        items=[SelectItem(column) for column in inner_columns],
+        from_tables=list(subquery.from_tables),
+        joins=list(subquery.joins),
+        where=_conjoin_nodes(kept),
+    )
+    relation = _execute_select(database, rewritten)
+    values = {
+        row for row in relation.rows if not any(part is None for part in row)
+    }
+    return (outer_refs, values)
+
+
+def _equality_with_outer(
+    node: ExprNode, scope_map: ScopeMap
+) -> tuple[ColumnNode, tuple[str | None, str]] | None:
+    """Match ``inner_column = outer_reference`` in either order."""
+    if not isinstance(node, BinaryNode) or node.op != "=":
+        return None
+    left, right = node.left, node.right
+    if not isinstance(left, ColumnNode) or not isinstance(right, ColumnNode):
+        return None
+    left_owners = scope_map.owners(left.qualifier, left.name)
+    right_owners = scope_map.owners(right.qualifier, right.name)
+    if len(left_owners) == 1 and not right_owners:
+        return left, (right.qualifier, right.name)
+    if len(right_owners) == 1 and not left_owners:
+        return right, (left.qualifier, left.name)
+    return None
+
+
+def _conjoin_nodes(nodes: list[ExprNode]) -> ExprNode | None:
+    if not nodes:
+        return None
+    if len(nodes) == 1:
+        return nodes[0]
+    return AndNode(tuple(nodes))
+
+
+class InSubqueryPredicate(Expression):
+    """Correlated ``expr IN (SELECT ...)`` with SQL NULL semantics."""
+
+    def __init__(self, database: Database, operand: Expression,
+                 subquery: SelectStatement, negate: bool = False) -> None:
+        self._database = database
+        self._operand = operand
+        self._subquery = subquery
+        self._negate = negate
+
+    def evaluate(self, scope: Scope) -> bool | None:
+        value = self._operand.evaluate(scope)
+        if value is None:
+            return None
+        result = _execute_select(self._database, self._subquery, outer_scope=scope)
+        if len(result.columns) != 1:
+            raise SqlSemanticError("IN subquery must return exactly one column")
+        values = [row[0] for row in result.rows]
+        if value in values:
+            return not self._negate
+        if any(candidate is None for candidate in values):
+            return None
+        return self._negate
+
+    def references(self) -> set[tuple[str | None, str]]:
+        return self._operand.references()
+
+
+# ----------------------------------------------------------------------
+# Lowering AST expressions to runtime expressions
+# ----------------------------------------------------------------------
+def lower_expression(node: ExprNode, database: Database) -> Expression:
+    """Lower an AST expression to a runtime one. Aggregates are rejected —
+    callers in grouped context must use :func:`_eval_group_expr` instead."""
+    if isinstance(node, LiteralNode):
+        return Literal(node.value)
+    if isinstance(node, ColumnNode):
+        return ColumnRef(node.name, node.qualifier)
+    if isinstance(node, BinaryNode):
+        left = lower_expression(node.left, database)
+        right = lower_expression(node.right, database)
+        if node.op in _COMPARISON_OPS:
+            return Comparison(node.op, left, right)
+        if node.op in _ARITHMETIC_OPS:
+            return Arithmetic(node.op, left, right)
+        raise SqlSemanticError(f"unknown binary operator {node.op!r}")
+    if isinstance(node, AndNode):
+        return And(tuple(lower_expression(op, database) for op in node.operands))
+    if isinstance(node, OrNode):
+        return Or(tuple(lower_expression(op, database) for op in node.operands))
+    if isinstance(node, NotNode):
+        return Not(lower_expression(node.operand, database))
+    if isinstance(node, LikeNode):
+        return Like(lower_expression(node.operand, database), node.pattern,
+                    node.negate)
+    if isinstance(node, InListNode):
+        return InList(lower_expression(node.operand, database), node.values,
+                      node.negate)
+    if isinstance(node, IsNullNode):
+        return IsNull(lower_expression(node.operand, database), node.negate)
+    if isinstance(node, BetweenNode):
+        operand = lower_expression(node.operand, database)
+        bounds = And((
+            Comparison(">=", operand, lower_expression(node.low, database)),
+            Comparison("<=", operand, lower_expression(node.high, database)),
+        ))
+        return Not(bounds) if node.negate else bounds
+    if isinstance(node, ExistsNode):
+        return ExistsPredicate(database, node.subquery, node.negate)
+    if isinstance(node, InSubqueryNode):
+        operand = lower_expression(node.operand, database)
+        return InSubqueryPredicate(database, operand, node.subquery, node.negate)
+    if isinstance(node, FuncNode):
+        if _is_aggregate_func(node):
+            raise SqlSemanticError(
+                f"aggregate {node.name.upper()} is not allowed here"
+            )
+        args = tuple(lower_expression(arg, database) for arg in node.args)
+        return FunctionCall(node.name, args)
+    if isinstance(node, StarNode):
+        raise SqlSemanticError("'*' is only allowed as a select item or in COUNT(*)")
+    raise SqlSemanticError(f"cannot lower expression node {node!r}")
+
+
+def _is_aggregate_func(node: FuncNode) -> bool:
+    return node.name.lower() in ("count", "sum", "avg", "min", "max", "ent_list")
+
+
+# ----------------------------------------------------------------------
+# SELECT pipeline
+# ----------------------------------------------------------------------
+def _execute_select(
+    database: Database,
+    statement: SelectStatement,
+    outer_scope: Scope | None = None,
+) -> Relation:
+    joined = _join_sources(database, statement, outer_scope)
+    grouped = bool(statement.group_by) or _select_has_aggregates(statement)
+    if grouped:
+        output, reps, groups = _execute_grouped(database, statement, joined,
+                                                outer_scope)
+    else:
+        output, reps = _execute_flat(database, statement, joined, outer_scope)
+        groups = None
+
+    if statement.distinct:
+        output, reps, groups = _apply_distinct(output, reps, groups)
+    if statement.order_by:
+        output, reps, groups = _apply_order(
+            database, statement, joined, output, reps, groups, outer_scope
+        )
+    if statement.limit is not None or statement.offset is not None:
+        start = statement.offset or 0
+        stop = None if statement.limit is None else start + statement.limit
+        output = Relation(output.columns, output.rows[start:stop])
+    return output
+
+
+def _join_sources(
+    database: Database,
+    statement: SelectStatement,
+    outer_scope: Scope | None,
+) -> Relation:
+    refs: list[TableRef] = list(statement.from_tables) + [
+        join.table for join in statement.joins
+    ]
+    relations: dict[str, Relation] = {}
+    order: list[str] = []
+    for ref in refs:
+        qualifier = ref.qualifier
+        if qualifier in relations:
+            raise SqlSemanticError(f"duplicate table alias {qualifier!r}")
+        relations[qualifier] = from_table(database.table(ref.name), qualifier)
+        order.append(qualifier)
+
+    conjuncts: list[ExprNode] = split_conjuncts(statement.where)
+    for join in statement.joins:
+        conjuncts.extend(split_conjuncts(join.condition))
+
+    scope_map = ScopeMap(
+        {q: set(rel.column_names) for q, rel in relations.items()}
+    )
+
+    pushed: dict[str, list[ExprNode]] = {q: [] for q in order}
+    join_conjuncts: list[tuple[tuple[str, str], tuple[str, str], ExprNode]] = []
+    residual: list[ExprNode] = []
+    for conjunct in conjuncts:
+        if contains_subquery(conjunct) or contains_aggregate(conjunct):
+            if contains_aggregate(conjunct):
+                raise SqlSemanticError("aggregates are not allowed in WHERE/ON")
+            residual.append(conjunct)
+            continue
+        tables = scope_map.tables_for(conjunct)
+        if tables is None:
+            residual.append(conjunct)
+            continue
+        if len(tables) <= 1:
+            target = next(iter(tables)) if tables else order[0]
+            pushed[target].append(conjunct)
+            continue
+        pair = find_equi_pair(conjunct, scope_map)
+        if pair is not None and len(tables) == 2:
+            join_conjuncts.append((pair[0], pair[1], conjunct))
+        else:
+            residual.append(conjunct)
+
+    for qualifier in order:
+        if pushed[qualifier]:
+            predicate = conjoin(
+                [lower_expression(c, database) for c in pushed[qualifier]]
+            )
+            relations[qualifier] = _filter(
+                relations[qualifier], predicate, outer_scope
+            )
+
+    current = relations[order[0]]
+    available = {order[0]}
+    remaining = list(order[1:])
+    unused = list(join_conjuncts)
+    while remaining:
+        chosen: str | None = None
+        chosen_pairs: list[tuple[ColumnId, ColumnId]] = []
+        chosen_used: list[int] = []
+        for candidate in remaining:
+            pairs: list[tuple[ColumnId, ColumnId]] = []
+            used: list[int] = []
+            for index, (left, right, _node) in enumerate(unused):
+                if left[0] in available and right[0] == candidate:
+                    pairs.append(((left[0], left[1]), (right[0], right[1])))
+                    used.append(index)
+                elif right[0] in available and left[0] == candidate:
+                    pairs.append(((right[0], right[1]), (left[0], left[1])))
+                    used.append(index)
+            if pairs:
+                chosen, chosen_pairs, chosen_used = candidate, pairs, used
+                break
+        if chosen is None:
+            chosen = remaining[0]
+        current = equi_join(current, relations[chosen], chosen_pairs)
+        available.add(chosen)
+        remaining.remove(chosen)
+        unused = [item for index, item in enumerate(unused)
+                  if index not in set(chosen_used)]
+
+    residual.extend(node for _left, _right, node in unused)
+    if residual:
+        predicate = conjoin([lower_expression(c, database) for c in residual])
+        current = _filter(current, predicate, outer_scope)
+    return current
+
+
+def _filter(
+    relation: Relation, predicate: Expression, outer_scope: Scope | None
+) -> Relation:
+    if outer_scope is None:
+        return algebra_select(relation, predicate)
+    kept = [
+        row
+        for row in relation.rows
+        if predicate.evaluate(Scope(relation.columns, row, parent=outer_scope))
+        is True
+    ]
+    return Relation(list(relation.columns), kept)
+
+
+def _select_has_aggregates(statement: SelectStatement) -> bool:
+    for item in statement.items:
+        if isinstance(item.expression, StarNode):
+            continue
+        if contains_aggregate(item.expression):
+            return True
+    return bool(statement.having) and contains_aggregate(statement.having)
+
+
+# ----------------------------------------------------------------------
+# Flat (non-grouped) projection
+# ----------------------------------------------------------------------
+def _execute_flat(
+    database: Database,
+    statement: SelectStatement,
+    joined: Relation,
+    outer_scope: Scope | None,
+) -> tuple[Relation, list[tuple[Any, ...]]]:
+    columns = _output_columns(statement, joined)
+    lowered = _lower_items(statement, joined, database)
+    rows: list[tuple[Any, ...]] = []
+    reps: list[tuple[Any, ...]] = []
+    for source_row in joined.rows:
+        scope = Scope(joined.columns, source_row, parent=outer_scope)
+        values: list[Any] = []
+        for kind, payload in lowered:
+            if kind == "star":
+                values.extend(source_row[position] for position in payload)
+            else:
+                values.append(payload.evaluate(scope))
+        rows.append(tuple(values))
+        reps.append(source_row)
+    return Relation(columns, rows), reps
+
+
+def _lower_items(
+    statement: SelectStatement, joined: Relation, database: Database
+) -> list[tuple[str, Any]]:
+    """Per select item: ("star", positions) or ("expr", runtime expression)."""
+    lowered: list[tuple[str, Any]] = []
+    for item in statement.items:
+        if isinstance(item.expression, StarNode):
+            lowered.append(
+                ("star", _star_positions(item.expression, joined))
+            )
+        else:
+            lowered.append(("expr", lower_expression(item.expression, database)))
+    return lowered
+
+
+def _star_positions(star: StarNode, joined: Relation) -> list[int]:
+    positions = [
+        index
+        for index, (qualifier, _name) in enumerate(joined.columns)
+        if star.qualifier is None
+        or (qualifier or "").lower() == star.qualifier.lower()
+    ]
+    if not positions:
+        raise SqlSemanticError(f"unknown table {star.qualifier!r} in select '*'")
+    return positions
+
+
+def _output_columns(statement: SelectStatement, joined: Relation) -> list[ColumnId]:
+    columns: list[ColumnId] = []
+    for index, item in enumerate(statement.items):
+        if isinstance(item.expression, StarNode):
+            columns.extend(
+                joined.columns[position]
+                for position in _star_positions(item.expression, joined)
+            )
+            continue
+        columns.append((None, _output_name(item, index)))
+    return columns
+
+
+def _output_name(item: SelectItem, index: int) -> str:
+    if item.alias:
+        return item.alias
+    node = item.expression
+    if isinstance(node, ColumnNode):
+        return node.name
+    if isinstance(node, FuncNode):
+        return node.name.lower()
+    return f"expr{index + 1}"
+
+
+# ----------------------------------------------------------------------
+# Grouped execution
+# ----------------------------------------------------------------------
+def _execute_grouped(
+    database: Database,
+    statement: SelectStatement,
+    joined: Relation,
+    outer_scope: Scope | None,
+) -> tuple[Relation, list[tuple[Any, ...]], list[list[tuple[Any, ...]]]]:
+    key_exprs = [lower_expression(node, database) for node in statement.group_by]
+    groups: dict[tuple[Any, ...], list[tuple[Any, ...]]] = {}
+    order: list[tuple[Any, ...]] = []
+    for row in joined.rows:
+        scope = Scope(joined.columns, row, parent=outer_scope)
+        key = tuple(expr.evaluate(scope) for expr in key_exprs)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    if not statement.group_by and not order:
+        # Scalar aggregation over an empty input still yields one row.
+        order.append(())
+        groups[()] = []
+
+    columns = _output_columns(statement, joined)
+    rows: list[tuple[Any, ...]] = []
+    reps: list[tuple[Any, ...]] = []
+    row_groups: list[list[tuple[Any, ...]]] = []
+    empty_row = tuple([None] * len(joined.columns))
+    for key in order:
+        member_rows = groups[key]
+        rep = member_rows[0] if member_rows else empty_row
+        if statement.having is not None:
+            verdict = _eval_group_expr(
+                statement.having, member_rows, joined, database, outer_scope
+            )
+            if verdict is not True:
+                continue
+        values: list[Any] = []
+        for item in statement.items:
+            if isinstance(item.expression, StarNode):
+                values.extend(
+                    rep[position]
+                    for position in _star_positions(item.expression, joined)
+                )
+            else:
+                values.append(
+                    _eval_group_expr(
+                        item.expression, member_rows, joined, database, outer_scope
+                    )
+                )
+        rows.append(tuple(values))
+        reps.append(rep)
+        row_groups.append(member_rows)
+    return Relation(columns, rows), reps, row_groups
+
+
+def _eval_group_expr(
+    node: ExprNode,
+    group_rows: list[tuple[Any, ...]],
+    relation: Relation,
+    database: Database,
+    outer_scope: Scope | None,
+) -> Any:
+    """Evaluate a select/HAVING/ORDER expression in grouped context.
+
+    Aggregate calls see the whole group; everything else sees the group's
+    first row (the engine's permissive functional-dependency rule).
+    """
+    if isinstance(node, FuncNode) and _is_aggregate_func(node):
+        return _eval_aggregate(node, group_rows, relation, database, outer_scope)
+    if not contains_aggregate(node):
+        rep = group_rows[0] if group_rows else tuple([None] * len(relation.columns))
+        scope = Scope(relation.columns, rep, parent=outer_scope)
+        return lower_expression(node, database).evaluate(scope)
+    # Mixed expression, e.g. COUNT(*) + 1 or comparisons over aggregates.
+    recurse: Callable[[ExprNode], Any] = lambda child: _eval_group_expr(
+        child, group_rows, relation, database, outer_scope
+    )
+    empty = Scope([], [])
+    if isinstance(node, BinaryNode):
+        left, right = Literal(recurse(node.left)), Literal(recurse(node.right))
+        if node.op in _COMPARISON_OPS:
+            return Comparison(node.op, left, right).evaluate(empty)
+        return Arithmetic(node.op, left, right).evaluate(empty)
+    if isinstance(node, AndNode):
+        return And(tuple(Literal(recurse(op)) for op in node.operands)).evaluate(empty)
+    if isinstance(node, OrNode):
+        return Or(tuple(Literal(recurse(op)) for op in node.operands)).evaluate(empty)
+    if isinstance(node, NotNode):
+        return Not(Literal(recurse(node.operand))).evaluate(empty)
+    if isinstance(node, LikeNode):
+        return Like(Literal(recurse(node.operand)), node.pattern,
+                    node.negate).evaluate(empty)
+    if isinstance(node, IsNullNode):
+        return IsNull(Literal(recurse(node.operand)), node.negate).evaluate(empty)
+    if isinstance(node, InListNode):
+        return InList(Literal(recurse(node.operand)), node.values,
+                      node.negate).evaluate(empty)
+    if isinstance(node, BetweenNode):
+        operand = Literal(recurse(node.operand))
+        bounds = And((
+            Comparison(">=", operand, Literal(recurse(node.low))),
+            Comparison("<=", operand, Literal(recurse(node.high))),
+        ))
+        result = bounds.evaluate(empty)
+        if node.negate:
+            return None if result is None else not result
+        return result
+    raise SqlSemanticError(f"unsupported grouped expression {node!r}")
+
+
+def _eval_aggregate(
+    node: FuncNode,
+    group_rows: list[tuple[Any, ...]],
+    relation: Relation,
+    database: Database,
+    outer_scope: Scope | None,
+) -> Any:
+    name = node.name.lower()
+    if node.star:
+        if name != "count":
+            raise SqlSemanticError(f"{name.upper()}(*) is not valid")
+        return AGGREGATES["count_star"]([None] * len(group_rows))
+    if len(node.args) != 1:
+        raise SqlSemanticError(
+            f"aggregate {name.upper()} takes exactly one argument"
+        )
+    argument = lower_expression(node.args[0], database)
+    inputs: Iterable[Any] = [
+        argument.evaluate(Scope(relation.columns, row, parent=outer_scope))
+        for row in group_rows
+    ]
+    if name == "count" and node.distinct:
+        return AGGREGATES["count_distinct"](inputs)
+    return AGGREGATES[name](inputs)
+
+
+# ----------------------------------------------------------------------
+# DISTINCT / ORDER BY / UNION
+# ----------------------------------------------------------------------
+def _apply_distinct(
+    output: Relation,
+    reps: list[tuple[Any, ...]],
+    groups: list[list[tuple[Any, ...]]] | None,
+) -> tuple[Relation, list[tuple[Any, ...]], list[list[tuple[Any, ...]]] | None]:
+    seen: set[tuple[Any, ...]] = set()
+    rows: list[tuple[Any, ...]] = []
+    kept_reps: list[tuple[Any, ...]] = []
+    kept_groups: list[list[tuple[Any, ...]]] = []
+    for index, row in enumerate(output.rows):
+        if row in seen:
+            continue
+        seen.add(row)
+        rows.append(row)
+        kept_reps.append(reps[index])
+        if groups is not None:
+            kept_groups.append(groups[index])
+    return (
+        Relation(output.columns, rows),
+        kept_reps,
+        kept_groups if groups is not None else None,
+    )
+
+
+def _apply_order(
+    database: Database,
+    statement: SelectStatement,
+    joined: Relation,
+    output: Relation,
+    reps: list[tuple[Any, ...]],
+    groups: list[list[tuple[Any, ...]]] | None,
+    outer_scope: Scope | None,
+) -> tuple[Relation, list[tuple[Any, ...]], list[list[tuple[Any, ...]]] | None]:
+    indexes = list(range(len(output.rows)))
+    for term in reversed(statement.order_by):
+        keys = [
+            _order_key(database, statement, joined, output, reps, groups,
+                       outer_scope, term.expression, index)
+            for index in indexes
+        ]
+        decorated = sorted(
+            zip(keys, range(len(indexes)), indexes),
+            key=lambda item: _null_aware_key(item[0]),
+            reverse=term.descending,
+        )
+        indexes = [index for _, _, index in decorated]
+    rows = [output.rows[index] for index in indexes]
+    new_reps = [reps[index] for index in indexes]
+    new_groups = (
+        [groups[index] for index in indexes] if groups is not None else None
+    )
+    return Relation(output.columns, rows), new_reps, new_groups
+
+
+def _order_key(
+    database: Database,
+    statement: SelectStatement,
+    joined: Relation,
+    output: Relation,
+    reps: list[tuple[Any, ...]],
+    groups: list[list[tuple[Any, ...]]] | None,
+    outer_scope: Scope | None,
+    expression: ExprNode,
+    index: int,
+) -> Any:
+    # Ordinal: ORDER BY 2.
+    if isinstance(expression, LiteralNode) and isinstance(expression.value, int):
+        position = expression.value - 1
+        if not 0 <= position < len(output.columns):
+            raise SqlSemanticError(
+                f"ORDER BY ordinal {expression.value} out of range"
+            )
+        return output.rows[index][position]
+    # Try the output row first (select aliases and projected columns).
+    if not contains_aggregate(expression):
+        try:
+            runtime = lower_expression(expression, database)
+            return runtime.evaluate(Scope(output.columns, output.rows[index]))
+        except (UnknownColumn, AmbiguousColumn):
+            pass
+        runtime = lower_expression(expression, database)
+        return runtime.evaluate(
+            Scope(joined.columns, reps[index], parent=outer_scope)
+        )
+    if groups is None:
+        raise SqlSemanticError("aggregate in ORDER BY without grouping")
+    return _eval_group_expr(expression, groups[index], joined, database, outer_scope)
+
+
+def _execute_union(database: Database, statement: UnionStatement) -> Relation:
+    results = [_execute_select(database, select) for select in statement.selects]
+    arity = len(results[0].columns)
+    for result in results[1:]:
+        if len(result.columns) != arity:
+            raise SqlSemanticError("UNION branches must have the same arity")
+    rows: list[tuple[Any, ...]] = []
+    for result in results:
+        rows.extend(result.rows)
+    combined = Relation(list(results[0].columns), rows)
+    if statement.all:
+        return combined
+    seen: set[tuple[Any, ...]] = set()
+    unique: list[tuple[Any, ...]] = []
+    for row in combined.rows:
+        if row not in seen:
+            seen.add(row)
+            unique.append(row)
+    return Relation(list(combined.columns), unique)

@@ -1,0 +1,162 @@
+"""Query-planning analysis helpers.
+
+Pure functions over the SQL AST used by the executor to decide predicate
+pushdown and join order: conjunct splitting, reference collection, and
+equi-join detection. The actual lowering to runtime expressions lives in
+:mod:`repro.relational.sql.executor` (it needs the database handle for
+subqueries).
+"""
+
+from __future__ import annotations
+
+from repro.relational.sql.ast_nodes import (
+    AndNode,
+    BetweenNode,
+    BinaryNode,
+    ColumnNode,
+    ExistsNode,
+    ExprNode,
+    FuncNode,
+    InListNode,
+    InSubqueryNode,
+    IsNullNode,
+    LikeNode,
+    LiteralNode,
+    NotNode,
+    OrNode,
+    StarNode,
+)
+
+_COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
+
+
+def split_conjuncts(node: ExprNode | None) -> list[ExprNode]:
+    """Flatten a WHERE tree into top-level AND conjuncts."""
+    if node is None:
+        return []
+    if isinstance(node, AndNode):
+        out: list[ExprNode] = []
+        for operand in node.operands:
+            out.extend(split_conjuncts(operand))
+        return out
+    return [node]
+
+
+def contains_subquery(node: ExprNode) -> bool:
+    """True when the expression embeds an EXISTS or IN-subquery."""
+    if isinstance(node, (ExistsNode, InSubqueryNode)):
+        return True
+    return any(contains_subquery(child) for child in _children(node))
+
+
+def contains_aggregate(node: ExprNode) -> bool:
+    """True when the expression calls an aggregate function."""
+    if isinstance(node, FuncNode) and _is_aggregate(node):
+        return True
+    return any(contains_aggregate(child) for child in _children(node))
+
+
+def _is_aggregate(node: FuncNode) -> bool:
+    return node.name.lower() in ("count", "sum", "avg", "min", "max", "ent_list")
+
+
+def ast_references(node: ExprNode) -> set[tuple[str | None, str]]:
+    """Column references of an expression; subqueries count as opaque.
+
+    A conjunct containing a subquery is never pushed down or used for join
+    ordering, so its outer references do not need to be tracked here.
+    """
+    if isinstance(node, ColumnNode):
+        return {(node.qualifier, node.name)}
+    if isinstance(node, (ExistsNode, InSubqueryNode)):
+        return set()
+    refs: set[tuple[str | None, str]] = set()
+    for child in _children(node):
+        refs |= ast_references(child)
+    return refs
+
+
+def _children(node: ExprNode) -> list[ExprNode]:
+    if isinstance(node, BinaryNode):
+        return [node.left, node.right]
+    if isinstance(node, (AndNode, OrNode)):
+        return list(node.operands)
+    if isinstance(node, NotNode):
+        return [node.operand]
+    if isinstance(node, LikeNode):
+        return [node.operand]
+    if isinstance(node, InListNode):
+        return [node.operand]
+    if isinstance(node, InSubqueryNode):
+        return [node.operand]
+    if isinstance(node, IsNullNode):
+        return [node.operand]
+    if isinstance(node, BetweenNode):
+        return [node.operand, node.low, node.high]
+    if isinstance(node, FuncNode):
+        return list(node.args)
+    if isinstance(node, (LiteralNode, ColumnNode, StarNode, ExistsNode)):
+        return []
+    return []
+
+
+class ScopeMap:
+    """Maps column references to the table qualifiers that can satisfy them."""
+
+    def __init__(self, qualifier_columns: dict[str, set[str]]) -> None:
+        # qualifier -> lowercase column names
+        self._columns = {
+            qualifier: {name.lower() for name in names}
+            for qualifier, names in qualifier_columns.items()
+        }
+        self._lower_to_actual = {q.lower(): q for q in qualifier_columns}
+
+    def owners(self, qualifier: str | None, name: str) -> list[str]:
+        """Which table qualifiers could supply this reference."""
+        lowered = name.lower()
+        if qualifier is not None:
+            actual = self._lower_to_actual.get(qualifier.lower())
+            if actual is not None and lowered in self._columns[actual]:
+                return [actual]
+            return []
+        return [
+            actual
+            for actual, names in self._columns.items()
+            if lowered in names
+        ]
+
+    def tables_for(self, node: ExprNode) -> set[str] | None:
+        """The set of qualifiers an expression's references resolve to.
+
+        Returns ``None`` when any reference is unresolvable or ambiguous in
+        this scope (e.g. a correlated outer reference) — such conjuncts must
+        not be pushed down or used to drive joins.
+        """
+        tables: set[str] = set()
+        for qualifier, name in ast_references(node):
+            owners = self.owners(qualifier, name)
+            if len(owners) != 1:
+                return None
+            tables.add(owners[0])
+        return tables
+
+
+def find_equi_pair(
+    node: ExprNode, scope: ScopeMap
+) -> tuple[tuple[str, str], tuple[str, str]] | None:
+    """Detect ``a.x = b.y`` conjuncts joining two distinct tables.
+
+    Returns ``((qualifier_a, column_a), (qualifier_b, column_b))`` or None.
+    """
+    if not isinstance(node, BinaryNode) or node.op != "=":
+        return None
+    left, right = node.left, node.right
+    if not isinstance(left, ColumnNode) or not isinstance(right, ColumnNode):
+        return None
+    left_owner = scope.owners(left.qualifier, left.name)
+    right_owner = scope.owners(right.qualifier, right.name)
+    if len(left_owner) != 1 or len(right_owner) != 1:
+        return None
+    if left_owner[0] == right_owner[0]:
+        return None
+    return (left_owner[0], left.name), (right_owner[0], right.name)

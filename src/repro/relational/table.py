@@ -1,0 +1,170 @@
+"""Row storage with constraint enforcement and hash indexes.
+
+A :class:`Table` owns its rows (stored as tuples in insertion order) and
+maintains a unique hash index over the primary key plus non-unique hash
+indexes over any columns the caller asks for. Foreign-key checking needs the
+whole catalog and therefore lives in :mod:`repro.relational.database`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Mapping, Sequence
+
+from repro.errors import (
+    NotNullViolation,
+    PrimaryKeyViolation,
+    SchemaError,
+)
+from repro.relational.datatypes import coerce
+from repro.relational.schema import TableSchema
+
+
+class Table:
+    """A mutable relation instance conforming to a :class:`TableSchema`."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self.rows: list[tuple[Any, ...]] = []
+        self._pk_index: dict[tuple[Any, ...], int] = {}
+        # column name -> {value -> [row positions]}
+        self._indexes: dict[str, dict[Any, list[int]]] = {}
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[tuple[Any, ...]]:
+        return iter(self.rows)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def insert(self, row: Sequence[Any] | Mapping[str, Any]) -> tuple[Any, ...]:
+        """Insert one row, given positionally or as a column->value mapping.
+
+        Values are coerced to the declared column types. Primary-key and
+        NOT NULL constraints are enforced here; foreign keys are enforced by
+        :meth:`repro.relational.database.Database.insert`.
+
+        Returns the stored (coerced) tuple.
+        """
+        values = self._normalize(row)
+        self._check_not_null(values)
+        pk_value = self._primary_key_value(values)
+        if pk_value is not None and pk_value in self._pk_index:
+            raise PrimaryKeyViolation(
+                f"duplicate primary key {pk_value!r} in table {self.name!r}"
+            )
+        position = len(self.rows)
+        self.rows.append(values)
+        if pk_value is not None:
+            self._pk_index[pk_value] = position
+        for column, index in self._indexes.items():
+            col_pos = self.schema.column_index(column)
+            index.setdefault(values[col_pos], []).append(position)
+        return values
+
+    def insert_many(self, rows: Iterable[Sequence[Any] | Mapping[str, Any]]) -> int:
+        """Insert many rows; returns how many were inserted."""
+        count = 0
+        for row in rows:
+            self.insert(row)
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get_by_pk(self, *pk_value: Any) -> tuple[Any, ...] | None:
+        """Return the row whose primary key equals ``pk_value`` (or None)."""
+        if not self.schema.primary_key:
+            raise SchemaError(f"table {self.name!r} has no primary key")
+        position = self._pk_index.get(tuple(pk_value))
+        if position is None:
+            return None
+        return self.rows[position]
+
+    def has_pk(self, *pk_value: Any) -> bool:
+        return tuple(pk_value) in self._pk_index
+
+    def create_index(self, column: str) -> None:
+        """Create (or refresh) a non-unique hash index on ``column``."""
+        col_pos = self.schema.column_index(column)
+        index: dict[Any, list[int]] = {}
+        for position, row in enumerate(self.rows):
+            index.setdefault(row[col_pos], []).append(position)
+        self._indexes[column] = index
+
+    def lookup(self, column: str, value: Any) -> list[tuple[Any, ...]]:
+        """All rows where ``column == value``; uses an index when available."""
+        if column in self._indexes:
+            return [self.rows[pos] for pos in self._indexes[column].get(value, ())]
+        col_pos = self.schema.column_index(column)
+        return [row for row in self.rows if row[col_pos] == value]
+
+    def column_values(self, column: str) -> list[Any]:
+        """The values of one column, in row order (duplicates preserved)."""
+        col_pos = self.schema.column_index(column)
+        return [row[col_pos] for row in self.rows]
+
+    def distinct_values(self, column: str) -> list[Any]:
+        """Distinct non-null values of ``column`` in first-appearance order."""
+        seen: set[Any] = set()
+        out: list[Any] = []
+        for value in self.column_values(column):
+            if value is None or value in seen:
+                continue
+            seen.add(value)
+            out.append(value)
+        return out
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        """Rows as dictionaries (convenient for tests and rendering)."""
+        names = self.schema.column_names
+        return [dict(zip(names, row)) for row in self.rows]
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _normalize(self, row: Sequence[Any] | Mapping[str, Any]) -> tuple[Any, ...]:
+        columns = self.schema.columns
+        if isinstance(row, Mapping):
+            unknown = set(row) - {c.name for c in columns}
+            if unknown:
+                raise SchemaError(
+                    f"unknown column(s) {sorted(unknown)!r} for table {self.name!r}"
+                )
+            raw = [row.get(c.name) for c in columns]
+        else:
+            raw = list(row)
+            if len(raw) != len(columns):
+                raise SchemaError(
+                    f"table {self.name!r} expects {len(columns)} values, got {len(raw)}"
+                )
+        return tuple(
+            coerce(value, column.dtype) for value, column in zip(raw, columns)
+        )
+
+    def _check_not_null(self, values: tuple[Any, ...]) -> None:
+        for value, column in zip(values, self.schema.columns):
+            required = not column.nullable or column.name in self.schema.primary_key
+            if required and value is None:
+                raise NotNullViolation(
+                    f"column {column.name!r} of table {self.name!r} is NOT NULL"
+                )
+
+    def _primary_key_value(self, values: tuple[Any, ...]) -> tuple[Any, ...] | None:
+        if not self.schema.primary_key:
+            return None
+        return tuple(
+            values[self.schema.column_index(name)] for name in self.schema.primary_key
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Table({self.name!r}, {len(self.rows)} rows)"

@@ -1,0 +1,79 @@
+"""The simulated user study (Section 7).
+
+The reproduction's substitute for the paper's 12 human participants: Table 2
+tasks in two matched sets, a keystroke-level interaction cost model, an
+error-prone query-builder user model, the within-subjects protocol with
+counterbalancing and the 300-second cap, Figure 10's statistics, and Table
+3's ratings model. See DESIGN.md for the substitution rationale.
+"""
+
+from repro.study.etable_user import TaskOutcome, simulate_etable_task
+from repro.study.klm import KlmProfile
+from repro.study.navicat_user import simulate_navicat_task
+from repro.study.participants import (
+    Participant,
+    generate_participants,
+    mean_skill,
+)
+from repro.study.ratings import (
+    PREFERENCE_ASPECTS,
+    QUESTIONS,
+    RatingsResult,
+    simulate_ratings,
+)
+from repro.study.simulate import (
+    ETABLE,
+    NAVICAT,
+    PreparedTask,
+    StudyConfig,
+    StudyResult,
+    prepare_tasks,
+    run_study,
+)
+from repro.study.stats import (
+    TaskStats,
+    ci95_halfwidth,
+    likert_summary,
+    mean,
+    paired_t_test,
+    task_stats,
+)
+from repro.study.tasks import (
+    TaskSpec,
+    UiStep,
+    ground_truth_for,
+    task_set_a,
+    task_set_b,
+)
+
+__all__ = [
+    "ETABLE",
+    "KlmProfile",
+    "NAVICAT",
+    "PREFERENCE_ASPECTS",
+    "Participant",
+    "PreparedTask",
+    "QUESTIONS",
+    "RatingsResult",
+    "StudyConfig",
+    "StudyResult",
+    "TaskOutcome",
+    "TaskSpec",
+    "TaskStats",
+    "UiStep",
+    "ci95_halfwidth",
+    "generate_participants",
+    "ground_truth_for",
+    "likert_summary",
+    "mean",
+    "mean_skill",
+    "paired_t_test",
+    "prepare_tasks",
+    "run_study",
+    "simulate_etable_task",
+    "simulate_navicat_task",
+    "simulate_ratings",
+    "task_set_a",
+    "task_set_b",
+    "task_stats",
+]

@@ -1,0 +1,115 @@
+"""Simulated ETable participant.
+
+The model executes the task's real ETable solution script against a live
+session (so the produced answer is checked against ground truth), and prices
+each interface step with the KLM profile plus deliberation that grows with
+the number of relations the task spans. ETable deliberately does *not*
+depend on SQL skill — the paper's premise is that direct manipulation
+removes the query-language barrier; individual differences enter only
+through motor/mental speed and noise.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.study.klm import R_RESPONSE
+from repro.study.participants import Participant
+from repro.study.tasks import TaskSpec, UiStep
+
+# Calibration constants (seconds are produced via KLM think() units).
+COMPREHENSION_BASE = 3.0      # reading & planning, think units
+COMPREHENSION_PER_RELATION = 1.4
+INTERPRET_BASE = 0.6          # interpreting an intermediate result
+INTERPRET_PER_RELATION = 1.5
+NAVIGATION_SCAN = 0.9         # finding the right column/button
+READ_UNIT = 0.55              # per row read from the final answer
+AGGREGATE_SURCHARGE = 5.0     # reasoning about counts/ranking, once per task
+AGGREGATE_VERIFY = 3.0        # double-checking the sorted counts
+TYPE_CAP = 22                 # long literals are partially copy-pasted
+MISSTEP_PROBABILITY = 0.05    # occasional wrong click, redone
+NOISE_SIGMA = 0.16            # lognormal multiplicative noise
+LEARNING_FACTOR = 0.93        # second-condition familiarity gain
+TIME_CAP = 300.0
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    seconds: float
+    correct: bool
+    capped: bool
+    steps: int
+
+
+def simulate_etable_task(
+    task: TaskSpec,
+    steps: list[UiStep],
+    correct: bool,
+    participant: Participant,
+    second_condition: bool = False,
+) -> TaskOutcome:
+    """Price an already-executed solution script for one participant.
+
+    The script itself runs once per study (see
+    :func:`repro.study.simulate.prepare_tasks`), which both validates the
+    answer against ground truth and yields the UI step sequence priced here.
+    """
+    profile = participant.profile
+    rng = participant.rng(f"etable:{task.task_id}:{task.task_set}")
+    learning = LEARNING_FACTOR if second_condition else 1.0
+
+    seconds = profile.think(
+        COMPREHENSION_BASE + COMPREHENSION_PER_RELATION * task.relations
+    )
+    if task.category == "Aggregate":
+        seconds += profile.think(AGGREGATE_SURCHARGE)
+    for step in steps:
+        seconds += _step_cost(step, task, profile, rng)
+    seconds *= learning
+    seconds *= math.exp(rng.gauss(0.0, NOISE_SIGMA))
+    capped = seconds > TIME_CAP
+    if capped:
+        seconds = TIME_CAP
+    return TaskOutcome(
+        seconds=seconds, correct=correct and not capped, capped=capped,
+        steps=len(steps),
+    )
+
+
+def _step_cost(step: UiStep, task: TaskSpec, profile, rng) -> float:
+    interpret = profile.think(
+        INTERPRET_BASE + INTERPRET_PER_RELATION * task.relations
+    )
+    if step.kind == "open":
+        base = profile.think(1.0) + profile.point_click() + R_RESPONSE
+    elif step.kind == "filter":
+        typed = min(step.typed_chars, TYPE_CAP) + (
+            2 if step.typed_chars > TYPE_CAP else 0
+        )
+        base = (
+            profile.think(1.6)
+            + profile.point_click()          # open the filter popup
+            + profile.point_click()          # pick column / operator
+            + profile.type_text(typed)
+            + profile.point_click()          # apply
+            + R_RESPONSE
+        )
+    elif step.kind in ("pivot", "see_all"):
+        base = (
+            profile.think(1.0 + NAVIGATION_SCAN * task.relations)
+            + profile.point_click()
+            + R_RESPONSE
+        )
+    elif step.kind == "sort":
+        base = profile.think(1.0) + profile.point_click() + R_RESPONSE
+    elif step.kind == "read":
+        rows = min(step.rows_to_read, 12)
+        verify = AGGREGATE_VERIFY if task.category == "Aggregate" else 0.0
+        return profile.think(READ_UNIT * max(1, rows) + verify)
+    else:  # pragma: no cover - task scripts only emit the kinds above
+        raise ValueError(f"unknown UI step kind {step.kind!r}")
+
+    if rng.random() < MISSTEP_PROBABILITY:
+        base *= 2.0  # redo the interaction
+    return base + interpret

@@ -1,0 +1,157 @@
+"""Simulated graphical-query-builder (Navicat-like) participant.
+
+The model reproduces the behaviour the paper reports for the baseline
+condition (Section 7.2):
+
+* building a query means locating relations in a schema tree, wiring join
+  lines (harder the more relations are on the canvas), filling criteria
+  rows, and picking output columns — all priced with the KLM profile;
+* join queries and especially GROUP BY queries are error-prone: "many
+  participants did not specify a GROUP BY attribute in their SELECT clauses
+  in their first attempts". Error probabilities fall with SQL skill, decay
+  with retries, and drop sharply once a participant survives their first
+  GROUP BY task in the condition (that is why the study's Task 6, despite
+  joining more relations, averaged *less* time than Task 5);
+* superlative aggregates ("which institution has the largest …", Task 5)
+  need a max-over-count, the hardest concept — extra struggle per failure;
+* on an error, participants debug — or, as the paper observed, "preferred
+  to specify new SQL queries from scratch instead of debugging existing
+  ones", modelled as a restart that re-pays most of the build cost;
+* interpreting the flat join result costs time growing with its size
+  (duplicated rows — the paper's running usability complaint);
+* a task is cut off at 300 s and recorded as 300 s, like the study did.
+
+The large Navicat variance visible in Figure 10 *emerges* from the error
+model; it is not injected directly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.study.etable_user import TaskOutcome
+from repro.study.klm import R_RESPONSE
+from repro.study.participants import Participant
+from repro.study.tasks import TaskSpec
+
+# Build mechanics (think units / clicks).
+COMPREHENSION_BASE = 4.0
+COMPREHENSION_PER_RELATION = 2.6
+LOCATE_RELATION = 2.6          # find + drag one relation onto the canvas
+WIRE_JOIN_BASE = 5.0           # identify the FK pair + draw the join line
+WIRE_JOIN_PER_RELATION = 0.6   # more tables on canvas = harder to wire
+CRITERIA_ROW = 3.0             # add one predicate row
+OUTPUT_COLUMN = 0.8            # tick one output column
+GROUP_BY_SETUP = 8.0           # switch to grouping, pick the aggregate
+RESULT_READ_BASE = 2.5
+RESULT_READ_LOG = 0.9          # × log2(result rows + 1), duplication cost
+TYPE_CAP = 22                  # long literals are partially copy-pasted
+
+# Error model.
+SYNTAX_ERROR_BASE = 0.35       # scaled by (1.1 - skill fraction)
+JOIN_ERROR_PER_JOIN = 0.12
+GROUP_BY_ERROR_CEILING = 1.25  # p_gb = clamp(1.25 - skill, .15, .95)
+GROUP_BY_EXPERIENCE_FACTOR = 0.35  # survived one GROUP BY task already
+SUPERLATIVE_FACTOR = 1.45      # max-over-count confusion multiplier
+ERROR_DECAY = 0.78             # per additional within-task attempt
+DEBUG_THINK = 11.0             # reading errors / wrong output, think units
+SUPERLATIVE_DEBUG_FACTOR = 2.2
+RESTART_PROBABILITY = 0.45     # start over instead of debugging
+RESTART_FRACTION = 0.9         # rebuild cost fraction on restart
+FIX_FRACTION = 0.45            # debugging cost fraction of a full rebuild
+NOISE_SIGMA = 0.22
+LEARNING_FACTOR = 0.93
+TIME_CAP = 300.0
+SQL_RESPONSE = 2.0 * R_RESPONSE  # heavier server round trip for full joins
+
+
+def simulate_navicat_task(
+    task: TaskSpec,
+    flat_result_rows: int,
+    participant: Participant,
+    second_condition: bool = False,
+    groupby_experience: bool = False,
+) -> TaskOutcome:
+    """Price one task in the query-builder condition."""
+    profile = participant.profile
+    skill = participant.skill_fraction  # 0.33 .. 0.83 for skills 3..6
+    rng = participant.rng(f"navicat:{task.task_id}:{task.task_set}")
+    learning = LEARNING_FACTOR if second_condition else 1.0
+
+    seconds = profile.think(
+        COMPREHENSION_BASE + COMPREHENSION_PER_RELATION * task.relations
+    )
+    build_cost = _build_cost(task, profile)
+    seconds += build_cost
+
+    attempt = 0
+    while True:
+        seconds += profile.point_click() + SQL_RESPONSE  # run the query
+        if seconds > TIME_CAP:
+            break
+        error_probability = _error_probability(
+            task, skill, attempt, groupby_experience
+        )
+        if rng.random() >= error_probability:
+            break  # the query finally returns the right shape
+        attempt += 1
+        debug_units = DEBUG_THINK * (
+            SUPERLATIVE_DEBUG_FACTOR if task.superlative else 1.0
+        )
+        seconds += profile.think(debug_units)
+        if rng.random() < RESTART_PROBABILITY:
+            seconds += RESTART_FRACTION * build_cost
+        else:
+            seconds += FIX_FRACTION * build_cost + profile.think(2.0)
+        if seconds > TIME_CAP:
+            break
+
+    # Interpret the (possibly duplicated) result rows.
+    seconds += profile.think(
+        RESULT_READ_BASE + RESULT_READ_LOG * math.log2(flat_result_rows + 1)
+    )
+    seconds *= learning
+    seconds *= math.exp(rng.gauss(0.0, NOISE_SIGMA))
+
+    capped = seconds > TIME_CAP
+    if capped:
+        seconds = TIME_CAP
+    return TaskOutcome(
+        seconds=seconds, correct=not capped, capped=capped,
+        steps=attempt + 1,
+    )
+
+
+def _build_cost(task: TaskSpec, profile) -> float:
+    cost = task.relations * (profile.think(LOCATE_RELATION)
+                             + 2 * profile.point_click())
+    wire = WIRE_JOIN_BASE + WIRE_JOIN_PER_RELATION * task.relations
+    cost += task.join_count * (profile.think(wire) + 2 * profile.point_click())
+    cost += task.predicate_count * (
+        profile.think(CRITERIA_ROW) + 2 * profile.point_click()
+    )
+    typed = min(task.typed_chars, TYPE_CAP) + (
+        2 if task.typed_chars > TYPE_CAP else 0
+    )
+    cost += profile.type_text(typed)
+    cost += 2 * (profile.think(OUTPUT_COLUMN) + profile.point_click())
+    if task.has_group_by:
+        cost += profile.think(GROUP_BY_SETUP) + 3 * profile.point_click()
+    return cost
+
+
+def _error_probability(
+    task: TaskSpec, skill: float, attempt: int, groupby_experience: bool
+) -> float:
+    """First-attempt probability, decaying with each within-task retry."""
+    syntax = SYNTAX_ERROR_BASE * (1.1 - skill)
+    joins = JOIN_ERROR_PER_JOIN * task.join_count * (1.1 - skill)
+    grouping = 0.0
+    if task.has_group_by:
+        grouping = min(0.95, max(0.15, GROUP_BY_ERROR_CEILING - skill))
+        if task.superlative:
+            grouping = min(0.95, grouping * SUPERLATIVE_FACTOR)
+        if groupby_experience:
+            grouping *= GROUP_BY_EXPERIENCE_FACTOR
+    probability = min(0.95, syntax + joins + grouping)
+    return probability * (ERROR_DECAY ** attempt)

@@ -1,0 +1,102 @@
+"""Subjective-rating model (Table 3) and preference votes.
+
+Subjective Likert ratings cannot be measured without humans; we model them
+as a function of each simulated participant's *objective outcomes* plus a
+fixed per-question affinity:
+
+    rating_q(p) = clip(round(base_q + speed_weight_q · speed(p)
+                              + success_weight · success(p) + noise), 1, 7)
+
+where ``speed(p)`` is the participant's Navicat/ETable speedup squashed to
+[0, 1] and ``success(p)`` their ETable success rate. The per-question bases
+encode which aspects the design serves best (browsing > interpretation —
+the paper's lowest-rated item, Q5, is the one its future-work section
+addresses). The *shape* of Table 3 (which questions score high/low) comes
+from these bases; the level is pushed up or down by how well the simulated
+study actually went.
+
+The seven head-to-head preference questions are modeled as Bernoulli votes
+whose probabilities tilt with the same speedup signal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.study.participants import Participant
+from repro.study.simulate import StudyResult
+
+# (question text, base affinity, speed weight)
+QUESTIONS: list[tuple[str, float, float]] = [
+    ("Easy to learn", 5.6, 0.9),
+    ("Easy to use", 5.5, 0.9),
+    ("Helpful to locate and find specific data", 5.5, 0.8),
+    ("Helpful to browse data stored in databases", 5.9, 0.9),
+    ("Helpful to interpret and understand results", 4.9, 0.7),
+    ("Helpful to know what type of information exists", 5.3, 0.8),
+    ("Helpful to perform complex tasks", 5.3, 0.8),
+    ("Felt confident when using ETable", 5.2, 0.8),
+    ("Enjoyed using ETable", 5.55, 0.9),
+    ("Would like to use software like ETable in the future", 5.65, 0.9),
+]
+
+SUCCESS_WEIGHT = 0.5
+NOISE_SIGMA = 0.55
+
+# (aspect, base probability of preferring ETable, speed tilt)
+PREFERENCE_ASPECTS: list[tuple[str, float, float]] = [
+    ("Easier to learn", 0.97, 0.02),
+    ("More helpful in browsing and exploring data", 0.97, 0.02),
+    ("Liked more overall", 0.88, 0.06),
+    ("Easier to use", 0.82, 0.06),
+    ("Would choose to use in the future", 0.80, 0.06),
+    ("Felt more confident using it", 0.62, 0.08),
+    ("More helpful in finding specific data", 0.45, 0.08),
+]
+
+
+@dataclass
+class RatingsResult:
+    # question -> list of 12 integer ratings
+    ratings: dict[str, list[int]]
+    # aspect -> number of participants preferring ETable
+    preferences: dict[str, int]
+
+    def means(self) -> dict[str, float]:
+        return {
+            question: sum(values) / len(values)
+            for question, values in self.ratings.items()
+        }
+
+
+def _squash_speedup(speedup: float) -> float:
+    """Map a ≥0 speedup ratio to [0, 1]; 1× → 0.5, 3× → ~0.88."""
+    return 1.0 / (1.0 + math.exp(-(speedup - 1.0)))
+
+
+def simulate_ratings(result: StudyResult) -> RatingsResult:
+    """Produce Table 3 ratings and the preference votes for one study run."""
+    ratings: dict[str, list[int]] = {question: [] for question, _, _ in QUESTIONS}
+    preferences: dict[str, int] = {aspect: 0 for aspect, _, _ in PREFERENCE_ASPECTS}
+    for participant in result.participants:
+        speed = _squash_speedup(result.participant_speedup(
+            participant.participant_id
+        ))
+        success = result.etable_success_rate(participant.participant_id)
+        rng = participant.rng("ratings")
+        for question, base, speed_weight in QUESTIONS:
+            raw = (
+                base
+                + speed_weight * speed
+                + SUCCESS_WEIGHT * success
+                + rng.gauss(0.0, NOISE_SIGMA)
+            )
+            ratings[question].append(int(min(7, max(1, round(raw)))))
+        for aspect, base_probability, tilt in PREFERENCE_ASPECTS:
+            probability = min(
+                0.99, max(0.01, base_probability + tilt * (speed - 0.5))
+            )
+            if rng.random() < probability:
+                preferences[aspect] += 1
+    return RatingsResult(ratings=ratings, preferences=preferences)

@@ -1,0 +1,84 @@
+"""Statistics for the study: means, confidence intervals, paired t-tests.
+
+The paper reports per-task mean completion times with 95% confidence
+intervals and two-tailed paired t-tests, marking 99% significance with ``*``
+and 90% with ``°`` (Figure 10). The same analysis is implemented here on
+top of scipy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from scipy import stats as scipy_stats
+
+
+@dataclass(frozen=True)
+class TaskStats:
+    task_id: int
+    etable_mean: float
+    navicat_mean: float
+    etable_ci95: float
+    navicat_ci95: float
+    p_value: float
+
+    @property
+    def significance(self) -> str:
+        """The paper's markers: '*' at 99%, '°' at 90%, '' otherwise."""
+        if self.p_value < 0.01:
+            return "*"
+        if self.p_value < 0.10:
+            return "°"
+        return ""
+
+    @property
+    def speedup(self) -> float:
+        if self.etable_mean == 0:
+            return math.inf
+        return self.navicat_mean / self.etable_mean
+
+
+def mean(values: Sequence[float]) -> float:
+    return sum(values) / len(values)
+
+
+def ci95_halfwidth(values: Sequence[float]) -> float:
+    """Half-width of the t-based 95% confidence interval for the mean."""
+    n = len(values)
+    if n < 2:
+        return 0.0
+    sample_mean = mean(values)
+    variance = sum((v - sample_mean) ** 2 for v in values) / (n - 1)
+    sem = math.sqrt(variance / n)
+    t_crit = scipy_stats.t.ppf(0.975, df=n - 1)
+    return float(t_crit * sem)
+
+
+def paired_t_test(left: Sequence[float], right: Sequence[float]) -> float:
+    """Two-tailed paired t-test p-value (the paper's Figure 10 test)."""
+    if len(left) != len(right):
+        raise ValueError("paired t-test needs equal-length samples")
+    result = scipy_stats.ttest_rel(left, right)
+    return float(result.pvalue)
+
+
+def task_stats(
+    task_id: int,
+    etable_times: Sequence[float],
+    navicat_times: Sequence[float],
+) -> TaskStats:
+    return TaskStats(
+        task_id=task_id,
+        etable_mean=mean(etable_times),
+        navicat_mean=mean(navicat_times),
+        etable_ci95=ci95_halfwidth(etable_times),
+        navicat_ci95=ci95_halfwidth(navicat_times),
+        p_value=paired_t_test(etable_times, navicat_times),
+    )
+
+
+def likert_summary(ratings: Sequence[int]) -> float:
+    """Mean of a 7-point Likert item."""
+    return mean([float(r) for r in ratings])

@@ -1,0 +1,221 @@
+"""Selection conditions over graph nodes.
+
+These are the ``C`` components of an ETable query pattern (Definition 3):
+predicates evaluated against a node's attributes, its label, its identity, or
+— for the Filter-by-neighbor-label action of Section 6.1 — the labels of its
+direct neighbors (a semijoin, translated to an EXISTS subquery in SQL).
+
+Every condition renders to a human-readable string via ``describe()``; the
+history view shows those strings (e.g. ``acronym = 'SIGMOD'``).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.errors import TgmError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.tgm.instance_graph import InstanceGraph, Node
+
+_OPS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Condition:
+    """Base class. ``matches`` gets the node and the instance graph."""
+
+    def matches(self, node: "Node", graph: "InstanceGraph") -> bool:
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.describe()
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    return str(value)
+
+
+@dataclass(frozen=True)
+class AttributeCompare(Condition):
+    """``attribute <op> value`` with NULL never matching."""
+
+    attribute: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise TgmError(f"unknown comparison operator {self.op!r}")
+
+    def matches(self, node: "Node", graph: "InstanceGraph") -> bool:
+        actual = node.attributes.get(self.attribute)
+        if actual is None or self.value is None:
+            return False
+        if self.op in ("<", "<=", ">", ">="):
+            try:
+                return _OPS[self.op](actual, self.value)
+            except TypeError:
+                return False
+        return _OPS[self.op](actual, self.value)
+
+    def describe(self) -> str:
+        return f"{self.attribute} {self.op} {_format_value(self.value)}"
+
+
+@dataclass(frozen=True)
+class AttributeLike(Condition):
+    """SQL-LIKE pattern over an attribute, case-insensitive."""
+
+    attribute: str
+    pattern: str
+    negate: bool = False
+
+    def _regex(self) -> re.Pattern[str]:
+        from repro.relational.expressions import _compile_like
+
+        return _compile_like(self.pattern)
+
+    def matches(self, node: "Node", graph: "InstanceGraph") -> bool:
+        actual = node.attributes.get(self.attribute)
+        if actual is None:
+            return False
+        matched = bool(self._regex().match(str(actual)))
+        return not matched if self.negate else matched
+
+    def describe(self) -> str:
+        keyword = "not like" if self.negate else "like"
+        return f"{self.attribute} {keyword} {_format_value(self.pattern)}"
+
+
+@dataclass(frozen=True)
+class AttributeIn(Condition):
+    attribute: str
+    values: tuple[Any, ...]
+
+    def matches(self, node: "Node", graph: "InstanceGraph") -> bool:
+        actual = node.attributes.get(self.attribute)
+        return actual is not None and actual in self.values
+
+    def describe(self) -> str:
+        rendered = ", ".join(_format_value(v) for v in self.values)
+        return f"{self.attribute} in ({rendered})"
+
+
+@dataclass(frozen=True)
+class NodeIs(Condition):
+    """Identity selection ``{u | u = vk}`` used by Single / SeeAll (Sec 6.1).
+
+    ``label`` is carried along purely for display, so the history view can
+    show ``Conferences = 'SIGMOD'`` instead of an opaque node id.
+    """
+
+    node_id: int
+    label: str = ""
+
+    def matches(self, node: "Node", graph: "InstanceGraph") -> bool:
+        return node.node_id == self.node_id
+
+    def describe(self) -> str:
+        if self.label:
+            return f"= {_format_value(self.label)}"
+        return f"node #{self.node_id}"
+
+
+@dataclass(frozen=True)
+class LabelLike(Condition):
+    """LIKE over the node's *label attribute* (whatever it is)."""
+
+    pattern: str
+
+    def matches(self, node: "Node", graph: "InstanceGraph") -> bool:
+        label = node.label(graph.schema)
+        if label is None:
+            return False
+        return AttributeLike("_", self.pattern)._regex().match(str(label)) is not None
+
+    def describe(self) -> str:
+        return f"label like {_format_value(self.pattern)}"
+
+
+@dataclass(frozen=True)
+class NeighborSatisfies(Condition):
+    """Semijoin: the node has ≥1 ``edge_type`` neighbor matching ``inner``.
+
+    This implements the Section 6.1 rule that filtering by the labels of a
+    neighbor column "is translated into subqueries": the ETable keeps its
+    primary node type, and the condition becomes EXISTS(...) in SQL.
+    """
+
+    edge_type: str
+    inner: Condition
+
+    def matches(self, node: "Node", graph: "InstanceGraph") -> bool:
+        return any(
+            self.inner.matches(neighbor, graph)
+            for neighbor in graph.neighbors(node.node_id, self.edge_type)
+        )
+
+    def describe(self) -> str:
+        return f"any {self.edge_type} ({self.inner.describe()})"
+
+
+@dataclass(frozen=True)
+class AndCondition(Condition):
+    operands: tuple[Condition, ...]
+
+    def matches(self, node: "Node", graph: "InstanceGraph") -> bool:
+        return all(operand.matches(node, graph) for operand in self.operands)
+
+    def describe(self) -> str:
+        return " & ".join(operand.describe() for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class OrCondition(Condition):
+    operands: tuple[Condition, ...]
+
+    def matches(self, node: "Node", graph: "InstanceGraph") -> bool:
+        return any(operand.matches(node, graph) for operand in self.operands)
+
+    def describe(self) -> str:
+        return " | ".join(f"({operand.describe()})" for operand in self.operands)
+
+
+@dataclass(frozen=True)
+class NotCondition(Condition):
+    operand: Condition
+
+    def matches(self, node: "Node", graph: "InstanceGraph") -> bool:
+        return not self.operand.matches(node, graph)
+
+    def describe(self) -> str:
+        return f"not ({self.operand.describe()})"
+
+
+def conjoin_conditions(conditions: Iterable[Condition]) -> Condition | None:
+    """AND conditions together, flattening; None for an empty iterable."""
+    flat: list[Condition] = []
+    for condition in conditions:
+        if isinstance(condition, AndCondition):
+            flat.extend(condition.operands)
+        else:
+            flat.append(condition)
+    if not flat:
+        return None
+    if len(flat) == 1:
+        return flat[0]
+    return AndCondition(tuple(flat))

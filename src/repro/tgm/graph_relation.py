@@ -1,0 +1,191 @@
+"""The graph relation algebra of Section 5.4.1.
+
+A *graph relation* is like a relation whose attribute domains are node sets:
+each attribute corresponds to a node type (more precisely, to one occurrence
+of a node type in a query pattern — a *pattern node*), and each tuple is a
+list of node ids. Three operators are defined: selection ``σ``, join ``*``
+(over an edge type), and projection ``Π``. Instance matching (Definition 4)
+composes selections and joins; format transformation uses projection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Sequence
+
+from repro.errors import TgmError
+from repro.tgm.conditions import Condition
+from repro.tgm.instance_graph import InstanceGraph, Node
+
+
+@dataclass(frozen=True)
+class GraphAttribute:
+    """One attribute of a graph relation: a keyed occurrence of a node type.
+
+    ``key`` disambiguates multiple occurrences of the same node type in one
+    pattern (e.g. a self-join on Papers via citations).
+    """
+
+    key: str
+    type_name: str
+
+    def __str__(self) -> str:
+        if self.key == self.type_name:
+            return self.type_name
+        return f"{self.key}:{self.type_name}"
+
+
+class GraphRelation:
+    """An ordered set of tuples of node ids over :class:`GraphAttribute` s."""
+
+    def __init__(
+        self,
+        attributes: Sequence[GraphAttribute],
+        tuples: Iterable[tuple[int, ...]] = (),
+    ) -> None:
+        self.attributes = list(attributes)
+        keys = [attribute.key for attribute in self.attributes]
+        if len(set(keys)) != len(keys):
+            raise TgmError(f"duplicate graph-relation attribute keys in {keys!r}")
+        self.tuples: list[tuple[int, ...]] = list(tuples)
+        for row in self.tuples:
+            if len(row) != len(self.attributes):
+                raise TgmError(
+                    f"tuple arity {len(row)} != attribute arity "
+                    f"{len(self.attributes)}"
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    @property
+    def keys(self) -> list[str]:
+        return [attribute.key for attribute in self.attributes]
+
+    def position(self, key: str) -> int:
+        for index, attribute in enumerate(self.attributes):
+            if attribute.key == key:
+                return index
+        raise TgmError(f"no graph-relation attribute with key {key!r}")
+
+    def attribute(self, key: str) -> GraphAttribute:
+        return self.attributes[self.position(key)]
+
+    def column(self, key: str) -> list[int]:
+        position = self.position(key)
+        return [row[position] for row in self.tuples]
+
+    def distinct_column(self, key: str) -> list[int]:
+        """Distinct node ids of one attribute, first-appearance order."""
+        position = self.position(key)
+        seen: set[int] = set()
+        out: list[int] = []
+        for row in self.tuples:
+            node_id = row[position]
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            out.append(node_id)
+        return out
+
+    def to_table(self, graph: InstanceGraph) -> list[dict[str, Any]]:
+        """Render tuples as label dictionaries (used by Figure 8's bench)."""
+        out: list[dict[str, Any]] = []
+        for row in self.tuples:
+            item: dict[str, Any] = {}
+            for attribute, node_id in zip(self.attributes, row):
+                item[attribute.key] = graph.node(node_id).label(graph.schema)
+            out.append(item)
+        return out
+
+
+# ----------------------------------------------------------------------
+# Algebra operators
+# ----------------------------------------------------------------------
+def base_relation(
+    graph: InstanceGraph, type_name: str, key: str | None = None
+) -> GraphRelation:
+    """The base graph relation of one node type: one single-attribute tuple
+    per node instance."""
+    attribute = GraphAttribute(key or type_name, type_name)
+    tuples = [(node_id,) for node_id in graph.node_ids_of_type(type_name)]
+    return GraphRelation([attribute], tuples)
+
+
+def selection(
+    relation: GraphRelation,
+    key: str,
+    condition: Condition,
+    graph: InstanceGraph,
+) -> GraphRelation:
+    """``σ_Ci(R)``: keep tuples whose ``key`` node satisfies the condition."""
+    position = relation.position(key)
+    kept = [
+        row
+        for row in relation.tuples
+        if condition.matches(graph.node(row[position]), graph)
+    ]
+    return GraphRelation(list(relation.attributes), kept)
+
+
+def join(
+    left: GraphRelation,
+    right: GraphRelation,
+    edge_type_name: str,
+    left_key: str,
+    right_key: str,
+    graph: InstanceGraph,
+) -> GraphRelation:
+    """``R1 *ρ R2``: concatenate tuple pairs connected by a ``ρ`` edge.
+
+    ``left_key``/``right_key`` locate the source and target attributes. The
+    join probes the instance graph's adjacency index from the left side and
+    hashes the right side by its target attribute, so cost is
+    O(|left| · avg-degree + |right|).
+    """
+    edge_type = graph.schema.edge_type(edge_type_name)
+    left_position = left.position(left_key)
+    right_position = right.position(right_key)
+    left_attr = left.attributes[left_position]
+    right_attr = right.attributes[right_position]
+    if left_attr.type_name != edge_type.source:
+        raise TgmError(
+            f"join via {edge_type_name!r}: left attribute {left_key!r} has type "
+            f"{left_attr.type_name!r}, edge expects {edge_type.source!r}"
+        )
+    if right_attr.type_name != edge_type.target:
+        raise TgmError(
+            f"join via {edge_type_name!r}: right attribute {right_key!r} has type "
+            f"{right_attr.type_name!r}, edge expects {edge_type.target!r}"
+        )
+
+    by_target: dict[int, list[tuple[int, ...]]] = {}
+    for row in right.tuples:
+        by_target.setdefault(row[right_position], []).append(row)
+
+    attributes = list(left.attributes) + list(right.attributes)
+    tuples: list[tuple[int, ...]] = []
+    for left_row in left.tuples:
+        source_id = left_row[left_position]
+        for neighbor_id in graph.neighbor_ids(source_id, edge_type_name):
+            for right_row in by_target.get(neighbor_id, ()):
+                tuples.append(left_row + right_row)
+    return GraphRelation(attributes, tuples)
+
+
+def projection(relation: GraphRelation, keys: Sequence[str]) -> GraphRelation:
+    """``Π``: keep only ``keys`` attributes; duplicate tuples are removed."""
+    positions = [relation.position(key) for key in keys]
+    attributes = [relation.attributes[position] for position in positions]
+    seen: set[tuple[int, ...]] = set()
+    tuples: list[tuple[int, ...]] = []
+    for row in relation.tuples:
+        projected = tuple(row[position] for position in positions)
+        if projected in seen:
+            continue
+        seen.add(projected)
+        tuples.append(projected)
+    return GraphRelation(attributes, tuples)

@@ -1,0 +1,227 @@
+"""The TGDB instance graph (Definition 2 of the paper).
+
+Nodes are entities with attribute values; edges are relationships typed by
+the schema graph. The graph maintains adjacency indexes in *both* directions
+of every edge-type twin pair, so a neighbor lookup — the operation behind
+every entity-reference cell in an ETable — is a hash probe plus a list scan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator
+
+from repro.errors import GraphIntegrityError, TgmError, UnknownNodeType
+from repro.tgm.conditions import Condition
+from repro.tgm.schema_graph import EdgeType, NodeType, SchemaGraph
+
+
+@dataclass
+class Node:
+    """One entity instance.
+
+    ``node_id`` is globally unique within the graph. ``source_key`` records
+    the originating relational primary key (or attribute value, for
+    multivalued/categorical nodes), which keeps translation reversible.
+    """
+
+    node_id: int
+    type_name: str
+    attributes: dict[str, Any]
+    source_key: Any = None
+
+    def label(self, schema: SchemaGraph) -> Any:
+        """The display label: ``label(v) = v[βi]`` (Definition 2)."""
+        node_type = schema.node_type(self.type_name)
+        return self.attributes.get(node_type.label_attribute)
+
+    def __hash__(self) -> int:
+        return hash(self.node_id)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Node) and other.node_id == self.node_id
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One relationship instance (stored once, in the forward direction)."""
+
+    type_name: str
+    source_id: int
+    target_id: int
+    attributes: tuple[tuple[str, Any], ...] = ()
+
+
+class InstanceGraph:
+    """A typed instance graph ``GI = (V, E)`` conforming to a schema graph."""
+
+    def __init__(self, schema: SchemaGraph) -> None:
+        self.schema = schema
+        self._nodes: dict[int, Node] = {}
+        self._nodes_by_type: dict[str, list[int]] = {
+            node_type.name: [] for node_type in schema.node_types
+        }
+        self._edges: list[Edge] = []
+        # (node_id, edge_type_name) -> [neighbor node ids]
+        self._adjacency: dict[tuple[int, str], list[int]] = {}
+        # (type_name, source_key) -> node_id, for translation lookups
+        self._by_source_key: dict[tuple[str, Any], int] = {}
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        type_name: str,
+        attributes: dict[str, Any],
+        source_key: Any = None,
+    ) -> Node:
+        node_type = self.schema.node_type(type_name)
+        unknown = set(attributes) - set(node_type.attributes)
+        if unknown:
+            raise GraphIntegrityError(
+                f"node of type {type_name!r} has undeclared attributes "
+                f"{sorted(unknown)!r}"
+            )
+        node = Node(self._next_id, type_name, dict(attributes), source_key)
+        self._next_id += 1
+        self._nodes[node.node_id] = node
+        self._nodes_by_type[type_name].append(node.node_id)
+        if source_key is not None:
+            key = (type_name, source_key)
+            if key in self._by_source_key:
+                raise GraphIntegrityError(
+                    f"duplicate source key {source_key!r} for type {type_name!r}"
+                )
+            self._by_source_key[key] = node.node_id
+        return node
+
+    def add_edge(
+        self,
+        edge_type_name: str,
+        source_id: int,
+        target_id: int,
+        attributes: dict[str, Any] | None = None,
+    ) -> Edge:
+        """Add one edge; adjacency is indexed for the reverse twin too."""
+        edge_type = self.schema.edge_type(edge_type_name)
+        source = self.node(source_id)
+        target = self.node(target_id)
+        if source.type_name != edge_type.source:
+            raise GraphIntegrityError(
+                f"edge {edge_type_name!r} expects source type "
+                f"{edge_type.source!r}, got {source.type_name!r}"
+            )
+        if target.type_name != edge_type.target:
+            raise GraphIntegrityError(
+                f"edge {edge_type_name!r} expects target type "
+                f"{edge_type.target!r}, got {target.type_name!r}"
+            )
+        edge = Edge(
+            edge_type_name,
+            source_id,
+            target_id,
+            tuple(sorted((attributes or {}).items())),
+        )
+        self._edges.append(edge)
+        self._adjacency.setdefault((source_id, edge_type_name), []).append(target_id)
+        if edge_type.reverse_name is not None:
+            self._adjacency.setdefault(
+                (target_id, edge_type.reverse_name), []
+            ).append(source_id)
+        return edge
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def node(self, node_id: int) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise TgmError(f"no node with id {node_id}") from None
+
+    def has_node(self, node_id: int) -> bool:
+        return node_id in self._nodes
+
+    def node_by_source_key(self, type_name: str, source_key: Any) -> Node:
+        """Find the node translated from a given relational key (or value)."""
+        node_id = self._by_source_key.get((type_name, source_key))
+        if node_id is None:
+            raise TgmError(
+                f"no node of type {type_name!r} with source key {source_key!r}"
+            )
+        return self._nodes[node_id]
+
+    def nodes_of_type(self, type_name: str) -> list[Node]:
+        if type_name not in self._nodes_by_type:
+            raise UnknownNodeType(f"no node type named {type_name!r}")
+        return [self._nodes[node_id] for node_id in self._nodes_by_type[type_name]]
+
+    def node_ids_of_type(self, type_name: str) -> list[int]:
+        if type_name not in self._nodes_by_type:
+            raise UnknownNodeType(f"no node type named {type_name!r}")
+        return list(self._nodes_by_type[type_name])
+
+    def neighbors(self, node_id: int, edge_type_name: str) -> list[Node]:
+        """Direct neighbors along one edge type — the quick neighbor-lookup
+        the paper highlights for entity-reference cells."""
+        self.schema.edge_type(edge_type_name)
+        ids = self._adjacency.get((node_id, edge_type_name), [])
+        return [self._nodes[neighbor_id] for neighbor_id in ids]
+
+    def neighbor_ids(self, node_id: int, edge_type_name: str) -> list[int]:
+        return list(self._adjacency.get((node_id, edge_type_name), []))
+
+    def degree(self, node_id: int, edge_type_name: str) -> int:
+        return len(self._adjacency.get((node_id, edge_type_name), []))
+
+    def find_nodes(
+        self, type_name: str, condition: Condition | None = None
+    ) -> list[Node]:
+        """All nodes of a type, optionally filtered by a condition."""
+        nodes = self.nodes_of_type(type_name)
+        if condition is None:
+            return nodes
+        return [node for node in nodes if condition.matches(node, self)]
+
+    def find_by_label(self, type_name: str, label: Any) -> Node | None:
+        """First node of ``type_name`` whose label equals ``label``."""
+        label_attr = self.schema.node_type(type_name).label_attribute
+        for node in self.nodes_of_type(type_name):
+            if node.attributes.get(label_attr) == label:
+                return node
+        return None
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def edge_count(self) -> int:
+        return len(self._edges)
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges)
+
+    def type_counts(self) -> dict[str, int]:
+        return {
+            type_name: len(ids) for type_name, ids in self._nodes_by_type.items()
+        }
+
+    def to_ascii(self, max_nodes_per_type: int = 3) -> str:
+        """A compact excerpt rendering in the spirit of Figure 5."""
+        lines = [f"Instance graph over schema '{self.schema.name}'"]
+        for type_name, ids in self._nodes_by_type.items():
+            count = len(ids)
+            sample = ", ".join(
+                str(self._nodes[node_id].label(self.schema))
+                for node_id in ids[:max_nodes_per_type]
+            )
+            suffix = ", ..." if count > max_nodes_per_type else ""
+            lines.append(f"  {type_name} ({count}): {sample}{suffix}")
+        lines.append(f"  edges: {self.edge_count}")
+        return "\n".join(lines)

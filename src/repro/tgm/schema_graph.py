@@ -1,0 +1,267 @@
+"""The TGDB schema graph (Definition 1 of the paper).
+
+A schema graph ``GS = (T, P)`` holds node types (entity types) and edge types
+(relationship types). Each node type ``τ = (α, A, β)`` has a name, a set of
+single-valued attributes, and a *label attribute* used to display node
+instances (the hyperlink text of entity references). Edge types are directed;
+every non-self-loop edge type has a *reverse twin* so relationships can be
+browsed from both ends (Appendix A, step 2 of the FK translation).
+
+Node and edge types carry a :class:`TypeCategory` recording *how* they were
+derived from the relational schema — the paper's Table 1 taxonomy — which the
+Table 1 bench reproduces directly from these tags.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import SchemaError, TgmError, UnknownEdgeType, UnknownNodeType
+
+
+class NodeTypeCategory(enum.Enum):
+    """How a node type was derived from the relational schema (Table 1)."""
+
+    ENTITY = "entity table"
+    MULTIVALUED_ATTRIBUTE = "multi-valued attribute"
+    CATEGORICAL_ATTRIBUTE = "single-valued categorical attribute"
+
+
+class EdgeTypeCategory(enum.Enum):
+    """How an edge type was derived from the relational schema (Table 1)."""
+
+    ONE_TO_MANY = "one-to-many relationship"
+    MANY_TO_MANY = "many-to-many relationship"
+    MULTIVALUED_ATTRIBUTE = "multi-valued attribute"
+    CATEGORICAL_ATTRIBUTE = "single-valued categorical attribute"
+
+
+@dataclass(frozen=True)
+class NodeType:
+    """A node (entity) type: ``τi = (αi, Ai, βi)``."""
+
+    name: str
+    attributes: tuple[str, ...]
+    label_attribute: str
+    category: NodeTypeCategory = NodeTypeCategory.ENTITY
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("node type needs a non-empty name")
+        if self.label_attribute not in self.attributes:
+            raise SchemaError(
+                f"label attribute {self.label_attribute!r} is not an attribute "
+                f"of node type {self.name!r}"
+            )
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class EdgeType:
+    """A directed edge (relationship) type with an optional reverse twin.
+
+    ``name`` is unique within the schema graph. ``display_name`` is what the
+    UI shows as a column header (usually the target type's name, possibly
+    disambiguated, e.g. ``Papers (referenced)``).
+    """
+
+    name: str
+    source: str
+    target: str
+    display_name: str
+    category: EdgeTypeCategory
+    reverse_name: str | None = None
+    attributes: tuple[str, ...] = ()
+
+    @property
+    def is_self_loop(self) -> bool:
+        return self.source == self.target
+
+
+class SchemaGraph:
+    """A typed-graph-database schema: node types plus directed edge types."""
+
+    def __init__(self, name: str = "tgdb") -> None:
+        self.name = name
+        self._node_types: dict[str, NodeType] = {}
+        self._edge_types: dict[str, EdgeType] = {}
+        # source node type -> [edge type names], insertion-ordered
+        self._edges_from: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node_type(self, node_type: NodeType) -> NodeType:
+        if node_type.name in self._node_types:
+            raise SchemaError(f"duplicate node type {node_type.name!r}")
+        self._node_types[node_type.name] = node_type
+        self._edges_from.setdefault(node_type.name, [])
+        return node_type
+
+    def add_edge_type(
+        self,
+        name: str,
+        source: str,
+        target: str,
+        category: EdgeTypeCategory,
+        display_name: str | None = None,
+        attributes: tuple[str, ...] = (),
+    ) -> EdgeType:
+        """Register one directed edge type (no reverse twin is created)."""
+        if name in self._edge_types:
+            raise SchemaError(f"duplicate edge type {name!r}")
+        for endpoint in (source, target):
+            if endpoint not in self._node_types:
+                raise UnknownNodeType(
+                    f"edge type {name!r} references unknown node type {endpoint!r}"
+                )
+        edge_type = EdgeType(
+            name=name,
+            source=source,
+            target=target,
+            display_name=display_name or name,
+            category=category,
+            attributes=attributes,
+        )
+        self._edge_types[name] = edge_type
+        self._edges_from[source].append(name)
+        return edge_type
+
+    def add_edge_type_pair(
+        self,
+        forward_name: str,
+        reverse_name: str,
+        source: str,
+        target: str,
+        category: EdgeTypeCategory,
+        forward_display: str | None = None,
+        reverse_display: str | None = None,
+        attributes: tuple[str, ...] = (),
+    ) -> tuple[EdgeType, EdgeType]:
+        """Register a forward/reverse twin pair (Appendix A translation step 2).
+
+        Both directions are materialized even for self-loops (citations need
+        distinct "referenced" and "referencing" directions).
+        """
+        forward = self.add_edge_type(
+            forward_name, source, target, category, forward_display, attributes
+        )
+        reverse = self.add_edge_type(
+            reverse_name, target, source, category, reverse_display, attributes
+        )
+        self._edge_types[forward_name] = EdgeType(
+            name=forward.name,
+            source=forward.source,
+            target=forward.target,
+            display_name=forward.display_name,
+            category=forward.category,
+            reverse_name=reverse_name,
+            attributes=attributes,
+        )
+        self._edge_types[reverse_name] = EdgeType(
+            name=reverse.name,
+            source=reverse.source,
+            target=reverse.target,
+            display_name=reverse.display_name,
+            category=reverse.category,
+            reverse_name=forward_name,
+            attributes=attributes,
+        )
+        return self._edge_types[forward_name], self._edge_types[reverse_name]
+
+    def unique_edge_name(self, base: str) -> str:
+        """A name not yet taken, derived from ``base`` ("slightly different
+        label" rule of Appendix A)."""
+        if base not in self._edge_types:
+            return base
+        counter = 2
+        while f"{base} #{counter}" in self._edge_types:
+            counter += 1
+        return f"{base} #{counter}"
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    @property
+    def node_types(self) -> list[NodeType]:
+        return list(self._node_types.values())
+
+    @property
+    def edge_types(self) -> list[EdgeType]:
+        return list(self._edge_types.values())
+
+    @property
+    def entity_types(self) -> list[NodeType]:
+        """Node types shown in the default table list of the UI (Section 6)."""
+        return [
+            node_type
+            for node_type in self._node_types.values()
+            if node_type.category is NodeTypeCategory.ENTITY
+        ]
+
+    def node_type(self, name: str) -> NodeType:
+        try:
+            return self._node_types[name]
+        except KeyError:
+            raise UnknownNodeType(f"no node type named {name!r}") from None
+
+    def has_node_type(self, name: str) -> bool:
+        return name in self._node_types
+
+    def edge_type(self, name: str) -> EdgeType:
+        try:
+            return self._edge_types[name]
+        except KeyError:
+            raise UnknownEdgeType(f"no edge type named {name!r}") from None
+
+    def has_edge_type(self, name: str) -> bool:
+        return name in self._edge_types
+
+    def edges_from(self, node_type_name: str) -> list[EdgeType]:
+        """Edge types whose source is ``node_type_name``, in creation order.
+
+        These are exactly the *neighbor node columns* (Ah) that an ETable
+        with this primary node type exposes (Section 5.4.2)."""
+        if node_type_name not in self._node_types:
+            raise UnknownNodeType(f"no node type named {node_type_name!r}")
+        return [self._edge_types[name] for name in self._edges_from[node_type_name]]
+
+    def edges_between(self, source: str, target: str) -> list[EdgeType]:
+        return [
+            edge_type
+            for edge_type in self._edge_types.values()
+            if edge_type.source == source and edge_type.target == target
+        ]
+
+    def reverse_of(self, edge_type_name: str) -> EdgeType:
+        edge_type = self.edge_type(edge_type_name)
+        if edge_type.reverse_name is None:
+            raise TgmError(f"edge type {edge_type_name!r} has no reverse twin")
+        return self.edge_type(edge_type.reverse_name)
+
+    # ------------------------------------------------------------------
+    # Rendering (Figure 4)
+    # ------------------------------------------------------------------
+    def to_ascii(self) -> str:
+        """A textual rendering of the schema graph, one edge per line."""
+        lines = [f"Schema graph '{self.name}'", "Node types:"]
+        for node_type in self._node_types.values():
+            label = f"  [{node_type.name}]"
+            if node_type.category is not NodeTypeCategory.ENTITY:
+                label += f"  ({node_type.category.value})"
+            lines.append(label)
+        lines.append("Edge types (forward direction of each twin pair):")
+        seen_reverse: set[str] = set()
+        for edge_type in self._edge_types.values():
+            if edge_type.name in seen_reverse:
+                continue
+            if edge_type.reverse_name is not None:
+                seen_reverse.add(edge_type.reverse_name)
+            lines.append(
+                f"  [{edge_type.source}] --{edge_type.display_name}--> "
+                f"[{edge_type.target}]"
+            )
+        return "\n".join(lines)

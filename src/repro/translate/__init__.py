@@ -1,0 +1,43 @@
+"""Reverse engineering of relational databases into typed graphs (Appendix A).
+
+The translation is near-automatic: relations are classified by key analysis
+(Table 1 of the paper), entity relations become node types, foreign keys and
+relationship relations become bidirectional edge-type pairs, multivalued
+attributes become value node types, and users may opt low-cardinality
+columns into categorical-attribute node types.
+"""
+
+from repro.translate.classify import (
+    ClassifiedRelation,
+    RelationClass,
+    classify_database,
+)
+from repro.translate.instance_translator import (
+    TgdbTranslation,
+    translate_database,
+    translate_instances,
+)
+from repro.translate.labels import choose_label_attribute, is_categorical_candidate
+from repro.translate.schema_translator import (
+    EdgeMapping,
+    NodeMapping,
+    TranslationMap,
+    default_categorical_attributes,
+    translate_schema,
+)
+
+__all__ = [
+    "ClassifiedRelation",
+    "EdgeMapping",
+    "NodeMapping",
+    "RelationClass",
+    "TgdbTranslation",
+    "TranslationMap",
+    "choose_label_attribute",
+    "classify_database",
+    "default_categorical_attributes",
+    "is_categorical_candidate",
+    "translate_database",
+    "translate_instances",
+    "translate_schema",
+]

@@ -1,0 +1,140 @@
+"""Relation classification for reverse engineering (Appendix A, Table 1).
+
+Every relation in the source database is classified into one of three
+categories by analysing its primary key and foreign keys:
+
+* **entity relation** — the primary key contains no foreign-key column;
+  becomes a node type.
+* **relationship relation** (many-to-many) — the primary key is a composite
+  of two foreign keys onto entity relations; becomes an edge-type pair.
+* **multivalued-attribute relation** — exactly two columns forming the
+  primary key, the first a foreign key onto an entity relation, the second a
+  plain value; becomes a value node type plus an edge-type pair.
+
+The procedure enforces the paper's stated assumptions (BCNF/3NF input,
+binary relationships only, relationship relations made of foreign keys) and
+raises :class:`TranslationError` when a schema falls outside them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import TranslationError
+from repro.relational.database import Database
+from repro.relational.schema import ForeignKey, TableSchema
+
+
+class RelationClass(enum.Enum):
+    ENTITY = "entity"
+    MANY_TO_MANY = "many-to-many relationship"
+    MULTIVALUED = "multivalued attribute"
+
+
+@dataclass(frozen=True)
+class ClassifiedRelation:
+    """One relation plus the evidence used to classify it."""
+
+    table: str
+    relation_class: RelationClass
+    # ENTITY: foreign keys to other entity relations (one-to-many links).
+    # MANY_TO_MANY: exactly the two participating foreign keys, in PK order.
+    # MULTIVALUED: the single owner foreign key.
+    foreign_keys: tuple[ForeignKey, ...]
+    # MULTIVALUED only: the value column name.
+    value_column: str | None = None
+
+
+def classify_database(database: Database) -> dict[str, ClassifiedRelation]:
+    """Classify every table; the result drives schema translation."""
+    classified: dict[str, ClassifiedRelation] = {}
+    schemas = {name: database.table(name).schema for name in database.table_names}
+    entity_names = {
+        name for name, schema in schemas.items() if _is_entity(schema)
+    }
+    for name, schema in schemas.items():
+        classified[name] = _classify_one(schema, entity_names, schemas)
+    return classified
+
+
+def _is_entity(schema: TableSchema) -> bool:
+    """Entity relation: primary key contains no foreign-key column."""
+    if not schema.primary_key:
+        return False
+    fk_columns = schema.foreign_key_columns()
+    return not any(column in fk_columns for column in schema.primary_key)
+
+
+def _classify_one(
+    schema: TableSchema,
+    entity_names: set[str],
+    schemas: dict[str, TableSchema],
+) -> ClassifiedRelation:
+    if not schema.primary_key:
+        raise TranslationError(
+            f"relation {schema.name!r} has no primary key; the Appendix A "
+            "procedure requires keyed relations"
+        )
+    if _is_entity(schema):
+        one_to_many = tuple(
+            fk
+            for fk in schema.foreign_keys
+            if fk.ref_table in entity_names
+        )
+        dangling = [fk for fk in schema.foreign_keys if fk.ref_table not in entity_names]
+        if dangling:
+            raise TranslationError(
+                f"entity relation {schema.name!r} has a foreign key onto "
+                f"non-entity relation {dangling[0].ref_table!r}"
+            )
+        return ClassifiedRelation(schema.name, RelationClass.ENTITY, one_to_many)
+
+    # Primary key involves foreign keys: relationship or multivalued.
+    pk = schema.primary_key
+    pk_fks = [
+        fk for fk in schema.foreign_keys if all(col in pk for col in fk.columns)
+    ]
+    if len(pk) == 2 and len(pk_fks) == 2:
+        ordered = sorted(pk_fks, key=lambda fk: pk.index(fk.columns[0]))
+        for fk in ordered:
+            if fk.ref_table not in entity_names:
+                raise TranslationError(
+                    f"relationship relation {schema.name!r} references "
+                    f"non-entity relation {fk.ref_table!r}"
+                )
+        return ClassifiedRelation(
+            schema.name, RelationClass.MANY_TO_MANY, tuple(ordered)
+        )
+    if len(pk) == 2 and len(pk_fks) == 1:
+        if len(schema.columns) != 2:
+            raise TranslationError(
+                f"multivalued-attribute relation {schema.name!r} must have "
+                f"exactly two columns, found {len(schema.columns)}"
+            )
+        owner_fk = pk_fks[0]
+        if owner_fk.ref_table not in entity_names:
+            raise TranslationError(
+                f"multivalued-attribute relation {schema.name!r} must "
+                f"reference an entity relation"
+            )
+        value_column = next(
+            column.name
+            for column in schema.columns
+            if column.name not in owner_fk.columns
+        )
+        return ClassifiedRelation(
+            schema.name,
+            RelationClass.MULTIVALUED,
+            (owner_fk,),
+            value_column=value_column,
+        )
+    if len(pk) > 2 and len(pk_fks) > 2:
+        raise TranslationError(
+            f"relation {schema.name!r} looks like a ternary (or higher) "
+            "relationship; the paper assumes binary relationships only"
+        )
+    raise TranslationError(
+        f"cannot classify relation {schema.name!r}: primary key {pk!r} with "
+        f"{len(pk_fks)} embedded foreign keys fits no Appendix A category"
+    )

@@ -1,0 +1,183 @@
+"""Relational instances → TGDB instance graph (Appendix A, final step).
+
+"Once the schema is translated, it is straightforward to create the
+corresponding TGDB instance graph": every entity row becomes a node, every
+foreign-key value and junction row becomes an edge, every distinct
+multivalued/categorical value becomes a value node linked to its owners.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import TranslationError
+from repro.relational.database import Database
+from repro.tgm.instance_graph import InstanceGraph
+from repro.tgm.schema_graph import SchemaGraph
+from repro.translate.schema_translator import (
+    TranslationMap,
+    translate_schema,
+)
+
+
+def translate_instances(
+    database: Database,
+    schema: SchemaGraph,
+    mapping: TranslationMap,
+) -> InstanceGraph:
+    """Populate an instance graph from the database, following ``mapping``."""
+    graph = InstanceGraph(schema)
+
+    # Entity nodes first (everything else references them).
+    for node_type_name, node_mapping in mapping.nodes.items():
+        if node_mapping.category.name != "ENTITY":
+            continue
+        table = database.table(node_mapping.table)
+        names = table.schema.column_names
+        pk_positions = [
+            table.schema.column_index(col) for col in table.schema.primary_key
+        ]
+        for row in table.rows:
+            key_parts = tuple(row[position] for position in pk_positions)
+            source_key = key_parts[0] if len(key_parts) == 1 else key_parts
+            graph.add_node(node_type_name, dict(zip(names, row)), source_key)
+
+    # Multivalued / categorical value nodes.
+    for node_type_name, node_mapping in mapping.nodes.items():
+        if node_mapping.category.name == "ENTITY":
+            continue
+        table = database.table(node_mapping.table)
+        for value in table.distinct_values(node_mapping.key_column):
+            graph.add_node(
+                node_type_name, {node_mapping.key_column: value}, source_key=value
+            )
+
+    # Edges. Only forward edge types are materialized: the instance graph
+    # indexes adjacency for the reverse twin automatically.
+    for edge_name, edge_mapping in mapping.edges.items():
+        kind = edge_mapping.kind
+        data = edge_mapping.data
+        if kind == "fk_forward":
+            _translate_fk_edges(database, graph, edge_name, data, mapping)
+        elif kind == "mn_forward":
+            _translate_mn_edges(database, graph, edge_name, data, mapping)
+        elif kind == "mv_forward":
+            _translate_mv_edges(database, graph, edge_name, data, mapping)
+        elif kind == "cat_forward":
+            _translate_cat_edges(database, graph, edge_name, data, mapping)
+    return graph
+
+
+def _translate_fk_edges(
+    database: Database,
+    graph: InstanceGraph,
+    edge_name: str,
+    data: dict[str, str],
+    mapping: TranslationMap,
+) -> None:
+    owner_type = mapping.node_for_table(data["owner_table"])
+    ref_type = mapping.node_for_table(data["ref_table"])
+    table = database.table(data["owner_table"])
+    fk_position = table.schema.column_index(data["fk_column"])
+    pk_position = table.schema.column_index(data["owner_pk"])
+    for row in table.rows:
+        fk_value = row[fk_position]
+        if fk_value is None:
+            continue
+        source = graph.node_by_source_key(owner_type, row[pk_position])
+        target = graph.node_by_source_key(ref_type, fk_value)
+        graph.add_edge(edge_name, source.node_id, target.node_id)
+
+
+def _translate_mn_edges(
+    database: Database,
+    graph: InstanceGraph,
+    edge_name: str,
+    data: dict[str, str],
+    mapping: TranslationMap,
+) -> None:
+    source_type = mapping.node_for_table(data["source_table"])
+    target_type = mapping.node_for_table(data["target_table"])
+    table = database.table(data["junction_table"])
+    source_position = table.schema.column_index(data["source_fk"])
+    target_position = table.schema.column_index(data["target_fk"])
+    extra_positions = [
+        (column.name, table.schema.column_index(column.name))
+        for column in table.schema.columns
+        if column.name not in (data["source_fk"], data["target_fk"])
+    ]
+    for row in table.rows:
+        source = graph.node_by_source_key(source_type, row[source_position])
+        target = graph.node_by_source_key(target_type, row[target_position])
+        attributes = {name: row[position] for name, position in extra_positions}
+        graph.add_edge(edge_name, source.node_id, target.node_id, attributes)
+
+
+def _translate_mv_edges(
+    database: Database,
+    graph: InstanceGraph,
+    edge_name: str,
+    data: dict[str, str],
+    mapping: TranslationMap,
+) -> None:
+    owner_type = mapping.node_for_table(data["owner_table"])
+    value_type = f"{data['attr_table']}: {data['value_column']}"
+    table = database.table(data["attr_table"])
+    owner_position = table.schema.column_index(data["owner_fk"])
+    value_position = table.schema.column_index(data["value_column"])
+    for row in table.rows:
+        value = row[value_position]
+        if value is None:
+            continue
+        source = graph.node_by_source_key(owner_type, row[owner_position])
+        target = graph.node_by_source_key(value_type, value)
+        graph.add_edge(edge_name, source.node_id, target.node_id)
+
+
+def _translate_cat_edges(
+    database: Database,
+    graph: InstanceGraph,
+    edge_name: str,
+    data: dict[str, str],
+    mapping: TranslationMap,
+) -> None:
+    owner_type = mapping.node_for_table(data["owner_table"])
+    value_type = f"{data['owner_table']}: {data['column']}"
+    table = database.table(data["owner_table"])
+    pk_position = table.schema.column_index(data["owner_pk"])
+    value_position = table.schema.column_index(data["column"])
+    for row in table.rows:
+        value = row[value_position]
+        if value is None:
+            continue
+        source = graph.node_by_source_key(owner_type, row[pk_position])
+        target = graph.node_by_source_key(value_type, value)
+        graph.add_edge(edge_name, source.node_id, target.node_id)
+
+
+@dataclass
+class TgdbTranslation:
+    """The full output of translating one relational database."""
+
+    database: Database
+    schema: SchemaGraph
+    graph: InstanceGraph
+    mapping: TranslationMap
+
+
+def translate_database(
+    database: Database,
+    categorical_attributes: dict[str, list[str]] | None = None,
+    label_overrides: dict[str, str] | None = None,
+    graph_name: str | None = None,
+) -> TgdbTranslation:
+    """One-call translation: schema graph + instance graph + mapping."""
+    schema, mapping = translate_schema(
+        database,
+        categorical_attributes=categorical_attributes,
+        label_overrides=label_overrides,
+        graph_name=graph_name,
+    )
+    graph = translate_instances(database, schema, mapping)
+    return TgdbTranslation(database, schema, graph, mapping)

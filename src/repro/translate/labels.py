@@ -1,0 +1,80 @@
+"""Label-attribute selection heuristics (Appendix A).
+
+The label attribute is the one shown as the clickable text of an entity
+reference. The paper determines it "based on a combination of heuristics,
+such as data type (e.g., text generally more interpretable than numbers) and
+cardinality", with a manual override always available. We score candidate
+columns and pick the best; the scoring is deterministic so translations are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from repro.relational.datatypes import DataType
+from repro.relational.table import Table
+
+# Column names that strongly suggest a human-readable label, best first.
+_PREFERRED_NAMES = (
+    "name", "title", "label", "acronym", "short", "username", "full_name",
+)
+
+
+def choose_label_attribute(table: Table, override: str | None = None) -> str:
+    """Pick the label attribute for the node type translated from ``table``.
+
+    Scoring (higher wins): preferred name > TEXT type > non-key > high
+    distinctness. Ties break on column order. ``override`` wins outright
+    (the user-picked label of Appendix A).
+    """
+    schema = table.schema
+    if override is not None:
+        schema.column(override)  # validates the override exists
+        return override
+
+    best_name: str | None = None
+    best_score: tuple[int, int, int, float, int] | None = None
+    fk_columns = schema.foreign_key_columns()
+    for position, column in enumerate(schema.columns):
+        name_rank = 0
+        lowered = column.name.lower()
+        for rank, preferred in enumerate(_PREFERRED_NAMES):
+            if lowered == preferred:
+                name_rank = len(_PREFERRED_NAMES) - rank
+                break
+        is_text = 1 if column.dtype is DataType.TEXT else 0
+        is_plain = 0 if (column.name in schema.primary_key
+                         or column.name in fk_columns) else 1
+        distinctness = _distinctness(table, column.name)
+        score = (name_rank, is_text, is_plain, distinctness, -position)
+        if best_score is None or score > best_score:
+            best_score = score
+            best_name = column.name
+    assert best_name is not None  # schema guarantees >= 1 column
+    return best_name
+
+
+def _distinctness(table: Table, column: str) -> float:
+    """Fraction of distinct non-null values; 0 for an empty table."""
+    if not table.rows:
+        return 0.0
+    values = table.column_values(column)
+    present = [value for value in values if value is not None]
+    if not present:
+        return 0.0
+    return len(set(present)) / len(table.rows)
+
+
+def is_categorical_candidate(
+    table: Table, column: str, max_cardinality: int = 30
+) -> bool:
+    """The Appendix A rule of thumb: low-cardinality attributes (< ~30
+    distinct values) are good categorical-attribute candidates."""
+    schema = table.schema
+    if column in schema.primary_key or column in schema.foreign_key_columns():
+        return False
+    if not table.rows:
+        return False
+    distinct = {
+        value for value in table.column_values(column) if value is not None
+    }
+    return 0 < len(distinct) <= max_cardinality

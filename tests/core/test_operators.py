@@ -1,0 +1,104 @@
+"""Unit tests for the primitive operators (Section 5.3)."""
+
+import pytest
+
+from repro.errors import InvalidOperator
+from repro.tgm.conditions import AttributeCompare
+from repro.core.operators import add, initiate, select, shift
+
+
+class TestInitiate:
+    def test_single_node(self, academic):
+        pattern = initiate(academic.schema, "Conferences")
+        assert pattern.primary_key == "Conferences"
+        assert len(pattern.nodes) == 1 and len(pattern.edges) == 0
+
+
+class TestSelect:
+    def test_applies_to_primary(self, academic):
+        pattern = initiate(academic.schema, "Papers")
+        pattern = select(pattern, AttributeCompare("year", ">", 2005))
+        assert len(pattern.primary.conditions) == 1
+
+    def test_conjoins_by_default(self, academic):
+        pattern = initiate(academic.schema, "Papers")
+        pattern = select(pattern, AttributeCompare("year", ">", 2005))
+        pattern = select(pattern, AttributeCompare("year", "<", 2010))
+        assert len(pattern.primary.conditions) == 2
+
+    def test_replace_mode(self, academic):
+        pattern = initiate(academic.schema, "Papers")
+        pattern = select(pattern, AttributeCompare("year", ">", 2005))
+        pattern = select(
+            pattern, AttributeCompare("year", "<", 2010), replace_existing=True
+        )
+        assert len(pattern.primary.conditions) == 1
+
+    def test_accepts_iterables(self, academic):
+        pattern = initiate(academic.schema, "Papers")
+        pattern = select(
+            pattern,
+            [AttributeCompare("year", ">", 2005),
+             AttributeCompare("year", "<", 2010)],
+        )
+        assert len(pattern.primary.conditions) == 2
+
+    def test_applies_to_current_primary_after_add(self, academic):
+        pattern = initiate(academic.schema, "Conferences")
+        pattern = add(pattern, academic.schema, "Conferences->Papers")
+        pattern = select(pattern, AttributeCompare("year", ">", 2005))
+        assert pattern.node("Conferences").conditions == ()
+        assert len(pattern.node("Papers").conditions) == 1
+
+
+class TestAdd:
+    def test_shifts_primary_to_target(self, academic):
+        pattern = initiate(academic.schema, "Conferences")
+        pattern = add(pattern, academic.schema, "Conferences->Papers")
+        assert pattern.primary.type_name == "Papers"
+        assert len(pattern.edges) == 1
+
+    def test_requires_edge_from_primary(self, academic):
+        pattern = initiate(academic.schema, "Conferences")
+        with pytest.raises(InvalidOperator):
+            add(pattern, academic.schema, "Papers->Authors")
+
+    def test_self_join_gets_fresh_key(self, academic):
+        pattern = initiate(academic.schema, "Papers")
+        pattern = add(pattern, academic.schema, "Papers->Papers (referenced)")
+        assert pattern.primary_key == "Papers#2"
+        assert pattern.primary.type_name == "Papers"
+        pattern.validate(academic.schema)
+
+    def test_figure7_sequence(self, academic):
+        """P1..P8 from Figure 7, via operators only."""
+        schema = academic.schema
+        pattern = initiate(schema, "Conferences")                       # P1
+        pattern = select(pattern, AttributeCompare("acronym", "=", "SIGMOD"))  # P2
+        pattern = add(pattern, schema, "Conferences->Papers")           # P3
+        pattern = select(pattern, AttributeCompare("year", ">", 2005))  # P4
+        pattern = add(pattern, schema, "Papers->Authors")               # P5
+        pattern = add(pattern, schema, "Authors->Institutions")         # P6
+        pattern = select(
+            pattern, AttributeCompare("country", "=", "South Korea")
+        )                                                               # P7
+        pattern = shift(pattern, "Authors")                             # P8
+        pattern.validate(schema)
+        assert pattern.primary.type_name == "Authors"
+        assert len(pattern.nodes) == 4 and len(pattern.edges) == 3
+        assert len(pattern.node("Institutions").conditions) == 1
+
+
+class TestShift:
+    def test_changes_primary_only(self, academic):
+        pattern = initiate(academic.schema, "Conferences")
+        pattern = add(pattern, academic.schema, "Conferences->Papers")
+        shifted = shift(pattern, "Conferences")
+        assert shifted.primary_key == "Conferences"
+        assert shifted.nodes == pattern.nodes
+        assert shifted.edges == pattern.edges
+
+    def test_unknown_node_rejected(self, academic):
+        pattern = initiate(academic.schema, "Conferences")
+        with pytest.raises(InvalidOperator):
+            shift(pattern, "Authors")

@@ -1,0 +1,178 @@
+"""Unit tests for query patterns (Definition 3)."""
+
+import pytest
+
+from repro.errors import InvalidQueryPattern
+from repro.tgm.conditions import AttributeCompare
+from repro.core.query_pattern import (
+    PatternEdge,
+    PatternNode,
+    QueryPattern,
+    single_node_pattern,
+)
+
+
+def korea_pattern(academic) -> QueryPattern:
+    """The Figure 6 pattern, built directly."""
+    nodes = (
+        PatternNode("Conferences", "Conferences",
+                    (AttributeCompare("acronym", "=", "SIGMOD"),)),
+        PatternNode("Papers", "Papers",
+                    (AttributeCompare("year", ">", 2005),)),
+        PatternNode("Authors", "Authors"),
+        PatternNode("Institutions", "Institutions",
+                    (AttributeCompare("country", "=", "South Korea"),)),
+    )
+    edges = (
+        PatternEdge("Conferences->Papers", "Conferences", "Papers"),
+        PatternEdge("Papers->Authors", "Papers", "Authors"),
+        PatternEdge("Authors->Institutions", "Authors", "Institutions"),
+    )
+    return QueryPattern(primary_key="Authors", nodes=nodes, edges=edges)
+
+
+class TestStructure:
+    def test_single_node(self, academic):
+        pattern = single_node_pattern(academic.schema, "Papers")
+        assert pattern.primary.type_name == "Papers"
+        assert pattern.participating_keys == []
+        pattern.validate(academic.schema)
+
+    def test_unknown_type_rejected(self, academic):
+        with pytest.raises(Exception):
+            single_node_pattern(academic.schema, "Missing")
+
+    def test_valid_tree(self, academic):
+        pattern = korea_pattern(academic)
+        pattern.validate(academic.schema)
+        assert pattern.participating_keys == [
+            "Conferences", "Papers", "Institutions"
+        ]
+
+    def test_duplicate_keys_rejected(self, academic):
+        pattern = QueryPattern(
+            "A", (PatternNode("A", "Papers"), PatternNode("A", "Papers"))
+        )
+        with pytest.raises(InvalidQueryPattern):
+            pattern.validate(academic.schema)
+
+    def test_primary_must_exist(self, academic):
+        pattern = QueryPattern("Nope", (PatternNode("A", "Papers"),))
+        with pytest.raises(InvalidQueryPattern):
+            pattern.validate(academic.schema)
+
+    def test_edge_type_endpoints_validated(self, academic):
+        pattern = QueryPattern(
+            "Papers",
+            (PatternNode("Papers", "Papers"), PatternNode("C", "Conferences")),
+            (PatternEdge("Papers->Authors", "Papers", "C"),),
+        )
+        with pytest.raises(InvalidQueryPattern):
+            pattern.validate(academic.schema)
+
+    def test_disconnected_rejected(self, academic):
+        pattern = QueryPattern(
+            "Papers",
+            (PatternNode("Papers", "Papers"), PatternNode("C", "Conferences")),
+            (),
+        )
+        with pytest.raises(InvalidQueryPattern):
+            pattern.validate(academic.schema)
+
+    def test_cycle_rejected(self, academic):
+        nodes = (
+            PatternNode("Papers", "Papers"),
+            PatternNode("Authors", "Authors"),
+        )
+        edges = (
+            PatternEdge("Papers->Authors", "Papers", "Authors"),
+            PatternEdge("Authors->Papers", "Authors", "Papers"),
+        )
+        pattern = QueryPattern("Papers", nodes, edges)
+        with pytest.raises(InvalidQueryPattern):
+            pattern.validate(academic.schema)
+
+    def test_fresh_key_numbering(self, academic):
+        pattern = single_node_pattern(academic.schema, "Papers")
+        assert pattern.fresh_key("Papers") == "Papers#2"
+        assert pattern.fresh_key("Authors") == "Authors"
+
+
+class TestFunctionalUpdates:
+    def test_with_conditions_conjoins(self, academic):
+        pattern = single_node_pattern(academic.schema, "Papers")
+        updated = pattern.with_conditions(
+            "Papers", [AttributeCompare("year", ">", 2005)]
+        )
+        assert len(updated.node("Papers").conditions) == 1
+        assert pattern.node("Papers").conditions == ()  # original untouched
+
+    def test_with_conditions_replace(self, academic):
+        pattern = single_node_pattern(academic.schema, "Papers")
+        pattern = pattern.with_conditions(
+            "Papers", [AttributeCompare("year", ">", 2005)]
+        )
+        replaced = pattern.with_conditions(
+            "Papers", [AttributeCompare("year", "<", 2000)],
+            replace_existing=True,
+        )
+        assert len(replaced.node("Papers").conditions) == 1
+        assert replaced.node("Papers").conditions[0].value == 2000
+
+    def test_with_conditions_unknown_key(self, academic):
+        pattern = single_node_pattern(academic.schema, "Papers")
+        with pytest.raises(InvalidQueryPattern):
+            pattern.with_conditions("Nope", [])
+
+    def test_with_node_rejects_duplicate_key(self, academic):
+        pattern = single_node_pattern(academic.schema, "Papers")
+        with pytest.raises(InvalidQueryPattern):
+            pattern.with_node(
+                PatternNode("Papers", "Papers"),
+                PatternEdge("Papers->Papers (referenced)", "Papers", "Papers"),
+            )
+
+    def test_with_primary(self, academic):
+        pattern = korea_pattern(academic)
+        shifted = pattern.with_primary("Papers")
+        assert shifted.primary_key == "Papers"
+        assert pattern.primary_key == "Authors"
+
+
+class TestTraversal:
+    def test_traversal_order_starts_at_primary(self, academic):
+        pattern = korea_pattern(academic)
+        order = pattern.traversal_order()
+        assert order[0] == ("Authors", None)
+        visited = [key for key, _ in order]
+        assert set(visited) == {
+            "Authors", "Papers", "Conferences", "Institutions"
+        }
+
+    def test_traversal_edges_connect_to_prefix(self, academic):
+        pattern = korea_pattern(academic)
+        seen = set()
+        for key, edge in pattern.traversal_order():
+            if edge is not None:
+                other = (
+                    edge.source_key if edge.target_key == key else edge.target_key
+                )
+                assert other in seen
+            seen.add(key)
+
+    def test_children_of(self, academic):
+        pattern = korea_pattern(academic)
+        children = pattern.children_of("Papers", parent="Authors")
+        assert [key for key, _ in children] == ["Conferences"]
+
+
+class TestRendering:
+    def test_describe_marks_primary(self, academic):
+        text = korea_pattern(academic).describe()
+        assert "*Authors" in text
+
+    def test_to_ascii_shows_conditions(self, academic):
+        text = korea_pattern(academic).to_ascii()
+        assert "acronym = 'SIGMOD'" in text
+        assert "country = 'South Korea'" in text
+        assert "--Papers->Authors-->" in text

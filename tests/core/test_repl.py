@@ -1,0 +1,149 @@
+"""Unit tests for the command-driven front end."""
+
+import pytest
+
+from repro.errors import InvalidAction
+from repro.core.repl import Repl, build_condition, parse_command, parse_value
+from repro.tgm.conditions import AttributeCompare, AttributeLike
+
+
+@pytest.fixture
+def repl(toy):
+    return Repl(toy.schema, toy.graph, mapping=toy.mapping, max_rows=12)
+
+
+class TestParsing:
+    def test_blank_and_comment_lines(self):
+        assert parse_command("") is None
+        assert parse_command("   ") is None
+        assert parse_command("# a comment") is None
+
+    def test_tokenization_with_quotes(self):
+        command = parse_command('filter title = "Making database systems usable"')
+        assert command.name == "filter"
+        assert command.args == ("title", "=", "Making database systems usable")
+
+    def test_name_lowercased(self):
+        assert parse_command("OPEN Papers").name == "open"
+
+    def test_unbalanced_quote_rejected(self):
+        with pytest.raises(InvalidAction):
+            parse_command('open "Papers')
+
+    def test_parse_value(self):
+        assert parse_value("42") == 42
+        assert parse_value("2.5") == 2.5
+        assert parse_value("true") is True
+        assert parse_value("SIGMOD") == "SIGMOD"
+
+    def test_build_condition_compare(self):
+        condition = build_condition("year", ">", "2005")
+        assert condition == AttributeCompare("year", ">", 2005)
+
+    def test_build_condition_like(self):
+        condition = build_condition("country", "like", "%Korea%")
+        assert condition == AttributeLike("country", "%Korea%")
+
+    def test_build_condition_bad_op(self):
+        with pytest.raises(InvalidAction):
+            build_condition("year", "~~", "2005")
+
+
+class TestCommands:
+    def test_tables(self, repl):
+        out = repl.execute_line("tables")
+        assert "Papers" in out and "Conferences" in out
+
+    def test_open_renders_table(self, repl):
+        out = repl.execute_line("open Papers")
+        assert "ETable: Papers" in out and "(7 rows" in out
+
+    def test_filter(self, repl):
+        repl.execute_line("open Papers")
+        out = repl.execute_line("filter year > 2005")
+        assert "(6 rows" in out
+
+    def test_nfilter(self, repl):
+        repl.execute_line("open Papers")
+        out = repl.execute_line('nfilter Papers->Authors name = Bob')
+        assert "(4 rows" in out
+
+    def test_pivot_and_history(self, repl):
+        repl.execute_line("open Conferences")
+        out = repl.execute_line("pivot Papers")
+        assert "ETable: Papers" in out
+        history = repl.execute_line("history")
+        assert "1. Open 'Conferences' table" in history
+        assert "2. Pivot to 'Papers'" in history
+
+    def test_seeall(self, repl):
+        repl.execute_line("open Conferences")
+        out = repl.execute_line("seeall 0 Papers")
+        assert "ETable: Papers" in out and "(5 rows" in out
+
+    def test_single(self, repl):
+        repl.execute_line("open Papers")
+        out = repl.execute_line("single 2 Authors 0")
+        assert "ETable: Authors" in out and "(1 rows" in out
+
+    def test_sort_desc(self, repl):
+        repl.execute_line("open Papers")
+        out = repl.execute_line("sort year desc")
+        lines = [line for line in out.splitlines() if "│ 2014 │" in line]
+        assert lines  # the 2014 paper surfaces on top rows
+
+    def test_hide_show_columns(self, repl):
+        repl.execute_line("open Papers")
+        hidden = repl.execute_line("hide page_start")
+        assert "page_start" not in hidden
+        shown = repl.execute_line("show page_start")
+        assert "page_start" in shown
+
+    def test_rank(self, repl):
+        repl.execute_line("open Papers")
+        out = repl.execute_line("rank 4")
+        assert "score=" in out
+
+    def test_revert_one_based(self, repl):
+        repl.execute_line("open Papers")
+        repl.execute_line("filter year > 2005")
+        out = repl.execute_line("revert 1")
+        assert "(7 rows" in out
+
+    def test_schema_and_columns(self, repl):
+        repl.execute_line("open Papers")
+        assert "Query pattern" in repl.execute_line("schema")
+        columns = repl.execute_line("columns")
+        assert "base attribute" in columns and "neighbor node" in columns
+
+    def test_sql_export(self, repl):
+        repl.execute_line("open Papers")
+        repl.execute_line("filter year > 2005")
+        sql = repl.execute_line("sql")
+        assert sql.startswith("SELECT")
+        assert "GROUP BY" in sql
+
+    def test_sql_without_mapping(self, toy):
+        bare = Repl(toy.schema, toy.graph, mapping=None)
+        bare.execute_line("open Papers")
+        assert "error:" in bare.execute_line("sql")
+
+    def test_errors_are_messages_not_exceptions(self, repl):
+        assert "error:" in repl.execute_line("open Nonsense")
+        assert "unknown command" in repl.execute_line("frobnicate")
+        assert "error:" in repl.execute_line("filter year > 2005")  # no table
+
+    def test_quit(self, repl):
+        assert repl.execute_line("quit") == "bye"
+        assert repl.done
+
+    def test_help(self, repl):
+        assert "open <Type>" in repl.execute_line("help")
+
+    def test_run_script(self, repl):
+        outputs = repl.run_script(
+            "open Conferences\nfilter acronym = SIGMOD\npivot Papers\nquit\n"
+            "open Papers"
+        )
+        assert outputs[-1] == "bye"  # execution stops at quit
+        assert len(outputs) == 4

@@ -1,0 +1,70 @@
+"""Unit tests for the toy (Figure 8) and movies datasets."""
+
+from repro.datasets.movies import MoviesConfig, generate_movies
+from repro.datasets.toy import FIGURE8_EXPECTED, generate_toy
+
+
+class TestToy:
+    def test_integrity(self, toy_db):
+        assert toy_db.validate_integrity() == []
+
+    def test_figure8_instances(self, toy_db):
+        papers = {row[0] for row in toy_db.table("Papers").rows}
+        assert {1, 4, 5, 8} <= papers
+        authors = {row[1] for row in toy_db.table("Authors").rows}
+        assert {"Bob", "Mark", "Chad"} <= authors
+
+    def test_sigmod_recent_papers(self, toy_db):
+        recent_sigmod = [
+            row[0]
+            for row in toy_db.table("Papers").rows
+            if row[1] == 1 and row[3] > 2005
+        ]
+        assert sorted(recent_sigmod) == [1, 4, 5, 8]
+
+    def test_korean_institutions(self, toy_db):
+        korean = [
+            row[0]
+            for row in toy_db.table("Institutions").rows
+            if row[2] == "South Korea"
+        ]
+        assert sorted(korean) == [3, 8]
+
+    def test_expected_answer_shape(self):
+        assert set(FIGURE8_EXPECTED) == {"Bob", "Mark", "Chad"}
+
+
+class TestMovies:
+    def test_integrity(self, movies_db):
+        assert movies_db.validate_integrity() == []
+
+    def test_deterministic(self):
+        db1 = generate_movies(MoviesConfig(movies=30, people=25, seed=5))
+        db2 = generate_movies(MoviesConfig(movies=30, people=25, seed=5))
+        assert db1.table("Movies").rows == db2.table("Movies").rows
+
+    def test_decade_matches_year(self, movies_db):
+        for row in movies_db.table("Movies").as_dicts():
+            assert row["decade"] == f"{(row['year'] // 10) * 10}s"
+
+    def test_every_movie_has_cast(self, movies_db):
+        movies_with_cast = {
+            row[0] for row in movies_db.table("Movie_Cast").rows
+        }
+        all_movies = {row[0] for row in movies_db.table("Movies").rows}
+        assert movies_with_cast == all_movies
+
+    def test_genres_within_pool(self, movies_db):
+        from repro.datasets.movies import _GENRES
+
+        genres = set(movies_db.table("Movie_Genres").column_values("genre"))
+        assert genres <= set(_GENRES)
+
+    def test_movies_tgdb_structure(self, movies):
+        names = {t.name for t in movies.schema.node_types}
+        assert "Movie_Genres: genre" in names
+        assert "Movies: decade" in names
+        # Two FK edges from Movies (studio, director) plus cast / genres /
+        # decade edges.
+        displays = [e.display_name for e in movies.schema.edges_from("Movies")]
+        assert "Studios" in displays and "People" in displays

@@ -1,0 +1,172 @@
+"""Property-based tests on translation invariants over random databases.
+
+Random mini-databases (entity tables with FK links, junction tables,
+multivalued-attribute tables) are generated and translated; the structural
+invariants of Appendix A must hold for all of them:
+
+* one entity node type per entity relation;
+* every edge type has a reverse twin, and reversing twice is the identity;
+* instance edge counts equal the relational cardinalities they encode;
+* the four-table storage round-trips the whole TGDB.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.database import Database
+from repro.relational.datatypes import DataType
+from repro.relational.schema import ForeignKey, table_schema
+from repro.tgm.schema_graph import NodeTypeCategory
+from repro.tgm.storage import load_graph, save_graph
+from repro.translate import classify_database, translate_database
+from repro.translate.classify import RelationClass
+
+
+@st.composite
+def random_databases(draw):
+    """2-3 entity tables, optional FK chain, junction, and mv table."""
+    rng_rows = st.integers(min_value=1, max_value=6)
+    db = Database("prop")
+    entity_count = draw(st.integers(min_value=2, max_value=3))
+    sizes = [draw(rng_rows) for _ in range(entity_count)]
+
+    for index in range(entity_count):
+        has_fk = index > 0 and draw(st.booleans())
+        columns = [("id", DataType.INTEGER), ("name", DataType.TEXT)]
+        foreign_keys = []
+        if has_fk:
+            columns.append(("parent_id", DataType.INTEGER))
+            foreign_keys.append(ForeignKey("parent_id", f"e{index - 1}", "id"))
+        db.create_table(
+            table_schema(f"e{index}", columns, primary_key="id",
+                         foreign_keys=foreign_keys)
+        )
+        for row_id in range(1, sizes[index] + 1):
+            row = {"id": row_id, "name": f"n{index}_{row_id}"}
+            if has_fk:
+                parent = draw(
+                    st.one_of(
+                        st.none(),
+                        st.integers(min_value=1, max_value=sizes[index - 1]),
+                    )
+                )
+                row["parent_id"] = parent
+            db.insert(f"e{index}", row)
+
+    if draw(st.booleans()):
+        db.create_table(
+            table_schema(
+                "junction",
+                [("a_id", DataType.INTEGER), ("b_id", DataType.INTEGER)],
+                primary_key=["a_id", "b_id"],
+                foreign_keys=[
+                    ForeignKey("a_id", "e0", "id"),
+                    ForeignKey("b_id", "e1", "id"),
+                ],
+            )
+        )
+        pair_count = draw(st.integers(min_value=0, max_value=5))
+        seen = set()
+        for _ in range(pair_count):
+            a = draw(st.integers(min_value=1, max_value=sizes[0]))
+            b = draw(st.integers(min_value=1, max_value=sizes[1]))
+            if (a, b) not in seen:
+                seen.add((a, b))
+                db.insert("junction", {"a_id": a, "b_id": b})
+
+    if draw(st.booleans()):
+        db.create_table(
+            table_schema(
+                "tags",
+                [("e_id", DataType.INTEGER), ("tag", DataType.TEXT)],
+                primary_key=["e_id", "tag"],
+                foreign_keys=[ForeignKey("e_id", "e0", "id")],
+            )
+        )
+        tag_count = draw(st.integers(min_value=0, max_value=5))
+        seen_tags = set()
+        for _ in range(tag_count):
+            e = draw(st.integers(min_value=1, max_value=sizes[0]))
+            tag = draw(st.sampled_from(["red", "green", "blue"]))
+            if (e, tag) not in seen_tags:
+                seen_tags.add((e, tag))
+                db.insert("tags", {"e_id": e, "tag": tag})
+    return db
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_databases())
+def test_entity_node_types_match_entity_relations(db):
+    translation = translate_database(db)
+    classified = classify_database(db)
+    entity_relations = {
+        name for name, info in classified.items()
+        if info.relation_class is RelationClass.ENTITY
+    }
+    entity_node_types = {
+        t.name for t in translation.schema.node_types
+        if t.category is NodeTypeCategory.ENTITY
+    }
+    assert entity_node_types == entity_relations
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_databases())
+def test_every_edge_has_involutive_reverse(db):
+    translation = translate_database(db)
+    for edge in translation.schema.edge_types:
+        assert edge.reverse_name is not None
+        reverse = translation.schema.reverse_of(edge.name)
+        assert translation.schema.reverse_of(reverse.name).name == edge.name
+        assert (reverse.source, reverse.target) == (edge.target, edge.source)
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_databases())
+def test_entity_nodes_match_rows(db):
+    translation = translate_database(db)
+    for name in db.table_names:
+        if translation.schema.has_node_type(name):
+            assert len(translation.graph.nodes_of_type(name)) == len(
+                db.table(name)
+            )
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_databases())
+def test_instance_edge_counts_match_relational_cardinalities(db):
+    translation = translate_database(db)
+    forward_kinds = {"fk_forward", "mn_forward", "mv_forward", "cat_forward"}
+    for edge_name, entry in translation.mapping.edges.items():
+        if entry.kind not in forward_kinds:
+            continue
+        count = sum(
+            1 for edge in translation.graph.edges()
+            if edge.type_name == edge_name
+        )
+        if entry.kind == "fk_forward":
+            expected = sum(
+                1
+                for value in db.table(entry.data["owner_table"]).column_values(
+                    entry.data["fk_column"]
+                )
+                if value is not None
+            )
+        elif entry.kind == "mn_forward":
+            expected = len(db.table(entry.data["junction_table"]))
+        else:  # mv_forward
+            expected = len(db.table(entry.data["attr_table"]))
+        assert count == expected
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_databases())
+def test_storage_round_trip(db):
+    translation = translate_database(db)
+    stored = save_graph(translation.schema, translation.graph)
+    schema, graph = load_graph(stored)
+    assert graph.node_count == translation.graph.node_count
+    assert graph.edge_count == translation.graph.edge_count
+    assert {t.name for t in schema.node_types} == {
+        t.name for t in translation.schema.node_types
+    }

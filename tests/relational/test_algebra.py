@@ -1,0 +1,258 @@
+"""Unit tests for the relational algebra operators."""
+
+import pytest
+
+from repro.errors import RelationalError, UnknownColumn
+from repro.relational.aggregates import (
+    agg_avg,
+    agg_count,
+    agg_count_distinct,
+    agg_count_star,
+    agg_ent_list,
+    agg_max,
+    agg_min,
+    agg_sum,
+)
+from repro.relational.algebra import (
+    AggregateSpec,
+    Relation,
+    SortKey,
+    cross_join,
+    distinct,
+    equi_join,
+    from_table,
+    group_by,
+    limit,
+    order_by,
+    project,
+    project_columns,
+    rename,
+    select,
+    theta_join,
+)
+from repro.relational.datatypes import DataType
+from repro.relational.expressions import (
+    ColumnRef,
+    Comparison,
+    Literal,
+    column,
+    equals,
+)
+from repro.relational.schema import table_schema
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def papers() -> Relation:
+    return Relation(
+        [("p", "id"), ("p", "title"), ("p", "year")],
+        [
+            (1, "a", 2000),
+            (2, "b", 2005),
+            (3, "c", 2005),
+            (4, "d", None),
+        ],
+    )
+
+
+@pytest.fixture
+def confs() -> Relation:
+    return Relation(
+        [("c", "id"), ("c", "acronym")],
+        [(1, "SIGMOD"), (2, "KDD")],
+    )
+
+
+class TestRelationBasics:
+    def test_arity_check(self):
+        with pytest.raises(RelationalError):
+            Relation([(None, "a")], [(1, 2)])
+
+    def test_column_position_qualified(self, papers):
+        assert papers.column_position("id", "p") == 0
+
+    def test_column_position_unqualified(self, papers):
+        assert papers.column_position("year") == 2
+
+    def test_unknown_column(self, papers):
+        with pytest.raises(UnknownColumn):
+            papers.column_position("missing")
+
+    def test_ambiguous_column(self):
+        relation = Relation([("a", "x"), ("b", "x")], [])
+        with pytest.raises(RelationalError):
+            relation.column_position("x")
+
+    def test_column_values(self, papers):
+        assert papers.column_values("year") == [2000, 2005, 2005, None]
+
+    def test_from_table_qualifies(self):
+        table = Table(table_schema("t", [("a", DataType.INTEGER)]))
+        table.insert([1])
+        relation = from_table(table, alias="x")
+        assert relation.columns == [("x", "a")]
+        assert relation.rows == [(1,)]
+
+    def test_as_dicts(self, confs):
+        dicts = confs.as_dicts()
+        assert dicts[0]["acronym"] == "SIGMOD"
+        assert dicts[0]["c.id"] == 1
+
+
+class TestSelectProject:
+    def test_select_keeps_true_only(self, papers):
+        result = select(papers, equals("year", 2005))
+        assert len(result) == 2
+
+    def test_select_drops_unknown(self, papers):
+        result = select(papers, Comparison("<", column("year"), Literal(2010)))
+        assert len(result) == 3  # NULL year row dropped
+
+    def test_project_expressions(self, papers):
+        result = project(
+            papers,
+            [(column("year"), (None, "y")),
+             (Literal(1), (None, "one"))],
+        )
+        assert result.columns == [(None, "y"), (None, "one")]
+        assert result.rows[0] == (2000, 1)
+
+    def test_project_columns(self, papers):
+        result = project_columns(papers, [(None, "title"), ("p", "id")])
+        assert result.rows[0] == ("a", 1)
+
+    def test_rename(self, papers):
+        renamed = rename(papers, "q")
+        assert renamed.columns[0] == ("q", "id")
+
+
+class TestJoins:
+    def test_cross_join(self, papers, confs):
+        result = cross_join(papers, confs)
+        assert len(result) == 8
+        assert len(result.columns) == 5
+
+    def test_equi_join(self, papers, confs):
+        result = equi_join(papers, confs, [(("p", "id"), ("c", "id"))])
+        assert len(result) == 2
+        ids = sorted(row[0] for row in result.rows)
+        assert ids == [1, 2]
+
+    def test_equi_join_null_keys_never_match(self):
+        left = Relation([("l", "k")], [(None,), (1,)])
+        right = Relation([("r", "k")], [(None,), (1,)])
+        result = equi_join(left, right, [(("l", "k"), ("r", "k"))])
+        assert result.rows == [(1, 1)]
+
+    def test_equi_join_residual(self, papers, confs):
+        residual = Comparison("=", column("acronym", "c"), Literal("SIGMOD"))
+        result = equi_join(
+            papers, confs, [(("p", "id"), ("c", "id"))], residual=residual
+        )
+        assert len(result) == 1
+
+    def test_equi_join_empty_pairs_is_cross(self, papers, confs):
+        assert len(equi_join(papers, confs, [])) == 8
+
+    def test_theta_join(self, papers, confs):
+        predicate = Comparison("<", column("id", "c"), column("id", "p"))
+        result = theta_join(papers, confs, predicate)
+        assert all(row[0] > row[3] for row in result.rows)
+
+    def test_column_order_preserved(self, papers, confs):
+        result = equi_join(confs, papers, [(("c", "id"), ("p", "id"))])
+        assert result.columns[:2] == [("c", "id"), ("c", "acronym")]
+
+
+class TestOrderDistinctLimit:
+    def test_order_by_ascending(self, papers):
+        result = order_by(papers, [SortKey(column("year"))])
+        years = [row[2] for row in result.rows]
+        assert years == [2000, 2005, 2005, None]  # NULLs last ascending
+
+    def test_order_by_descending(self, papers):
+        result = order_by(papers, [SortKey(column("year"), descending=True)])
+        assert result.rows[0][2] is None  # NULLs first descending
+
+    def test_order_by_multi_key_stable(self, papers):
+        result = order_by(
+            papers,
+            [SortKey(column("year")), SortKey(column("title"), True)],
+        )
+        # Within year 2005, titles descend: c before b.
+        titles = [row[1] for row in result.rows]
+        assert titles.index("c") < titles.index("b")
+
+    def test_distinct(self):
+        relation = Relation([(None, "a")], [(1,), (1,), (2,)])
+        assert distinct(relation).rows == [(1,), (2,)]
+
+    def test_limit(self, papers):
+        assert len(limit(papers, 2)) == 2
+        assert limit(papers, 2, offset=3).rows == [(4, "d", None)]
+
+    def test_limit_negative_rejected(self, papers):
+        with pytest.raises(RelationalError):
+            limit(papers, -1)
+
+
+class TestGroupBy:
+    def test_count_per_group(self, papers):
+        result = group_by(
+            papers,
+            keys=[column("year")],
+            key_identities=[(None, "year")],
+            aggregates=[
+                AggregateSpec(agg_count_star, None, (None, "n")),
+            ],
+        )
+        as_dict = {row[0]: row[1] for row in result.rows}
+        assert as_dict == {2000: 1, 2005: 2, None: 1}
+
+    def test_scalar_aggregate_empty_input(self):
+        relation = Relation([(None, "x")], [])
+        result = group_by(
+            relation, [], [],
+            [AggregateSpec(agg_count_star, None, (None, "n"))],
+        )
+        assert result.rows == [(0,)]
+
+    def test_group_order_first_appearance(self, papers):
+        result = group_by(
+            papers, [column("year")], [(None, "year")],
+            [AggregateSpec(agg_count_star, None, (None, "n"))],
+        )
+        assert [row[0] for row in result.rows] == [2000, 2005, None]
+
+    def test_mismatched_keys_rejected(self, papers):
+        with pytest.raises(RelationalError):
+            group_by(papers, [column("year")], [], [])
+
+
+class TestAggregates:
+    def test_count_ignores_null(self):
+        assert agg_count([1, None, 2]) == 2
+
+    def test_count_star_counts_null(self):
+        assert agg_count_star([1, None, 2]) == 3
+
+    def test_count_distinct(self):
+        assert agg_count_distinct([1, 1, 2, None]) == 2
+
+    def test_sum_avg(self):
+        assert agg_sum([1, 2, None]) == 3
+        assert agg_avg([1, 2, 3]) == 2
+
+    def test_sum_empty_is_null(self):
+        assert agg_sum([]) is None
+        assert agg_avg([None]) is None
+
+    def test_min_max(self):
+        assert agg_min([3, 1, None]) == 1
+        assert agg_max(["a", "c"]) == "c"
+
+    def test_ent_list_dedupes_in_order(self):
+        assert agg_ent_list([3, 1, 3, None, 2]) == (3, 1, 2)
+
+    def test_ent_list_empty(self):
+        assert agg_ent_list([None]) == ()

@@ -1,0 +1,121 @@
+"""Unit tests for CSV import/export."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.csv_io import (
+    dump_database,
+    load_database,
+    read_table_csv,
+    write_table_csv,
+)
+from repro.relational.database import Database
+from repro.relational.datatypes import DataType
+from repro.relational.schema import ForeignKey, table_schema
+from repro.relational.table import Table
+
+
+def make_db() -> Database:
+    db = Database("csvtest")
+    db.create_table(
+        table_schema(
+            "parents",
+            [("id", DataType.INTEGER), ("name", DataType.TEXT)],
+            primary_key="id",
+        )
+    )
+    db.create_table(
+        table_schema(
+            "children",
+            [("id", DataType.INTEGER), ("parent_id", DataType.INTEGER),
+             ("score", DataType.REAL)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("parent_id", "parents", "id")],
+        )
+    )
+    db.insert("parents", [1, "alpha"])
+    db.insert("parents", [2, "beta"])
+    db.insert("children", [1, 1, 0.5])
+    db.insert("children", [2, None, None])
+    return db
+
+
+class TestTableRoundTrip:
+    def test_write_read(self, tmp_path):
+        db = make_db()
+        path = tmp_path / "parents.csv"
+        assert write_table_csv(db.table("parents"), path) == 2
+        fresh = Table(db.table("parents").schema)
+        assert read_table_csv(fresh, path) == 2
+        assert fresh.rows == db.table("parents").rows
+
+    def test_null_round_trip(self, tmp_path):
+        db = make_db()
+        path = tmp_path / "children.csv"
+        write_table_csv(db.table("children"), path)
+        fresh = Table(db.table("children").schema)
+        read_table_csv(fresh, path)
+        assert fresh.rows[1] == (2, None, None)
+
+    def test_header_mismatch(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b\n1,2\n")
+        db = make_db()
+        with pytest.raises(SchemaError):
+            read_table_csv(Table(db.table("parents").schema), path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        db = make_db()
+        with pytest.raises(SchemaError):
+            read_table_csv(Table(db.table("parents").schema), path)
+
+    def test_bad_row_arity(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id,name\n1,alpha,extra\n")
+        db = make_db()
+        with pytest.raises(SchemaError):
+            read_table_csv(Table(db.table("parents").schema), path)
+
+
+class TestDatabaseRoundTrip:
+    def test_dump_load(self, tmp_path):
+        db = make_db()
+        counts = dump_database(db, tmp_path)
+        assert counts == {"parents": 2, "children": 2}
+        fresh = make_db_schema_only()
+        loaded = load_database(fresh, tmp_path)
+        assert loaded == counts
+        assert fresh.table("children").rows == db.table("children").rows
+
+    def test_load_detects_violations(self, tmp_path):
+        db = make_db()
+        dump_database(db, tmp_path)
+        # Corrupt the children file to point at a missing parent.
+        path = tmp_path / "children.csv"
+        path.write_text("id,parent_id,score\n1,99,0.5\n")
+        fresh = make_db_schema_only()
+        with pytest.raises(SchemaError):
+            load_database(fresh, tmp_path)
+
+
+def make_db_schema_only() -> Database:
+    db = Database("csvtest")
+    db.create_table(
+        table_schema(
+            "parents",
+            [("id", DataType.INTEGER), ("name", DataType.TEXT)],
+            primary_key="id",
+        )
+    )
+    db.create_table(
+        table_schema(
+            "children",
+            [("id", DataType.INTEGER), ("parent_id", DataType.INTEGER),
+             ("score", DataType.REAL)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("parent_id", "parents", "id")],
+        )
+    )
+    return db

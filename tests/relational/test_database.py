@@ -1,0 +1,129 @@
+"""Unit tests for the catalog and cross-table integrity."""
+
+import pytest
+
+from repro.errors import ForeignKeyViolation, SchemaError, UnknownTable
+from repro.relational.database import Database
+from repro.relational.datatypes import DataType
+from repro.relational.schema import ForeignKey, table_schema
+
+
+@pytest.fixture
+def db() -> Database:
+    database = Database("test")
+    database.create_table(
+        table_schema(
+            "conferences",
+            [("id", DataType.INTEGER), ("acronym", DataType.TEXT)],
+            primary_key="id",
+        )
+    )
+    database.create_table(
+        table_schema(
+            "papers",
+            [("id", DataType.INTEGER), ("conference_id", DataType.INTEGER)],
+            primary_key="id",
+            foreign_keys=[ForeignKey("conference_id", "conferences", "id")],
+        )
+    )
+    return database
+
+
+class TestCatalog:
+    def test_create_and_lookup(self, db):
+        assert db.has_table("papers")
+        assert db.table("papers").name == "papers"
+        assert set(db.table_names) == {"conferences", "papers"}
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.create_table(
+                table_schema("papers", [("id", DataType.INTEGER)])
+            )
+
+    def test_unknown_table(self, db):
+        with pytest.raises(UnknownTable):
+            db.table("missing")
+
+    def test_fk_target_must_exist(self):
+        database = Database()
+        with pytest.raises(UnknownTable):
+            database.create_table(
+                table_schema(
+                    "child",
+                    [("id", DataType.INTEGER), ("p", DataType.INTEGER)],
+                    primary_key="id",
+                    foreign_keys=[ForeignKey("p", "parent", "id")],
+                )
+            )
+
+    def test_fk_target_column_must_exist(self, db):
+        with pytest.raises(SchemaError):
+            db.create_table(
+                table_schema(
+                    "t",
+                    [("id", DataType.INTEGER), ("c", DataType.INTEGER)],
+                    primary_key="id",
+                    foreign_keys=[ForeignKey("c", "conferences", "nope")],
+                )
+            )
+
+    def test_self_reference_allowed(self):
+        database = Database()
+        database.create_table(
+            table_schema(
+                "employees",
+                [("id", DataType.INTEGER), ("boss", DataType.INTEGER)],
+                primary_key="id",
+                foreign_keys=[ForeignKey("boss", "employees", "id")],
+            )
+        )
+        assert database.has_table("employees")
+
+    def test_drop_table(self, db):
+        db.drop_table("papers")
+        assert not db.has_table("papers")
+        with pytest.raises(UnknownTable):
+            db.drop_table("papers")
+
+
+class TestIntegrity:
+    def test_fk_enforced_on_insert(self, db):
+        with pytest.raises(ForeignKeyViolation):
+            db.insert("papers", {"id": 1, "conference_id": 99})
+
+    def test_fk_satisfied(self, db):
+        db.insert("conferences", {"id": 1, "acronym": "SIGMOD"})
+        db.insert("papers", {"id": 1, "conference_id": 1})
+        assert len(db.table("papers")) == 1
+
+    def test_null_fk_passes(self, db):
+        db.insert("papers", {"id": 1, "conference_id": None})
+        assert len(db.table("papers")) == 1
+
+    def test_insert_many_checked(self, db):
+        db.insert("conferences", {"id": 1, "acronym": "SIGMOD"})
+        with pytest.raises(ForeignKeyViolation):
+            db.insert_many(
+                "papers",
+                [{"id": 1, "conference_id": 1},
+                 {"id": 2, "conference_id": 5}],
+            )
+
+    def test_load_unchecked_skips_fk(self, db):
+        db.load_unchecked("papers", [{"id": 1, "conference_id": 42}])
+        assert len(db.table("papers")) == 1
+
+    def test_validate_integrity_reports(self, db):
+        db.load_unchecked("papers", [{"id": 1, "conference_id": 42}])
+        problems = db.validate_integrity()
+        assert len(problems) == 1
+        assert "conferences" in problems[0]
+
+    def test_validate_integrity_clean(self, db):
+        db.insert("conferences", {"id": 1, "acronym": "SIGMOD"})
+        db.insert("papers", {"id": 1, "conference_id": 1})
+        assert db.validate_integrity() == []
+
+    def test_generated_datasets_are_consistent(self, academic_db):
+        assert academic_db.validate_integrity() == []

@@ -1,0 +1,128 @@
+"""Unit tests for column types and coercion."""
+
+import pytest
+
+from repro.errors import TypeMismatch
+from repro.relational.datatypes import DataType, coerce, infer_type, is_comparable
+
+
+class TestCoerceInteger:
+    def test_int_passthrough(self):
+        assert coerce(42, DataType.INTEGER) == 42
+
+    def test_none_passthrough(self):
+        assert coerce(None, DataType.INTEGER) is None
+
+    def test_integral_float(self):
+        assert coerce(7.0, DataType.INTEGER) == 7
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(TypeMismatch):
+            coerce(7.5, DataType.INTEGER)
+
+    def test_numeric_string(self):
+        assert coerce(" 13 ", DataType.INTEGER) == 13
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(TypeMismatch):
+            coerce("abc", DataType.INTEGER)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeMismatch):
+            coerce(True, DataType.INTEGER)
+
+    def test_list_rejected(self):
+        with pytest.raises(TypeMismatch):
+            coerce([1], DataType.INTEGER)
+
+
+class TestCoerceReal:
+    def test_float_passthrough(self):
+        assert coerce(3.25, DataType.REAL) == 3.25
+
+    def test_int_widens(self):
+        assert coerce(3, DataType.REAL) == 3.0
+        assert isinstance(coerce(3, DataType.REAL), float)
+
+    def test_string_parses(self):
+        assert coerce("2.5", DataType.REAL) == 2.5
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(TypeMismatch):
+            coerce("two", DataType.REAL)
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeMismatch):
+            coerce(False, DataType.REAL)
+
+
+class TestCoerceText:
+    def test_string_passthrough(self):
+        assert coerce("hello", DataType.TEXT) == "hello"
+
+    def test_int_stringifies(self):
+        assert coerce(5, DataType.TEXT) == "5"
+
+    def test_bool_stringifies(self):
+        assert coerce(True, DataType.TEXT) == "true"
+
+    def test_none_passthrough(self):
+        assert coerce(None, DataType.TEXT) is None
+
+    def test_dict_rejected(self):
+        with pytest.raises(TypeMismatch):
+            coerce({}, DataType.TEXT)
+
+
+class TestCoerceBoolean:
+    @pytest.mark.parametrize("raw", [True, 1, "true", "T", "yes", "1"])
+    def test_truthy(self, raw):
+        assert coerce(raw, DataType.BOOLEAN) is True
+
+    @pytest.mark.parametrize("raw", [False, 0, "false", "F", "no", "0"])
+    def test_falsy(self, raw):
+        assert coerce(raw, DataType.BOOLEAN) is False
+
+    def test_other_int_rejected(self):
+        with pytest.raises(TypeMismatch):
+            coerce(2, DataType.BOOLEAN)
+
+    def test_bad_string_rejected(self):
+        with pytest.raises(TypeMismatch):
+            coerce("maybe", DataType.BOOLEAN)
+
+
+class TestInferType:
+    def test_bool_before_int(self):
+        assert infer_type(True) is DataType.BOOLEAN
+
+    def test_int(self):
+        assert infer_type(4) is DataType.INTEGER
+
+    def test_float(self):
+        assert infer_type(4.5) is DataType.REAL
+
+    def test_string(self):
+        assert infer_type("x") is DataType.TEXT
+
+    def test_none_defaults_to_text(self):
+        assert infer_type(None) is DataType.TEXT
+
+
+class TestIsComparable:
+    def test_numbers(self):
+        assert is_comparable(1, 2.5)
+
+    def test_strings(self):
+        assert is_comparable("a", "b")
+
+    def test_mixed_rejected(self):
+        assert not is_comparable(1, "a")
+
+    def test_null_never_compares(self):
+        assert not is_comparable(None, 1)
+        assert not is_comparable("x", None)
+
+    def test_bools_compare_with_bools_only(self):
+        assert is_comparable(True, False)
+        assert not is_comparable(True, 1)

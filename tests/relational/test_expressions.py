@@ -1,0 +1,207 @@
+"""Unit tests for expression evaluation, including SQL 3-valued logic."""
+
+import pytest
+
+from repro.errors import (
+    AmbiguousColumn,
+    RelationalError,
+    UnknownColumn,
+)
+from repro.relational.expressions import (
+    And,
+    Arithmetic,
+    ColumnRef,
+    Comparison,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    Not,
+    Or,
+    Scope,
+    column,
+    conjoin,
+    equals,
+)
+
+
+def scope(**values):
+    columns = [(None, name) for name in values]
+    return Scope(columns, list(values.values()))
+
+
+class TestScope:
+    def test_unqualified(self):
+        assert ColumnRef("a").evaluate(scope(a=1)) == 1
+
+    def test_qualified(self):
+        s = Scope([("t", "a"), ("u", "a")], [1, 2])
+        assert ColumnRef("a", "t").evaluate(s) == 1
+        assert ColumnRef("a", "u").evaluate(s) == 2
+
+    def test_ambiguous(self):
+        s = Scope([("t", "a"), ("u", "a")], [1, 2])
+        with pytest.raises(AmbiguousColumn):
+            ColumnRef("a").evaluate(s)
+
+    def test_unknown(self):
+        with pytest.raises(UnknownColumn):
+            ColumnRef("zz").evaluate(scope(a=1))
+
+    def test_case_insensitive(self):
+        s = Scope([("T", "Year")], [2016])
+        assert ColumnRef("year", "t").evaluate(s) == 2016
+
+    def test_parent_fallback(self):
+        outer = scope(x=5)
+        inner = Scope([(None, "y")], [1], parent=outer)
+        assert ColumnRef("x").evaluate(inner) == 5
+
+    def test_qualified_parent_fallback(self):
+        outer = Scope([("t", "x")], [5])
+        inner = Scope([("u", "y")], [1], parent=outer)
+        assert ColumnRef("x", "t").evaluate(inner) == 5
+
+
+class TestComparison:
+    def test_equality(self):
+        assert Comparison("=", Literal(1), Literal(1)).evaluate(scope()) is True
+
+    def test_inequality_ops(self):
+        assert Comparison("<", Literal(1), Literal(2)).evaluate(scope()) is True
+        assert Comparison(">=", Literal(2), Literal(2)).evaluate(scope()) is True
+        assert Comparison("!=", Literal(1), Literal(2)).evaluate(scope()) is True
+
+    def test_null_is_unknown(self):
+        assert Comparison("=", Literal(None), Literal(1)).evaluate(scope()) is None
+        assert Comparison("<", Literal(None), Literal(1)).evaluate(scope()) is None
+
+    def test_incomparable_is_unknown(self):
+        assert Comparison("<", Literal("a"), Literal(1)).evaluate(scope()) is None
+
+    def test_string_comparison(self):
+        assert Comparison("<", Literal("apple"), Literal("pear")).evaluate(
+            scope()
+        ) is True
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(RelationalError):
+            Comparison("~", Literal(1), Literal(1))
+
+
+class TestLogic:
+    def test_and_truth_table(self):
+        t, f, u = Literal(True), Literal(False), Literal(None)
+        true_cmp = Comparison("=", Literal(1), Literal(1))
+        false_cmp = Comparison("=", Literal(1), Literal(2))
+        null_cmp = Comparison("=", Literal(None), Literal(1))
+        assert And((true_cmp, true_cmp)).evaluate(scope()) is True
+        assert And((true_cmp, false_cmp)).evaluate(scope()) is False
+        assert And((true_cmp, null_cmp)).evaluate(scope()) is None
+        assert And((false_cmp, null_cmp)).evaluate(scope()) is False
+
+    def test_or_truth_table(self):
+        true_cmp = Comparison("=", Literal(1), Literal(1))
+        false_cmp = Comparison("=", Literal(1), Literal(2))
+        null_cmp = Comparison("=", Literal(None), Literal(1))
+        assert Or((false_cmp, true_cmp)).evaluate(scope()) is True
+        assert Or((false_cmp, false_cmp)).evaluate(scope()) is False
+        assert Or((false_cmp, null_cmp)).evaluate(scope()) is None
+        assert Or((true_cmp, null_cmp)).evaluate(scope()) is True
+
+    def test_not(self):
+        true_cmp = Comparison("=", Literal(1), Literal(1))
+        null_cmp = Comparison("=", Literal(None), Literal(1))
+        assert Not(true_cmp).evaluate(scope()) is False
+        assert Not(null_cmp).evaluate(scope()) is None
+
+
+class TestLike:
+    def test_contains(self):
+        assert Like(Literal("user interface"), "%user%").evaluate(scope()) is True
+
+    def test_case_insensitive(self):
+        assert Like(Literal("South Korea"), "%korea%").evaluate(scope()) is True
+
+    def test_underscore(self):
+        assert Like(Literal("cat"), "c_t").evaluate(scope()) is True
+        assert Like(Literal("cart"), "c_t").evaluate(scope()) is False
+
+    def test_anchored(self):
+        assert Like(Literal("database"), "data%").evaluate(scope()) is True
+        assert Like(Literal("metadata"), "data%").evaluate(scope()) is False
+
+    def test_negated(self):
+        assert Like(Literal("abc"), "%x%", negate=True).evaluate(scope()) is True
+
+    def test_null_unknown(self):
+        assert Like(Literal(None), "%a%").evaluate(scope()) is None
+
+    def test_regex_chars_escaped(self):
+        assert Like(Literal("a.b"), "a.b").evaluate(scope()) is True
+        assert Like(Literal("axb"), "a.b").evaluate(scope()) is False
+
+
+class TestMisc:
+    def test_in_list(self):
+        assert InList(Literal(2), (1, 2, 3)).evaluate(scope()) is True
+        assert InList(Literal(9), (1, 2, 3)).evaluate(scope()) is False
+        assert InList(Literal(None), (1,)).evaluate(scope()) is None
+        assert InList(Literal(1), (1,), negate=True).evaluate(scope()) is False
+
+    def test_is_null(self):
+        assert IsNull(Literal(None)).evaluate(scope()) is True
+        assert IsNull(Literal(1)).evaluate(scope()) is False
+        assert IsNull(Literal(1), negate=True).evaluate(scope()) is True
+
+    def test_arithmetic(self):
+        assert Arithmetic("+", Literal(1), Literal(2)).evaluate(scope()) == 3
+        assert Arithmetic("*", Literal(3), Literal(4)).evaluate(scope()) == 12
+        assert Arithmetic("-", Literal(1), Literal(None)).evaluate(scope()) is None
+
+    def test_division_by_zero(self):
+        with pytest.raises(RelationalError):
+            Arithmetic("/", Literal(1), Literal(0)).evaluate(scope())
+
+    def test_functions(self):
+        assert FunctionCall("lower", (Literal("AbC"),)).evaluate(scope()) == "abc"
+        assert FunctionCall("upper", (Literal("x"),)).evaluate(scope()) == "X"
+        assert FunctionCall("length", (Literal("abc"),)).evaluate(scope()) == 3
+        assert FunctionCall("abs", (Literal(-3),)).evaluate(scope()) == 3
+
+    def test_coalesce(self):
+        expr = FunctionCall("coalesce", (Literal(None), Literal(7)))
+        assert expr.evaluate(scope()) == 7
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(RelationalError):
+            FunctionCall("nope", ())
+
+    def test_references_collected(self):
+        expr = And((
+            Comparison("=", ColumnRef("a", "t"), Literal(1)),
+            Like(ColumnRef("b"), "%x%"),
+        ))
+        assert expr.references() == {("t", "a"), (None, "b")}
+
+    def test_conjoin_flattens(self):
+        a = equals("x", 1)
+        b = equals("y", 2)
+        combined = conjoin([And((a, b)), equals("z", 3)])
+        assert isinstance(combined, And)
+        assert len(combined.operands) == 3
+
+    def test_conjoin_empty_is_true(self):
+        assert conjoin([]).evaluate(scope()) is True
+
+    def test_conjoin_single_passthrough(self):
+        a = equals("x", 1)
+        assert conjoin([a]) is a
+
+    def test_str_rendering(self):
+        expr = And((equals("a", 1), Like(column("b"), "%x%")))
+        assert str(expr) == "a = 1 AND b LIKE '%x%'"
+
+    def test_string_literal_escaping(self):
+        assert str(Literal("O'Brien")) == "'O''Brien'"

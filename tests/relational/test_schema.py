@@ -1,0 +1,124 @@
+"""Unit tests for table schemas, keys, and foreign keys."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relational.datatypes import DataType
+from repro.relational.schema import Column, ForeignKey, TableSchema, table_schema
+
+
+def people_schema() -> TableSchema:
+    return table_schema(
+        "people",
+        [("id", DataType.INTEGER), ("name", DataType.TEXT),
+         ("boss_id", DataType.INTEGER)],
+        primary_key="id",
+        foreign_keys=[ForeignKey("boss_id", "people", "id")],
+    )
+
+
+class TestColumn:
+    def test_valid(self):
+        column = Column("year", DataType.INTEGER)
+        assert column.nullable
+
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Column("not a name", DataType.TEXT)
+
+    def test_empty_name(self):
+        with pytest.raises(SchemaError):
+            Column("", DataType.TEXT)
+
+
+class TestForeignKey:
+    def test_single_column_shorthand(self):
+        fk = ForeignKey("conference_id", "Conferences")
+        assert fk.columns == ("conference_id",)
+        assert fk.ref_columns == ("id",)
+
+    def test_composite(self):
+        fk = ForeignKey(["a", "b"], "t", ["x", "y"])
+        assert fk.columns == ("a", "b")
+
+    def test_arity_mismatch(self):
+        with pytest.raises(SchemaError):
+            ForeignKey(["a", "b"], "t", ["x"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey([], "t", [])
+
+    def test_str(self):
+        fk = ForeignKey("x", "t", "y")
+        assert "REFERENCES t(y)" in str(fk)
+
+
+class TestTableSchema:
+    def test_column_lookup(self):
+        schema = people_schema()
+        assert schema.column("name").dtype is DataType.TEXT
+        assert schema.column_index("boss_id") == 2
+        assert schema.has_column("id")
+        assert not schema.has_column("age")
+
+    def test_column_names(self):
+        assert people_schema().column_names == ("id", "name", "boss_id")
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                "t",
+                [Column("a", DataType.TEXT), Column("A", DataType.TEXT)],
+            )
+
+    def test_invalid_table_name(self):
+        with pytest.raises(SchemaError):
+            table_schema("bad name", [("a", DataType.TEXT)])
+
+    def test_no_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            TableSchema("t", [])
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            table_schema("t", [("a", DataType.TEXT)], primary_key="b")
+
+    def test_composite_primary_key(self):
+        schema = table_schema(
+            "t",
+            [("a", DataType.INTEGER), ("b", DataType.INTEGER)],
+            primary_key=["a", "b"],
+        )
+        assert schema.primary_key == ("a", "b")
+        assert schema.is_primary_key_column("a")
+        assert not schema.is_primary_key_column("c")
+
+    def test_foreign_key_column_must_exist(self):
+        with pytest.raises(SchemaError):
+            table_schema(
+                "t",
+                [("a", DataType.INTEGER)],
+                foreign_keys=[ForeignKey("missing", "other", "id")],
+            )
+
+    def test_foreign_key_for(self):
+        schema = people_schema()
+        fk = schema.foreign_key_for("boss_id")
+        assert fk is not None and fk.ref_table == "people"
+        assert schema.foreign_key_for("name") is None
+
+    def test_foreign_key_columns(self):
+        assert people_schema().foreign_key_columns() == {"boss_id"}
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(SchemaError):
+            people_schema().column("missing")
+
+    def test_unknown_column_index_raises(self):
+        with pytest.raises(SchemaError):
+            people_schema().column_index("missing")
+
+    def test_three_element_spec_sets_nullable(self):
+        schema = table_schema("t", [("a", DataType.TEXT, False)])
+        assert not schema.column("a").nullable

@@ -1,0 +1,79 @@
+"""Unit tests for the SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.relational.sql.lexer import Token, TokenType, tokenize
+
+
+def kinds(sql: str) -> list[tuple[TokenType, str]]:
+    return [(t.type, t.value) for t in tokenize(sql) if t.type != TokenType.EOF]
+
+
+class TestTokenize:
+    def test_keywords_lowercased(self):
+        tokens = kinds("SELECT froM")
+        assert tokens == [
+            (TokenType.KEYWORD, "select"),
+            (TokenType.KEYWORD, "from"),
+        ]
+
+    def test_identifier_case_preserved(self):
+        assert kinds("Papers")[0] == (TokenType.IDENTIFIER, "Papers")
+
+    def test_numbers(self):
+        assert kinds("42")[0] == (TokenType.NUMBER, "42")
+        assert kinds("3.14")[0] == (TokenType.NUMBER, "3.14")
+        assert kinds(".5")[0] == (TokenType.NUMBER, ".5")
+
+    def test_string_literal(self):
+        assert kinds("'hello'")[0] == (TokenType.STRING, "hello")
+
+    def test_string_escaped_quote(self):
+        assert kinds("'O''Brien'")[0] == (TokenType.STRING, "O'Brien")
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("'oops")
+
+    def test_operators(self):
+        values = [v for _, v in kinds("a <= b >= c != d <> e = f < g > h")]
+        assert values[1::2] == ["<=", ">=", "!=", "!=", "=", "<", ">"]
+
+    def test_punct(self):
+        values = [v for _, v in kinds("(a, b.*)")]
+        assert values == ["(", "a", ",", "b", ".", "*", ")"]
+
+    def test_line_comment_skipped(self):
+        tokens = kinds("select -- comment\n 1")
+        assert tokens == [
+            (TokenType.KEYWORD, "select"),
+            (TokenType.NUMBER, "1"),
+        ]
+
+    def test_bad_character(self):
+        with pytest.raises(SqlSyntaxError):
+            tokenize("select @")
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].type is TokenType.EOF
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 3
+
+    def test_is_keyword_helper(self):
+        token = Token(TokenType.KEYWORD, "select", 0)
+        assert token.is_keyword("select", "from")
+        assert not token.is_keyword("where")
+
+    def test_ent_list_is_keyword(self):
+        assert kinds("ENT_LIST")[0] == (TokenType.KEYWORD, "ent_list")
+
+    def test_underscore_identifier(self):
+        assert kinds("paper_id")[0] == (TokenType.IDENTIFIER, "paper_id")
+
+    def test_arithmetic_punct(self):
+        values = [v for _, v in kinds("1 + 2 - 3 / 4")]
+        assert values == ["1", "+", "2", "-", "3", "/", "4"]

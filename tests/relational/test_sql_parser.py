@@ -1,0 +1,212 @@
+"""Unit tests for the SQL parser."""
+
+import pytest
+
+from repro.errors import SqlSyntaxError
+from repro.relational.sql.ast_nodes import (
+    AndNode,
+    BetweenNode,
+    BinaryNode,
+    ColumnNode,
+    ExistsNode,
+    FuncNode,
+    InListNode,
+    InSubqueryNode,
+    IsNullNode,
+    LikeNode,
+    LiteralNode,
+    NotNode,
+    OrNode,
+    SelectStatement,
+    StarNode,
+    UnionStatement,
+)
+from repro.relational.sql.parser import parse, parse_select
+
+
+class TestSelectStructure:
+    def test_star(self):
+        stmt = parse_select("SELECT * FROM t")
+        assert isinstance(stmt.items[0].expression, StarNode)
+        assert stmt.from_tables[0].name == "t"
+
+    def test_qualified_star(self):
+        stmt = parse_select("SELECT t.* FROM t")
+        assert stmt.items[0].expression == StarNode("t")
+
+    def test_aliases(self):
+        stmt = parse_select("SELECT a.x AS y, b n FROM t a, u AS b")
+        assert stmt.items[0].alias == "y"
+        assert stmt.items[1].alias == "n"
+        assert stmt.from_tables[0].alias == "a"
+        assert stmt.from_tables[1].alias == "b"
+
+    def test_join_on(self):
+        stmt = parse_select("SELECT * FROM a JOIN b ON a.x = b.y")
+        assert len(stmt.joins) == 1
+        assert stmt.joins[0].table.name == "b"
+        assert isinstance(stmt.joins[0].condition, BinaryNode)
+
+    def test_inner_join(self):
+        stmt = parse_select("SELECT * FROM a INNER JOIN b ON a.x = b.y")
+        assert len(stmt.joins) == 1
+
+    def test_left_join_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT * FROM a LEFT JOIN b ON a.x = b.y")
+
+    def test_where_group_having_order_limit(self):
+        stmt = parse_select(
+            "SELECT x, COUNT(*) c FROM t WHERE x > 1 GROUP BY x "
+            "HAVING COUNT(*) > 2 ORDER BY c DESC LIMIT 5 OFFSET 2"
+        )
+        assert stmt.where is not None
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+        assert stmt.order_by[0].descending
+        assert stmt.limit == 5 and stmt.offset == 2
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT x FROM t").distinct
+
+    def test_order_default_ascending(self):
+        stmt = parse_select("SELECT x FROM t ORDER BY x ASC, y")
+        assert not stmt.order_by[0].descending
+        assert not stmt.order_by[1].descending
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT x FROM t extra stuff ??")
+
+    def test_missing_from(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT x")
+
+    def test_limit_must_be_integer(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT x FROM t LIMIT 1.5")
+
+
+class TestExpressions:
+    def test_precedence_or_and(self):
+        stmt = parse_select("SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert isinstance(stmt.where, OrNode)
+        assert isinstance(stmt.where.operands[1], AndNode)
+
+    def test_not(self):
+        stmt = parse_select("SELECT * FROM t WHERE NOT a = 1")
+        assert isinstance(stmt.where, NotNode)
+
+    def test_like(self):
+        stmt = parse_select("SELECT * FROM t WHERE name LIKE '%user%'")
+        assert isinstance(stmt.where, LikeNode)
+        assert stmt.where.pattern == "%user%"
+
+    def test_not_like(self):
+        stmt = parse_select("SELECT * FROM t WHERE name NOT LIKE 'x%'")
+        assert isinstance(stmt.where, LikeNode) and stmt.where.negate
+
+    def test_like_requires_string(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM t WHERE a LIKE 5")
+
+    def test_in_list(self):
+        stmt = parse_select("SELECT * FROM t WHERE x IN (1, 'a', NULL, TRUE)")
+        assert isinstance(stmt.where, InListNode)
+        assert stmt.where.values == (1, "a", None, True)
+
+    def test_not_in(self):
+        stmt = parse_select("SELECT * FROM t WHERE x NOT IN (1)")
+        assert isinstance(stmt.where, InListNode) and stmt.where.negate
+
+    def test_in_subquery(self):
+        stmt = parse_select(
+            "SELECT * FROM t WHERE x IN (SELECT y FROM u)"
+        )
+        assert isinstance(stmt.where, InSubqueryNode)
+        assert isinstance(stmt.where.subquery, SelectStatement)
+
+    def test_exists(self):
+        stmt = parse_select(
+            "SELECT * FROM t WHERE EXISTS (SELECT 1 FROM u WHERE u.a = t.a)"
+        )
+        assert isinstance(stmt.where, ExistsNode)
+
+    def test_between(self):
+        stmt = parse_select("SELECT * FROM t WHERE y BETWEEN 2000 AND 2005")
+        assert isinstance(stmt.where, BetweenNode)
+
+    def test_not_between(self):
+        stmt = parse_select("SELECT * FROM t WHERE y NOT BETWEEN 1 AND 2")
+        assert isinstance(stmt.where, BetweenNode) and stmt.where.negate
+
+    def test_is_null(self):
+        stmt = parse_select("SELECT * FROM t WHERE x IS NULL")
+        assert isinstance(stmt.where, IsNullNode) and not stmt.where.negate
+
+    def test_is_not_null(self):
+        stmt = parse_select("SELECT * FROM t WHERE x IS NOT NULL")
+        assert isinstance(stmt.where, IsNullNode) and stmt.where.negate
+
+    def test_count_star(self):
+        stmt = parse_select("SELECT COUNT(*) FROM t")
+        func = stmt.items[0].expression
+        assert isinstance(func, FuncNode) and func.star
+
+    def test_count_distinct(self):
+        stmt = parse_select("SELECT COUNT(DISTINCT x) FROM t")
+        func = stmt.items[0].expression
+        assert func.distinct
+
+    def test_ent_list(self):
+        stmt = parse_select("SELECT ENT_LIST(t.id) FROM t")
+        func = stmt.items[0].expression
+        assert isinstance(func, FuncNode) and func.name == "ent_list"
+
+    def test_scalar_function(self):
+        stmt = parse_select("SELECT LOWER(name) FROM t")
+        func = stmt.items[0].expression
+        assert isinstance(func, FuncNode) and func.name == "lower"
+
+    def test_arithmetic_precedence(self):
+        stmt = parse_select("SELECT 1 + 2 * 3 FROM t")
+        expr = stmt.items[0].expression
+        assert isinstance(expr, BinaryNode) and expr.op == "+"
+        assert isinstance(expr.right, BinaryNode) and expr.right.op == "*"
+
+    def test_unary_minus(self):
+        stmt = parse_select("SELECT -x FROM t")
+        expr = stmt.items[0].expression
+        assert isinstance(expr, BinaryNode) and expr.op == "-"
+        assert expr.left == LiteralNode(0)
+
+    def test_parentheses(self):
+        stmt = parse_select("SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert isinstance(stmt.where, AndNode)
+        assert isinstance(stmt.where.operands[0], OrNode)
+
+    def test_qualified_column(self):
+        stmt = parse_select("SELECT t.x FROM t")
+        assert stmt.items[0].expression == ColumnNode("x", "t")
+
+
+class TestUnion:
+    def test_union(self):
+        stmt = parse("SELECT x FROM t UNION SELECT x FROM u")
+        assert isinstance(stmt, UnionStatement)
+        assert not stmt.all
+        assert len(stmt.selects) == 2
+
+    def test_union_all(self):
+        stmt = parse("SELECT x FROM t UNION ALL SELECT x FROM u")
+        assert isinstance(stmt, UnionStatement) and stmt.all
+
+    def test_mixed_union_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse(
+                "SELECT x FROM t UNION ALL SELECT x FROM u UNION SELECT x FROM v"
+            )
+
+    def test_parse_select_rejects_union(self):
+        with pytest.raises(SqlSyntaxError):
+            parse_select("SELECT x FROM t UNION SELECT x FROM u")

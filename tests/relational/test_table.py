@@ -1,0 +1,120 @@
+"""Unit tests for row storage and constraint enforcement."""
+
+import pytest
+
+from repro.errors import NotNullViolation, PrimaryKeyViolation, SchemaError
+from repro.relational.datatypes import DataType
+from repro.relational.schema import table_schema
+from repro.relational.table import Table
+
+
+@pytest.fixture
+def papers() -> Table:
+    return Table(
+        table_schema(
+            "papers",
+            [("id", DataType.INTEGER), ("title", DataType.TEXT),
+             ("year", DataType.INTEGER)],
+            primary_key="id",
+        )
+    )
+
+
+class TestInsert:
+    def test_positional(self, papers):
+        stored = papers.insert([1, "ETable", 2016])
+        assert stored == (1, "ETable", 2016)
+        assert len(papers) == 1
+
+    def test_mapping(self, papers):
+        papers.insert({"id": 2, "title": "QBE", "year": 1977})
+        assert papers.get_by_pk(2) == (2, "QBE", 1977)
+
+    def test_mapping_missing_column_becomes_null(self, papers):
+        papers.insert({"id": 3, "title": "NoYear"})
+        assert papers.get_by_pk(3)[2] is None
+
+    def test_unknown_column_rejected(self, papers):
+        with pytest.raises(SchemaError):
+            papers.insert({"id": 4, "pages": 10})
+
+    def test_wrong_arity_rejected(self, papers):
+        with pytest.raises(SchemaError):
+            papers.insert([1, "x"])
+
+    def test_coercion_applied(self, papers):
+        stored = papers.insert(["5", "Title", "2001"])
+        assert stored == (5, "Title", 2001)
+
+    def test_duplicate_pk_rejected(self, papers):
+        papers.insert([1, "a", 2000])
+        with pytest.raises(PrimaryKeyViolation):
+            papers.insert([1, "b", 2001])
+
+    def test_null_pk_rejected(self, papers):
+        with pytest.raises(NotNullViolation):
+            papers.insert([None, "a", 2000])
+
+    def test_not_null_column(self):
+        table = Table(
+            table_schema("t", [("a", DataType.TEXT, False)])
+        )
+        with pytest.raises(NotNullViolation):
+            table.insert([None])
+
+    def test_insert_many(self, papers):
+        count = papers.insert_many([[1, "a", 2000], [2, "b", 2001]])
+        assert count == 2 and len(papers) == 2
+
+
+class TestLookup:
+    def test_get_by_pk_found(self, papers):
+        papers.insert([1, "a", 2000])
+        assert papers.get_by_pk(1) == (1, "a", 2000)
+
+    def test_get_by_pk_missing(self, papers):
+        assert papers.get_by_pk(99) is None
+
+    def test_get_by_pk_without_pk_raises(self):
+        table = Table(table_schema("t", [("a", DataType.INTEGER)]))
+        with pytest.raises(SchemaError):
+            table.get_by_pk(1)
+
+    def test_has_pk(self, papers):
+        papers.insert([1, "a", 2000])
+        assert papers.has_pk(1) and not papers.has_pk(2)
+
+    def test_lookup_without_index(self, papers):
+        papers.insert([1, "a", 2000])
+        papers.insert([2, "b", 2000])
+        assert len(papers.lookup("year", 2000)) == 2
+
+    def test_lookup_with_index(self, papers):
+        papers.insert([1, "a", 2000])
+        papers.insert([2, "b", 2001])
+        papers.create_index("year")
+        assert papers.lookup("year", 2001) == [(2, "b", 2001)]
+
+    def test_index_updates_on_insert(self, papers):
+        papers.create_index("year")
+        papers.insert([1, "a", 2005])
+        assert papers.lookup("year", 2005) == [(1, "a", 2005)]
+
+    def test_column_values(self, papers):
+        papers.insert([1, "a", 2000])
+        papers.insert([2, "b", 2001])
+        assert papers.column_values("year") == [2000, 2001]
+
+    def test_distinct_values_skip_null_and_dups(self, papers):
+        papers.insert([1, "a", 2000])
+        papers.insert([2, "b", None])
+        papers.insert([3, "c", 2000])
+        assert papers.distinct_values("year") == [2000]
+
+    def test_as_dicts(self, papers):
+        papers.insert([1, "a", 2000])
+        assert papers.as_dicts() == [{"id": 1, "title": "a", "year": 2000}]
+
+    def test_iteration(self, papers):
+        papers.insert([1, "a", 2000])
+        assert list(papers) == [(1, "a", 2000)]

@@ -1,0 +1,147 @@
+"""Unit tests for the study protocol, statistics, and ratings model."""
+
+import pytest
+
+from repro.study.ratings import QUESTIONS, simulate_ratings
+from repro.study.simulate import (
+    ETABLE,
+    NAVICAT,
+    StudyConfig,
+    prepare_tasks,
+    run_study,
+)
+from repro.study.stats import (
+    ci95_halfwidth,
+    likert_summary,
+    mean,
+    paired_t_test,
+    task_stats,
+)
+
+
+@pytest.fixture(scope="module")
+def study(academic, academic_db):
+    return run_study(
+        academic_db, academic.schema, academic.graph, StudyConfig(seed=42)
+    )
+
+
+class TestProtocol:
+    def test_all_cells_present(self, study):
+        # 12 participants × 2 conditions × 6 tasks.
+        assert len(study.outcomes) == 144
+
+    def test_etable_wins_every_task(self, study):
+        for stats in study.per_task:
+            assert stats.etable_mean < stats.navicat_mean
+
+    def test_aggregate_tasks_most_significant(self, study):
+        p_values = {s.task_id: s.p_value for s in study.per_task}
+        assert p_values[5] < 0.01
+        assert p_values[6] < 0.01
+
+    def test_times_capped(self, study):
+        for outcome in study.outcomes.values():
+            assert 0 < outcome.seconds <= 300.0
+
+    def test_etable_scripts_all_correct(self, study):
+        for (_, condition, _), outcome in study.outcomes.items():
+            if condition == ETABLE:
+                assert outcome.correct
+
+    def test_deterministic(self, academic, academic_db, study):
+        again = run_study(
+            academic_db, academic.schema, academic.graph, StudyConfig(seed=42)
+        )
+        for key, outcome in study.outcomes.items():
+            assert again.outcomes[key].seconds == outcome.seconds
+
+    def test_speedup_helper(self, study):
+        for participant in study.participants:
+            assert study.participant_speedup(participant.participant_id) > 1.0
+
+    def test_prepare_tasks_validates_scripts(self, academic, academic_db):
+        prepared = prepare_tasks(academic_db, academic.schema, academic.graph)
+        assert set(prepared) == {"A", "B"}
+        for bundle in prepared.values():
+            assert all(task.etable_correct for task in bundle)
+
+    def test_navicat_variance_larger(self, study):
+        """The paper: 'task completion times for ETable generally have low
+        variance. The larger variance in Navicat is mainly due to syntax
+        errors'."""
+        total_et = sum(
+            ci95_halfwidth(study.times(ETABLE, task_id))
+            for task_id in range(1, 7)
+        )
+        total_nv = sum(
+            ci95_halfwidth(study.times(NAVICAT, task_id))
+            for task_id in range(1, 7)
+        )
+        assert total_nv > total_et
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_ci_zero_for_single_sample(self):
+        assert ci95_halfwidth([5.0]) == 0.0
+
+    def test_ci_positive(self):
+        assert ci95_halfwidth([1.0, 2.0, 3.0]) > 0
+
+    def test_paired_t_test_consistent_difference_significant(self):
+        p = paired_t_test([1.0, 2.0, 3.0, 4.0], [2.1, 3.0, 4.2, 5.1])
+        assert p < 0.01  # near-constant difference: highly significant
+
+    def test_paired_t_test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            paired_t_test([1.0], [1.0, 2.0])
+
+    def test_task_stats_markers(self):
+        stats = task_stats(1, [10.0] * 12, [30.0 + i * 0.01 for i in range(12)])
+        assert stats.significance == "*"
+        assert stats.speedup == pytest.approx(3.0, rel=0.01)
+
+    def test_likert_summary(self):
+        assert likert_summary([6, 7, 5]) == 6.0
+
+
+class TestRatings:
+    def test_shapes(self, study):
+        ratings = simulate_ratings(study)
+        assert len(ratings.ratings) == 10
+        for values in ratings.ratings.values():
+            assert len(values) == 12
+            assert all(1 <= value <= 7 for value in values)
+
+    def test_means_positive_overall(self, study):
+        ratings = simulate_ratings(study)
+        means = ratings.means()
+        assert all(m >= 5.0 for m in means.values())
+
+    def test_interpretation_question_lowest_tier(self, study):
+        """Q5 ('helpful to interpret') was the paper's lowest-rated item."""
+        ratings = simulate_ratings(study)
+        means = ratings.means()
+        q5 = means["Helpful to interpret and understand results"]
+        assert q5 <= min(means.values()) + 0.35
+
+    def test_preferences_bounded(self, study):
+        ratings = simulate_ratings(study)
+        for count in ratings.preferences.values():
+            assert 0 <= count <= 12
+
+    def test_learn_and_browse_near_unanimous(self, study):
+        ratings = simulate_ratings(study)
+        assert ratings.preferences["Easier to learn"] >= 10
+        assert ratings.preferences[
+            "More helpful in browsing and exploring data"
+        ] >= 10
+
+    def test_deterministic(self, study):
+        first = simulate_ratings(study)
+        second = simulate_ratings(study)
+        assert first.ratings == second.ratings
+        assert first.preferences == second.preferences

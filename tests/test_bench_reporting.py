@@ -1,0 +1,79 @@
+"""Unit tests for the benchmark reporting helpers and error hierarchy."""
+
+import json
+
+import pytest
+
+from repro import errors
+from repro.bench.reporting import banner, format_table, save_result
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "long header"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "long header" in lines[0]
+
+    def test_title(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159]])
+        assert "3.1" in text and "3.14159" not in text
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+
+class TestSaveResult:
+    def test_writes_json(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            "repro.bench.reporting.RESULTS_DIR", tmp_path / "results"
+        )
+        path = save_result("demo", {"value": 1, "nested": {"x": [1, 2]}})
+        assert path.exists()
+        with path.open() as handle:
+            assert json.load(handle) == {"value": 1, "nested": {"x": [1, 2]}}
+
+    def test_non_serializable_values_stringified(self, tmp_path, monkeypatch):
+        monkeypatch.setattr(
+            "repro.bench.reporting.RESULTS_DIR", tmp_path / "results"
+        )
+        path = save_result("demo", {"value": {1, 2}})
+        assert path.exists()
+
+
+class TestBanner:
+    def test_contains_text(self):
+        assert "hello" in banner("hello")
+
+    def test_minimum_width(self):
+        assert max(len(line) for line in banner("x").splitlines()) >= 60
+
+
+class TestErrorHierarchy:
+    def test_all_errors_are_repro_errors(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+    def test_layer_bases(self):
+        assert issubclass(errors.PrimaryKeyViolation, errors.ConstraintViolation)
+        assert issubclass(errors.ConstraintViolation, errors.RelationalError)
+        assert issubclass(errors.UnknownNodeType, errors.TgmError)
+        assert issubclass(errors.InvalidQueryPattern, errors.EtableError)
+        assert issubclass(errors.TaskDefinitionError, errors.StudyError)
+
+    def test_sql_syntax_error_position(self):
+        error = errors.SqlSyntaxError("bad token", position=7)
+        assert error.position == 7
+        assert "position 7" in str(error)
+
+    def test_sql_syntax_error_without_position(self):
+        error = errors.SqlSyntaxError("bad token")
+        assert error.position is None

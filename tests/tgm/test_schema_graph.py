@@ -1,0 +1,131 @@
+"""Unit tests for the TGDB schema graph."""
+
+import pytest
+
+from repro.errors import SchemaError, TgmError, UnknownEdgeType, UnknownNodeType
+from repro.tgm.schema_graph import (
+    EdgeTypeCategory,
+    NodeType,
+    NodeTypeCategory,
+    SchemaGraph,
+)
+
+
+def graph_with_papers_authors() -> SchemaGraph:
+    schema = SchemaGraph("test")
+    schema.add_node_type(NodeType("Papers", ("id", "title"), "title"))
+    schema.add_node_type(NodeType("Authors", ("id", "name"), "name"))
+    schema.add_edge_type_pair(
+        "Papers->Authors", "Authors->Papers",
+        source="Papers", target="Authors",
+        category=EdgeTypeCategory.MANY_TO_MANY,
+        forward_display="Authors", reverse_display="Papers",
+    )
+    return schema
+
+
+class TestNodeType:
+    def test_label_must_be_attribute(self):
+        with pytest.raises(SchemaError):
+            NodeType("T", ("a",), "missing")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SchemaError):
+            NodeType("", ("a",), "a")
+
+    def test_default_category(self):
+        node_type = NodeType("T", ("a",), "a")
+        assert node_type.category is NodeTypeCategory.ENTITY
+
+
+class TestSchemaGraph:
+    def test_node_type_lookup(self):
+        schema = graph_with_papers_authors()
+        assert schema.node_type("Papers").label_attribute == "title"
+        assert schema.has_node_type("Authors")
+        assert not schema.has_node_type("Missing")
+
+    def test_duplicate_node_type_rejected(self):
+        schema = graph_with_papers_authors()
+        with pytest.raises(SchemaError):
+            schema.add_node_type(NodeType("Papers", ("id",), "id"))
+
+    def test_unknown_node_type(self):
+        with pytest.raises(UnknownNodeType):
+            graph_with_papers_authors().node_type("Missing")
+
+    def test_edge_type_endpoints_validated(self):
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType("A", ("x",), "x"))
+        with pytest.raises(UnknownNodeType):
+            schema.add_edge_type(
+                "A->B", "A", "B", EdgeTypeCategory.ONE_TO_MANY
+            )
+
+    def test_duplicate_edge_type_rejected(self):
+        schema = graph_with_papers_authors()
+        with pytest.raises(SchemaError):
+            schema.add_edge_type(
+                "Papers->Authors", "Papers", "Authors",
+                EdgeTypeCategory.MANY_TO_MANY,
+            )
+
+    def test_edge_pair_reverse_links(self):
+        schema = graph_with_papers_authors()
+        forward = schema.edge_type("Papers->Authors")
+        assert forward.reverse_name == "Authors->Papers"
+        reverse = schema.reverse_of("Papers->Authors")
+        assert reverse.source == "Authors" and reverse.target == "Papers"
+        assert schema.reverse_of(reverse.name).name == forward.name
+
+    def test_reverse_of_unpaired_edge(self):
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType("A", ("x",), "x"))
+        schema.add_edge_type("loop", "A", "A", EdgeTypeCategory.ONE_TO_MANY)
+        with pytest.raises(TgmError):
+            schema.reverse_of("loop")
+
+    def test_edges_from(self):
+        schema = graph_with_papers_authors()
+        names = [edge.name for edge in schema.edges_from("Papers")]
+        assert names == ["Papers->Authors"]
+
+    def test_edges_from_unknown_type(self):
+        with pytest.raises(UnknownNodeType):
+            graph_with_papers_authors().edges_from("Missing")
+
+    def test_edges_between(self):
+        schema = graph_with_papers_authors()
+        assert len(schema.edges_between("Papers", "Authors")) == 1
+        assert schema.edges_between("Authors", "Authors") == []
+
+    def test_unknown_edge_type(self):
+        with pytest.raises(UnknownEdgeType):
+            graph_with_papers_authors().edge_type("nope")
+
+    def test_unique_edge_name(self):
+        schema = graph_with_papers_authors()
+        assert schema.unique_edge_name("fresh") == "fresh"
+        assert schema.unique_edge_name("Papers->Authors") == "Papers->Authors #2"
+
+    def test_entity_types_filter(self):
+        schema = graph_with_papers_authors()
+        schema.add_node_type(
+            NodeType(
+                "Papers: year", ("year",), "year",
+                category=NodeTypeCategory.CATEGORICAL_ATTRIBUTE,
+            )
+        )
+        assert [t.name for t in schema.entity_types] == ["Papers", "Authors"]
+
+    def test_is_self_loop(self):
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType("A", ("x",), "x"))
+        edge = schema.add_edge_type(
+            "loop", "A", "A", EdgeTypeCategory.MANY_TO_MANY
+        )
+        assert edge.is_self_loop
+
+    def test_to_ascii_mentions_types(self):
+        text = graph_with_papers_authors().to_ascii()
+        assert "[Papers]" in text and "Authors" in text

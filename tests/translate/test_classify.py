@@ -1,0 +1,124 @@
+"""Unit tests for relation classification (Appendix A / Table 1)."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.relational.database import Database
+from repro.relational.datatypes import DataType
+from repro.relational.schema import ForeignKey, table_schema
+from repro.translate.classify import RelationClass, classify_database
+
+
+class TestAcademicClassification:
+    def test_entity_relations(self, academic_db):
+        classified = classify_database(academic_db)
+        for name in ("Conferences", "Institutions", "Authors", "Papers"):
+            assert classified[name].relation_class is RelationClass.ENTITY
+
+    def test_relationship_relations(self, academic_db):
+        classified = classify_database(academic_db)
+        assert classified["Paper_Authors"].relation_class is RelationClass.MANY_TO_MANY
+        assert (
+            classified["Paper_References"].relation_class
+            is RelationClass.MANY_TO_MANY
+        )
+
+    def test_multivalued_relation(self, academic_db):
+        classified = classify_database(academic_db)
+        info = classified["Paper_Keywords"]
+        assert info.relation_class is RelationClass.MULTIVALUED
+        assert info.value_column == "keyword"
+
+    def test_mn_foreign_keys_ordered_by_pk(self, academic_db):
+        classified = classify_database(academic_db)
+        fks = classified["Paper_Authors"].foreign_keys
+        assert fks[0].ref_table == "Papers"
+        assert fks[1].ref_table == "Authors"
+
+    def test_entity_one_to_many_fks_recorded(self, academic_db):
+        classified = classify_database(academic_db)
+        assert [fk.ref_table for fk in classified["Authors"].foreign_keys] == [
+            "Institutions"
+        ]
+
+
+class TestRejections:
+    def test_missing_primary_key(self):
+        db = Database()
+        db.create_table(table_schema("t", [("a", DataType.INTEGER)]))
+        with pytest.raises(TranslationError):
+            classify_database(db)
+
+    def test_multivalued_with_extra_columns_rejected(self):
+        db = Database()
+        db.create_table(
+            table_schema("e", [("id", DataType.INTEGER)], primary_key="id")
+        )
+        db.create_table(
+            table_schema(
+                "attrs",
+                [("e_id", DataType.INTEGER), ("value", DataType.TEXT),
+                 ("extra", DataType.TEXT)],
+                primary_key=["e_id", "value"],
+                foreign_keys=[ForeignKey("e_id", "e", "id")],
+            )
+        )
+        with pytest.raises(TranslationError):
+            classify_database(db)
+
+    def test_ternary_relationship_rejected(self):
+        db = Database()
+        for name in ("a", "b", "c"):
+            db.create_table(
+                table_schema(name, [("id", DataType.INTEGER)], primary_key="id")
+            )
+        db.create_table(
+            table_schema(
+                "ternary",
+                [("a_id", DataType.INTEGER), ("b_id", DataType.INTEGER),
+                 ("c_id", DataType.INTEGER)],
+                primary_key=["a_id", "b_id", "c_id"],
+                foreign_keys=[
+                    ForeignKey("a_id", "a", "id"),
+                    ForeignKey("b_id", "b", "id"),
+                    ForeignKey("c_id", "c", "id"),
+                ],
+            )
+        )
+        with pytest.raises(TranslationError):
+            classify_database(db)
+
+    def test_relationship_onto_non_entity_rejected(self):
+        db = Database()
+        db.create_table(
+            table_schema("e", [("id", DataType.INTEGER)], primary_key="id")
+        )
+        db.create_table(
+            table_schema(
+                "mv",
+                [("e_id", DataType.INTEGER), ("v", DataType.TEXT)],
+                primary_key=["e_id", "v"],
+                foreign_keys=[ForeignKey("e_id", "e", "id")],
+            )
+        )
+        # A second table with a FK onto the multivalued relation's pk part
+        # would make that FK dangle; simulate with a junction onto mv.
+        db.create_table(
+            table_schema(
+                "bad",
+                [("x", DataType.INTEGER), ("y", DataType.INTEGER)],
+                primary_key=["x", "y"],
+                foreign_keys=[
+                    ForeignKey("x", "e", "id"),
+                    ForeignKey("y", "mv", "e_id"),
+                ],
+            )
+        )
+        with pytest.raises(TranslationError):
+            classify_database(db)
+
+    def test_movies_classification(self, movies_db):
+        classified = classify_database(movies_db)
+        assert classified["Movies"].relation_class is RelationClass.ENTITY
+        assert classified["Movie_Cast"].relation_class is RelationClass.MANY_TO_MANY
+        assert classified["Movie_Genres"].relation_class is RelationClass.MULTIVALUED

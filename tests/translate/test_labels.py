@@ -1,0 +1,110 @@
+"""Unit tests for label-attribute selection heuristics."""
+
+from repro.relational.database import Database
+from repro.relational.datatypes import DataType
+from repro.relational.schema import ForeignKey, table_schema
+from repro.relational.table import Table
+from repro.translate.labels import choose_label_attribute, is_categorical_candidate
+
+
+def make_table(columns, rows, primary_key="id", foreign_keys=()):
+    table = Table(
+        table_schema("t", columns, primary_key=primary_key,
+                     foreign_keys=foreign_keys)
+    )
+    for row in rows:
+        table.insert(row)
+    return table
+
+
+class TestChooseLabel:
+    def test_prefers_name_column(self):
+        table = make_table(
+            [("id", DataType.INTEGER), ("name", DataType.TEXT),
+             ("note", DataType.TEXT)],
+            [[1, "a", "x"], [2, "b", "y"]],
+        )
+        assert choose_label_attribute(table) == "name"
+
+    def test_prefers_title_over_plain_text(self):
+        table = make_table(
+            [("id", DataType.INTEGER), ("remark", DataType.TEXT),
+             ("title", DataType.TEXT)],
+            [[1, "r", "t"]],
+        )
+        assert choose_label_attribute(table) == "title"
+
+    def test_text_beats_numbers(self):
+        table = make_table(
+            [("id", DataType.INTEGER), ("score", DataType.REAL),
+             ("descr", DataType.TEXT)],
+            [[1, 0.5, "hello"]],
+        )
+        assert choose_label_attribute(table) == "descr"
+
+    def test_override_wins(self):
+        table = make_table(
+            [("id", DataType.INTEGER), ("name", DataType.TEXT),
+             ("acronym", DataType.TEXT)],
+            [[1, "full", "F"]],
+        )
+        assert choose_label_attribute(table, override="acronym") == "acronym"
+
+    def test_distinctness_breaks_ties(self):
+        table = make_table(
+            [("id", DataType.INTEGER), ("kind", DataType.TEXT),
+             ("code", DataType.TEXT)],
+            [[1, "same", "u1"], [2, "same", "u2"]],
+        )
+        assert choose_label_attribute(table) == "code"
+
+    def test_fk_columns_deprioritized(self):
+        table = make_table(
+            [("id", DataType.INTEGER), ("other_id", DataType.TEXT),
+             ("word", DataType.TEXT)],
+            [[1, "9", "w"]],
+            foreign_keys=[ForeignKey("other_id", "elsewhere", "id")],
+        )
+        assert choose_label_attribute(table) == "word"
+
+    def test_empty_table_still_picks_something(self):
+        table = make_table(
+            [("id", DataType.INTEGER), ("name", DataType.TEXT)], []
+        )
+        assert choose_label_attribute(table) == "name"
+
+
+class TestCategoricalCandidate:
+    def test_low_cardinality_accepted(self):
+        table = make_table(
+            [("id", DataType.INTEGER), ("country", DataType.TEXT)],
+            [[i, "USA" if i % 2 else "Korea"] for i in range(1, 11)],
+        )
+        assert is_categorical_candidate(table, "country")
+
+    def test_high_cardinality_rejected(self):
+        table = make_table(
+            [("id", DataType.INTEGER), ("name", DataType.TEXT)],
+            [[i, f"name{i}"] for i in range(1, 41)],
+        )
+        assert not is_categorical_candidate(table, "name")
+
+    def test_primary_key_rejected(self):
+        table = make_table(
+            [("id", DataType.INTEGER), ("x", DataType.TEXT)], [[1, "a"]]
+        )
+        assert not is_categorical_candidate(table, "id")
+
+    def test_empty_table_rejected(self):
+        table = make_table(
+            [("id", DataType.INTEGER), ("x", DataType.TEXT)], []
+        )
+        assert not is_categorical_candidate(table, "x")
+
+    def test_custom_threshold(self):
+        table = make_table(
+            [("id", DataType.INTEGER), ("x", DataType.TEXT)],
+            [[i, f"v{i % 5}"] for i in range(1, 21)],
+        )
+        assert is_categorical_candidate(table, "x", max_cardinality=5)
+        assert not is_categorical_candidate(table, "x", max_cardinality=4)

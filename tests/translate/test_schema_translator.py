@@ -1,0 +1,136 @@
+"""Unit tests for relational schema → TGDB schema graph (Figure 4)."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.tgm.schema_graph import EdgeTypeCategory, NodeTypeCategory
+from repro.translate import default_categorical_attributes, translate_schema
+
+
+class TestNodeTypes:
+    def test_figure4_node_types(self, academic):
+        names = {t.name for t in academic.schema.node_types}
+        assert names == {
+            "Conferences", "Institutions", "Authors", "Papers",
+            "Paper_Keywords: keyword", "Papers: year", "Institutions: country",
+        }
+
+    def test_entity_attributes_complete(self, academic):
+        papers = academic.schema.node_type("Papers")
+        assert set(papers.attributes) == {
+            "id", "conference_id", "title", "year", "page_start", "page_end"
+        }
+
+    def test_label_overrides_applied(self, academic):
+        assert academic.schema.node_type("Conferences").label_attribute == "acronym"
+        assert academic.schema.node_type("Papers").label_attribute == "title"
+
+    def test_multivalued_node_type(self, academic):
+        keyword = academic.schema.node_type("Paper_Keywords: keyword")
+        assert keyword.category is NodeTypeCategory.MULTIVALUED_ATTRIBUTE
+        assert keyword.attributes == ("keyword",)
+        assert keyword.label_attribute == "keyword"
+
+    def test_categorical_node_types(self, academic):
+        year = academic.schema.node_type("Papers: year")
+        assert year.category is NodeTypeCategory.CATEGORICAL_ATTRIBUTE
+        country = academic.schema.node_type("Institutions: country")
+        assert country.category is NodeTypeCategory.CATEGORICAL_ATTRIBUTE
+
+
+class TestEdgeTypes:
+    def test_every_edge_has_reverse(self, academic):
+        for edge in academic.schema.edge_types:
+            assert edge.reverse_name is not None
+            reverse = academic.schema.edge_type(edge.reverse_name)
+            assert reverse.source == edge.target
+            assert reverse.target == edge.source
+
+    def test_fk_edge_pair(self, academic):
+        edge = academic.schema.edge_type("Papers->Conferences")
+        assert edge.category is EdgeTypeCategory.ONE_TO_MANY
+        assert edge.display_name == "Conferences"
+        reverse = academic.schema.edge_type(edge.reverse_name)
+        assert reverse.display_name == "Papers"
+
+    def test_mn_edge_pair(self, academic):
+        edge = academic.schema.edge_type("Papers->Authors")
+        assert edge.category is EdgeTypeCategory.MANY_TO_MANY
+
+    def test_self_mn_gets_referenced_referencing(self, academic):
+        forward = academic.schema.edge_type("Papers->Papers (referenced)")
+        reverse = academic.schema.edge_type(forward.reverse_name)
+        assert forward.display_name == "Papers (referenced)"
+        assert reverse.display_name == "Papers (referencing)"
+        assert forward.source == forward.target == "Papers"
+
+    def test_mv_edge_pair(self, academic):
+        edge = academic.schema.edge_type("Papers->Paper_Keywords")
+        assert edge.category is EdgeTypeCategory.MULTIVALUED_ATTRIBUTE
+        assert edge.target == "Paper_Keywords: keyword"
+
+    def test_categorical_edges(self, academic):
+        edge = academic.schema.edge_type("Papers->Papers: year")
+        assert edge.category is EdgeTypeCategory.CATEGORICAL_ATTRIBUTE
+
+    def test_neighbor_columns_of_papers(self, academic):
+        displays = [e.display_name for e in academic.schema.edges_from("Papers")]
+        assert displays == [
+            "Conferences", "Authors", "Papers (referenced)",
+            "Papers (referencing)", "Paper_Keywords", "Papers: year",
+        ]
+
+    def test_mn_edge_attributes_recorded(self, academic):
+        edge = academic.schema.edge_type("Papers->Authors")
+        assert edge.attributes == ("author_position",)
+
+
+class TestTranslationMap:
+    def test_entity_mapping(self, academic):
+        mapping = academic.mapping.nodes["Papers"]
+        assert mapping.table == "Papers" and mapping.key_column == "id"
+
+    def test_mv_mapping(self, academic):
+        mapping = academic.mapping.nodes["Paper_Keywords: keyword"]
+        assert mapping.table == "Paper_Keywords"
+        assert mapping.key_column == "keyword"
+        assert mapping.owner_table == "Papers"
+
+    def test_fk_edge_mapping(self, academic):
+        entry = academic.mapping.edges["Papers->Conferences"]
+        assert entry.kind == "fk_forward"
+        assert entry.data["fk_column"] == "conference_id"
+        reverse = academic.mapping.edges["Conferences->Papers"]
+        assert reverse.kind == "fk_reverse"
+
+    def test_mn_edge_mapping(self, academic):
+        entry = academic.mapping.edges["Papers->Authors"]
+        assert entry.kind == "mn_forward"
+        assert entry.data["junction_table"] == "Paper_Authors"
+
+    def test_node_for_missing_table(self, academic):
+        with pytest.raises(TranslationError):
+            academic.mapping.node_for_table("Paper_Keywords")
+
+
+class TestOptions:
+    def test_categorical_owner_must_be_entity(self, academic_db):
+        with pytest.raises(TranslationError):
+            translate_schema(
+                academic_db,
+                categorical_attributes={"Paper_Keywords": ["keyword"]},
+            )
+
+    def test_categorical_column_must_exist(self, academic_db):
+        with pytest.raises(TranslationError):
+            translate_schema(
+                academic_db, categorical_attributes={"Papers": ["venue"]}
+            )
+
+    def test_default_categorical_suggestions(self, academic_db):
+        suggestions = default_categorical_attributes(academic_db)
+        assert "country" in suggestions.get("Institutions", [])
+
+    def test_translation_without_categoricals(self, academic_db):
+        schema, _mapping = translate_schema(academic_db)
+        assert not schema.has_node_type("Papers: year")
