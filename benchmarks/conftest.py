@@ -17,6 +17,12 @@ from repro.datasets.academic import (
     default_label_overrides,
     generate_academic,
 )
+from repro.datasets.movies import (
+    MoviesConfig,
+    generate_movies,
+    movies_categorical_attributes,
+    movies_label_overrides,
+)
 from repro.datasets.toy import generate_toy
 from repro.translate import translate_database
 
@@ -35,6 +41,20 @@ def bench_tgdb(bench_db):
         bench_db,
         categorical_attributes=default_categorical_attributes(),
         label_overrides=default_label_overrides(),
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_movies_db():
+    return generate_movies(MoviesConfig(movies=400, people=300, seed=11))
+
+
+@pytest.fixture(scope="session")
+def bench_movies_tgdb(bench_movies_db):
+    return translate_database(
+        bench_movies_db,
+        categorical_attributes=movies_categorical_attributes(),
+        label_overrides=movies_label_overrides(),
     )
 
 

@@ -21,6 +21,26 @@ Typical usage::
     session.filter(AttributeCompare("acronym", "=", "SIGMOD"))
     session.pivot("Papers")
     print(render_etable(session.current))
+
+Backend selection — the Section 6.2 SQL strategies run on any registered
+:class:`~repro.relational.backends.SqlBackend`. The default is the
+in-memory engine; pass ``backend="sqlite"`` (or a loaded backend instance,
+cheaper when issuing many queries) to execute the very same translated SQL
+on a real DBMS::
+
+    from repro.relational.backends import SqliteBackend, create_backend
+    from repro.core import execute_monolithic, execute_partitioned
+
+    backend = SqliteBackend(db)          # load once, query many times
+    result = execute_monolithic(
+        db, session.current.pattern, tgdb.schema, tgdb.mapping, tgdb.graph,
+        backend=backend,                 # or backend="sqlite" for one-shots
+    )
+
+Translated SQL is adapted to a backend's dialect by
+:func:`~repro.core.sql_translation.adapt_sql`; new engines only have to
+implement the backend protocol and register themselves (see
+``repro/relational/backends/base.py``).
 """
 
 from repro.core.actions import (
@@ -68,7 +88,12 @@ from repro.core.sql_execution import (
     graph_result_summary,
     results_equal,
 )
-from repro.core.sql_translation import SqlTranslation, pattern_to_sql
+from repro.core.sql_translation import (
+    SqlTranslation,
+    adapt_sql,
+    pattern_to_sql,
+    quote_identifier,
+)
 from repro.core.transform import duplication_factor, execute_pattern, transform
 
 __all__ = [
@@ -93,6 +118,7 @@ __all__ = [
     "action_pivot",
     "action_see_all",
     "action_single",
+    "adapt_sql",
     "add",
     "build_partitioned_queries",
     "duplication_factor",
@@ -107,6 +133,7 @@ __all__ = [
     "match",
     "pattern_cache_key",
     "pattern_to_sql",
+    "quote_identifier",
     "score_columns",
     "select_columns",
     "render_default_table_list",

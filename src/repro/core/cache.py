@@ -15,6 +15,7 @@ columns) is re-run per call so presentation state never leaks between hits.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -62,21 +63,21 @@ class CachingExecutor:
         self.graph = graph
         self.max_entries = max_entries
         self.stats = CacheStats()
-        self._store: dict[tuple, GraphRelation] = {}
+        self._store: OrderedDict[tuple, GraphRelation] = OrderedDict()
 
     def match(self, pattern: QueryPattern) -> GraphRelation:
         key = pattern_cache_key(pattern)
         cached = self._store.get(key)
         if cached is not None:
             self.stats.hits += 1
+            # LRU: a hit refreshes the entry so hot prefix patterns (re-hit
+            # on every incremental extension) survive eviction pressure.
+            self._store.move_to_end(key)
             return cached
         self.stats.misses += 1
         result = match(pattern, self.graph)
         if len(self._store) >= self.max_entries:
-            # FIFO eviction keeps the implementation transparent; browsing
-            # sessions rarely exceed a few dozen distinct patterns.
-            oldest = next(iter(self._store))
-            del self._store[oldest]
+            self._store.popitem(last=False)  # least recently used
         self._store[key] = result
         return result
 

@@ -193,10 +193,23 @@ class Repl:
         row = self._row(args[0])
         etable = self.session.current
         assert etable is not None
-        column = etable.column_by_display(" ".join(args[1:-1])) \
-            if len(args) > 2 and args[-1].isdigit() \
-            else etable.column_by_display(" ".join(args[1:]))
-        index = int(args[-1]) if len(args) > 2 and args[-1].isdigit() else 0
+        # The full tail is tried as a column name first so display names
+        # that end in a digit (e.g. "Top 10") resolve; only when that fails
+        # is a trailing integer treated as the reference index.
+        index = 0
+        try:
+            column = etable.column_by_display(" ".join(args[1:]))
+        except InvalidAction:
+            if not (len(args) > 2 and args[-1].isdigit()):
+                raise
+            try:
+                column = etable.column_by_display(" ".join(args[1:-1]))
+            except InvalidAction:
+                raise InvalidAction(
+                    f"no ETable column titled {' '.join(args[1:])!r} "
+                    f"or {' '.join(args[1:-1])!r}"
+                ) from None
+            index = int(args[-1])
         refs = row.refs(column.key)
         if not refs:
             raise InvalidAction(f"cell {column.display!r} is empty")
@@ -227,18 +240,19 @@ class Repl:
 
     def _cmd_rank(self, args: tuple[str, ...]) -> str:
         etable = self._require_table()
-        keep = int(args[0]) if args else 8
+        keep = _int_arg(args[0], "rank [k]") if args else 8
         ranking = select_columns(etable, keep=keep)
         lines = [item.explain() for item in ranking[:keep]]
         return "\n".join(lines + ["", self._table_text()])
 
     def _cmd_revert(self, args: tuple[str, ...]) -> str:
         _require(args, 1, "revert <step#>")
-        self.session.revert(int(args[0]) - 1)  # history is shown 1-based
+        step = _int_arg(args[0], "revert <step#>")  # history is shown 1-based
+        self.session.revert(step - 1)
         return self._table_text()
 
     def _cmd_rows(self, args: tuple[str, ...]) -> str:
-        count = int(args[0]) if args else self.max_rows
+        count = _int_arg(args[0], "rows [n]") if args else self.max_rows
         return self._table_text(max_rows=count)
 
     def _cmd_columns(self, args: tuple[str, ...]) -> str:
@@ -303,3 +317,19 @@ class Repl:
 def _require(args: tuple[str, ...], count: int, usage: str) -> None:
     if len(args) < count:
         raise InvalidAction(f"usage: {usage}")
+
+
+def _int_arg(text: str, usage: str, minimum: int = 1) -> int:
+    """Parse an integer command argument, reporting a usage error (not a
+    raw ``ValueError``) for non-numbers and out-of-range values."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise InvalidAction(
+            f"expected an integer, got {text!r}; usage: {usage}"
+        ) from None
+    if value < minimum:
+        raise InvalidAction(
+            f"expected an integer >= {minimum}, got {text}; usage: {usage}"
+        )
+    return value

@@ -9,16 +9,22 @@ These operators combine two enriched tables whose primary node types match:
 * :func:`etable_difference`   — rows of the left table absent from the right.
 
 Rows are identified by their primary node, so the combination is exact (no
-label collisions). The result keeps the *left* table's pattern and columns;
-participating cells for rows contributed only by the right table are
-re-derived by executing the left pattern restricted to those nodes — except
-for union, where cells of right-only rows fall back to the right table's
-cells for shared column keys and neighbor lookups otherwise.
+label collisions). The result keeps the *left* table's pattern and columns.
+For union, cells of right-only rows come from three sources: column keys
+both tables share keep the right table's cells, participating columns
+exclusive to the left pattern are re-derived by executing the left pattern
+restricted to those nodes — the identity restriction replaces the primary
+node's own row filters, other nodes' conditions stay, and nodes failing
+the structural pattern get empty cells — and neighbor columns are
+recomputed from raw adjacency.
 """
 
 from __future__ import annotations
 
+from typing import Iterable
+
 from repro.errors import InvalidOperator
+from repro.tgm.conditions import NodeIn
 from repro.core.etable import ColumnKind, ETable, ETableRow
 from repro.core.query_pattern import QueryPattern
 
@@ -54,21 +60,54 @@ def _rebuild_neighbor_cells(etable: ETable, row: ETableRow) -> None:
         ]
 
 
+def _rederive_left_rows(
+    left: ETable, node_ids: Iterable[int]
+) -> dict[int, ETableRow]:
+    """Execute the left pattern restricted to ``node_ids``.
+
+    Returns the re-derived rows by primary node id; nodes that do not match
+    the left pattern are simply absent. Used to fill participating columns
+    the right table cannot supply for transplanted rows.
+    """
+    from repro.core.operators import select as pattern_select
+    from repro.core.transform import execute_pattern  # local import, no cycle
+
+    # The node-identity restriction *replaces* the primary node's own row
+    # filters (which the transplanted rows fail by construction — that is
+    # why they are right-only); conditions on the other pattern nodes are
+    # kept, since they define what the participating cells contain.
+    restricted = pattern_select(
+        left.pattern, NodeIn(node_ids), replace_existing=True
+    )
+    rederived = execute_pattern(restricted, left.graph)
+    return {row.node_id: row for row in rederived.rows}
+
+
 def etable_union(left: ETable, right: ETable) -> ETable:
     """Rows of either table, left rows first, then right-only rows.
 
     Right-only rows keep the right table's cells for columns both tables
-    share; neighbor columns are recomputed; participating columns exclusive
-    to the left pattern are empty for them (the row never matched the left
-    pattern — exactly SQL UNION's positional semantics, made explicit).
+    share; participating columns exclusive to the left pattern are
+    re-derived by executing the left pattern restricted to those nodes
+    (rows that never matched the left pattern get empty cells there);
+    neighbor columns are recomputed.
     """
     _check_compatible(left, right)
     left_ids = {row.node_id for row in left.rows}
     rows = [_clone_row(row) for row in left.rows]
     left_keys = {column.key for column in left.columns}
-    for row in right.rows:
-        if row.node_id in left_ids:
-            continue
+    right_keys = {column.key for column in right.columns}
+    right_only = [row for row in right.rows if row.node_id not in left_ids]
+    exclusive = [
+        column for column in left.participating_columns()
+        if column.key not in right_keys
+    ]
+    rederived = (
+        _rederive_left_rows(left, (row.node_id for row in right_only))
+        if right_only and exclusive else {}
+    )
+    scaffold = ETable(left.pattern, left.columns, [], left.graph)
+    for row in right_only:
         transplanted = ETableRow(
             node_id=row.node_id,
             attributes=dict(row.attributes),
@@ -78,11 +117,13 @@ def etable_union(left: ETable, right: ETable) -> ETable:
             if key in left_keys:
                 transplanted.cells[key] = list(refs)
         for column in left.participating_columns():
-            transplanted.cells.setdefault(column.key, [])
-        result_placeholder = ETable(
-            left.pattern, left.columns, [], left.graph
-        )
-        _rebuild_neighbor_cells(result_placeholder, transplanted)
+            if column.key in transplanted.cells:
+                continue
+            source = rederived.get(row.node_id)
+            transplanted.cells[column.key] = (
+                list(source.refs(column.key)) if source else []
+            )
+        _rebuild_neighbor_cells(scaffold, transplanted)
         rows.append(transplanted)
     result = ETable(left.pattern, list(left.columns), rows, left.graph)
     result.hidden_columns = set(left.hidden_columns)

@@ -67,6 +67,10 @@ class SqlSemanticError(RelationalError):
     """The SQL parsed but is not executable (bad grouping, bad aggregate...)."""
 
 
+class UnknownBackend(RelationalError):
+    """A SQL backend name is not in the backend registry."""
+
+
 class TgmError(ReproError):
     """Base class for typed-graph-model errors."""
 

@@ -21,6 +21,14 @@ Public entry points::
     result = execute_sql(db, "SELECT acronym FROM conferences WHERE id = 1")
 """
 
+from repro.relational.backends import (
+    BackendCapabilities,
+    MemoryBackend,
+    SqlBackend,
+    SqliteBackend,
+    backend_names,
+    create_backend,
+)
 from repro.relational.algebra import (
     AggregateSpec,
     Relation,
@@ -67,6 +75,7 @@ __all__ = [
     "AggregateSpec",
     "And",
     "Arithmetic",
+    "BackendCapabilities",
     "Column",
     "ColumnRef",
     "Comparison",
@@ -79,16 +88,21 @@ __all__ = [
     "IsNull",
     "Like",
     "Literal",
+    "MemoryBackend",
     "Not",
     "Or",
     "Relation",
     "Scope",
     "SortKey",
+    "SqlBackend",
+    "SqliteBackend",
     "Table",
     "TableSchema",
+    "backend_names",
     "coerce",
     "column",
     "conjoin",
+    "create_backend",
     "cross_join",
     "distinct",
     "equals",

@@ -1,0 +1,149 @@
+"""The pluggable SQL-backend protocol (Section 6.2's server tier).
+
+The paper's prototype runs its translated queries on PostgreSQL; this
+reproduction historically ran them only on the hand-rolled in-memory engine
+in :mod:`repro.relational.sql`. A :class:`SqlBackend` abstracts "something
+that can hold a :class:`~repro.relational.database.Database` and execute the
+SQL our translation layer emits", so the execution strategies in
+:mod:`repro.core.sql_execution` are engine-agnostic: any DBMS that can
+implement this protocol (SQLite today; Postgres or DuckDB tomorrow) slots in
+without touching the translation or merging code.
+
+Backends advertise :class:`BackendCapabilities` so callers can adapt emitted
+SQL to the engine's dialect (see :func:`repro.core.sql_translation.adapt_sql`)
+and refuse strategies the engine cannot run (the monolithic Section-8 pattern
+needs the ``ENT_LIST`` aggregate).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import ClassVar
+
+from repro.errors import EtableError, UnknownBackend
+from repro.relational.algebra import Relation
+from repro.relational.database import Database
+
+
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What an engine can do, and which SQL dialect it speaks.
+
+    ``dialect`` names the flavour understood by ``adapt_sql``; ``"memory"``
+    is the canonical dialect every translator emits. ``ent_list`` means the
+    backend provides the Section-8 ``ENT_LIST`` aggregate (required by the
+    monolithic strategy; the partitioned strategy works without it).
+    ``preserves_booleans`` is False for engines whose type affinity folds
+    booleans into integers on load (SQLite).
+    """
+
+    dialect: str
+    ent_list: bool = True
+    preserves_booleans: bool = True
+    persistent: bool = False
+
+
+class SqlBackend(abc.ABC):
+    """One SQL engine holding one loaded :class:`Database`.
+
+    Lifecycle: construct (optionally with a database), :meth:`load`, then any
+    number of :meth:`execute` calls, then :meth:`close`. ``execute`` expects
+    SQL already in the backend's dialect — run canonical (memory-dialect)
+    text through :func:`repro.core.sql_translation.adapt_sql` first; the
+    execution strategies in :mod:`repro.core.sql_execution` do this for you.
+    """
+
+    name: ClassVar[str]
+    capabilities: ClassVar[BackendCapabilities]
+
+    def __init__(self, database: Database | None = None) -> None:
+        self._database: Database | None = None
+        if database is not None:
+            self.load(database)
+
+    # ------------------------------------------------------------------
+    @property
+    def database(self) -> Database | None:
+        return self._database
+
+    @property
+    def is_loaded(self) -> bool:
+        return self._database is not None
+
+    def load(self, database: Database) -> None:
+        """(Re)load the backend with the catalog and rows of ``database``."""
+        self._do_load(database)
+        self._database = database
+
+    @abc.abstractmethod
+    def _do_load(self, database: Database) -> None:
+        """Engine-specific loading; runs before ``self._database`` is set."""
+
+    @abc.abstractmethod
+    def execute(self, sql: str) -> Relation:
+        """Execute one dialect-adapted SELECT and return its result."""
+
+    def close(self) -> None:
+        """Release engine resources; the backend may be reloaded afterwards."""
+
+    # ------------------------------------------------------------------
+    def _require_loaded(self) -> Database:
+        if self._database is None:
+            raise EtableError(
+                f"backend {self.name!r} has no database loaded; call load()"
+            )
+        return self._database
+
+    def __enter__(self) -> "SqlBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        loaded = self._database.name if self._database else "<empty>"
+        return f"{type(self).__name__}({loaded})"
+
+
+def quote_identifier(name: str, dialect: str = "sqlite") -> str:
+    """Quote ``name`` so reserved words survive as identifiers.
+
+    Both supported dialects accept standard double-quoting; the parameter
+    exists so future backends with other conventions keep one entry point.
+    ``adapt_sql`` leaves double-quoted spans untouched, so quoted
+    identifiers are safe from its keyword rewriting.
+    """
+    del dialect  # every current dialect uses SQL-standard double quotes
+    return '"' + name.replace('"', '""') + '"'
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_REGISTRY: dict[str, type[SqlBackend]] = {}
+
+
+def register_backend(cls: type[SqlBackend]) -> type[SqlBackend]:
+    """Class decorator adding a backend to the by-name registry."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def backend_names() -> list[str]:
+    """Registered backend names, in registration order."""
+    return list(_REGISTRY)
+
+
+def backend_class(name: str) -> type[SqlBackend]:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownBackend(
+            f"unknown SQL backend {name!r}; available: {backend_names()}"
+        ) from None
+
+
+def create_backend(name: str, database: Database | None = None) -> SqlBackend:
+    """Instantiate a registered backend, optionally loading ``database``."""
+    return backend_class(name)(database)

@@ -1,0 +1,33 @@
+"""The in-memory engine behind the :class:`SqlBackend` protocol.
+
+This wraps :func:`repro.relational.sql.executor.execute_sql` — the engine
+every strategy ran on before backends existed — so the default execution
+path stays byte-compatible: loading is a no-op (the engine queries the
+:class:`Database` catalog directly) and execution is a straight delegation.
+"""
+
+from __future__ import annotations
+
+from repro.relational.algebra import Relation
+from repro.relational.backends.base import (
+    BackendCapabilities,
+    SqlBackend,
+    register_backend,
+)
+from repro.relational.database import Database
+
+
+@register_backend
+class MemoryBackend(SqlBackend):
+    """Zero-copy backend over the hand-rolled in-memory SQL engine."""
+
+    name = "memory"
+    capabilities = BackendCapabilities(dialect="memory")
+
+    def _do_load(self, database: Database) -> None:
+        pass  # the engine reads the catalog in place; nothing to copy
+
+    def execute(self, sql: str) -> Relation:
+        from repro.relational.sql.executor import execute_sql
+
+        return execute_sql(self._require_loaded(), sql)

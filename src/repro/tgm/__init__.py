@@ -17,6 +17,7 @@ from repro.tgm.conditions import (
     Condition,
     LabelLike,
     NeighborSatisfies,
+    NodeIn,
     NodeIs,
     NotCondition,
     OrCondition,
@@ -55,6 +56,7 @@ __all__ = [
     "LabelLike",
     "NeighborSatisfies",
     "Node",
+    "NodeIn",
     "NodeIs",
     "NodeType",
     "NodeTypeCategory",

@@ -136,6 +136,29 @@ class NodeIs(Condition):
 
 
 @dataclass(frozen=True)
+class NodeIn(Condition):
+    """Identity selection over a *set* of nodes.
+
+    The set-operations module uses this to re-derive cells for transplanted
+    rows: the source pattern is re-executed restricted to exactly the
+    transplanted primary nodes (one membership test per candidate instead of
+    an OR-chain of :class:`NodeIs`).
+    """
+
+    node_ids: frozenset[int]
+
+    def __init__(self, node_ids: Iterable[int]) -> None:
+        object.__setattr__(self, "node_ids", frozenset(node_ids))
+
+    def matches(self, node: "Node", graph: "InstanceGraph") -> bool:
+        return node.node_id in self.node_ids
+
+    def describe(self) -> str:
+        rendered = ", ".join(str(i) for i in sorted(self.node_ids))
+        return f"node in {{{rendered}}}"
+
+
+@dataclass(frozen=True)
 class LabelLike(Condition):
     """LIKE over the node's *label attribute* (whatever it is)."""
 

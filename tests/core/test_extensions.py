@@ -90,6 +90,62 @@ class TestSetOperations:
         etable_difference(left, right)
         assert [row.node_id for row in left.rows] == before
 
+    def test_union_rederives_left_exclusive_participating_cells(self, toy):
+        """Right-only rows get left-pattern cells re-derived, not left empty.
+
+        Left: papers before 2010 joined to their authors (participating
+        column "Authors"). Right: plain papers >= 2010 (no such column).
+        Every post-2010 paper has authors, so the re-derived cells must be
+        non-empty and match a direct execution of the left pattern.
+        """
+        schema = toy.schema
+        pattern = initiate(schema, "Papers")
+        pattern = add(pattern, schema, "Papers->Authors")
+        pattern = shift(pattern, "Papers")
+        pattern = select(pattern, AttributeCompare("year", "<", 2010))
+        left = execute_pattern(pattern, toy.graph)
+        right = papers_after(toy, 2010)
+
+        union = etable_union(left, right)
+        full = execute_pattern(
+            shift(add(initiate(schema, "Papers"), schema, "Papers->Authors"),
+                  "Papers"),
+            toy.graph,
+        )
+        right_only_ids = {row.node_id for row in right.rows} - {
+            row.node_id for row in left.rows
+        }
+        assert right_only_ids
+        for node_id in right_only_ids:
+            transplanted = union.row_for_node(node_id)
+            expected = full.row_for_node(node_id)
+            assert {ref.node_id for ref in transplanted.refs("Authors")} == \
+                {ref.node_id for ref in expected.refs("Authors")}
+            assert transplanted.refs("Authors")
+
+    def test_union_right_only_nonmatching_rows_get_empty_cells(self, toy):
+        """A transplanted row that does not match the left pattern (here:
+        no Korean co-author) re-derives to an empty participating cell."""
+        from repro.tgm.conditions import AttributeLike
+
+        schema = toy.schema
+        pattern = initiate(schema, "Papers")
+        pattern = add(pattern, schema, "Papers->Authors")
+        pattern = add(pattern, schema, "Authors->Institutions")
+        pattern = select(pattern, AttributeLike("country", "%Korea%"))
+        pattern = shift(pattern, "Papers")
+        pattern = select(pattern, AttributeCompare("year", "<", 2010))
+        left = execute_pattern(pattern, toy.graph)
+        right = papers_after(toy, 0)  # every paper
+
+        union = etable_union(left, right)
+        # Paper 11 has only Ada (US institution): no Korean co-author.
+        non_matching = union.find_row_by_attribute("year", 2013)
+        assert non_matching.refs("Authors") == []
+        # Paper 8 (2014, Bob & Mark at Korean institutions) matches.
+        matching = union.find_row_by_attribute("year", 2014)
+        assert matching.refs("Authors")
+
 
 class TestCachingExecutor:
     def test_hit_on_repeat(self, toy):
@@ -135,6 +191,24 @@ class TestCachingExecutor:
             )
             executor.execute(pattern)
         assert len(executor._store) == 2
+
+    def test_lru_eviction_order(self, toy):
+        """A re-hit entry survives eviction; the least recently used goes."""
+        def paper_pattern(year):
+            return select(
+                initiate(toy.schema, "Papers"),
+                AttributeCompare("year", ">", year),
+            )
+
+        executor = CachingExecutor(toy.graph, max_entries=2)
+        executor.execute(paper_pattern(2001))  # miss: {2001}
+        executor.execute(paper_pattern(2002))  # miss: {2001, 2002}
+        executor.execute(paper_pattern(2001))  # hit refreshes 2001
+        executor.execute(paper_pattern(2003))  # evicts 2002, not 2001
+        assert pattern_cache_key(paper_pattern(2001)) in executor._store
+        assert pattern_cache_key(paper_pattern(2002)) not in executor._store
+        executor.execute(paper_pattern(2001))  # still cached
+        assert executor.stats.hits == 2
 
     def test_invalidate(self, toy):
         executor = CachingExecutor(toy.graph)

@@ -133,6 +133,52 @@ class TestCommands:
         assert "unknown command" in repl.execute_line("frobnicate")
         assert "error:" in repl.execute_line("filter year > 2005")  # no table
 
+    def test_non_numeric_arguments_are_usage_errors(self, repl):
+        """Regression: these used to raise raw ValueError through
+        execute_line instead of returning an error: line."""
+        repl.execute_line("open Papers")
+        for line in ("revert abc", "rows x", "rank x", "seeall x title",
+                     "single x Authors", "rows 0", "rows -3", "revert -1",
+                     "rank 0"):
+            out = repl.execute_line(line)
+            assert out.startswith("error:"), f"{line!r} produced {out!r}"
+
+    def test_single_column_name_ending_in_digit(self, repl):
+        """Regression: 'single 0 Top 10' treated 10 as a reference index and
+        looked up column 'Top'; the full column name must be tried first."""
+        repl.execute_line("open Papers")
+        etable = repl.session.current
+        from dataclasses import replace
+
+        authors = etable.column_by_display("Authors")
+        renamed = replace(authors, display="Top 10")
+        etable.columns[etable.columns.index(authors)] = renamed
+        out = repl.execute_line("single 0 Top 10")
+        assert "ETable: Authors" in out  # followed reference 0 of "Top 10"
+
+    def test_single_trailing_index_still_works(self, repl):
+        repl.execute_line("open Papers")
+        out = repl.execute_line("single 0 Authors 1")
+        assert "ETable: Authors" in out
+
+    def test_single_unknown_column_message_preserved(self, repl):
+        repl.execute_line("open Papers")
+        out = repl.execute_line("single 0 Nonsense")
+        assert out.startswith("error:") and "Nonsense" in out
+
+    def test_single_unknown_column_with_digit_names_both_candidates(self, repl):
+        """The error must mention what the user typed, not just the
+        truncated fallback name."""
+        repl.execute_line("open Papers")
+        out = repl.execute_line("single 0 Top 10")
+        assert out.startswith("error:")
+        assert "Top 10" in out and "'Top'" in out
+
+    def test_single_out_of_range_index(self, repl):
+        repl.execute_line("open Papers")
+        out = repl.execute_line("single 0 Authors 99")
+        assert out.startswith("error:") and "out of range" in out
+
     def test_quit(self, repl):
         assert repl.execute_line("quit") == "bye"
         assert repl.done

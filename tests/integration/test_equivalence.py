@@ -1,13 +1,16 @@
-"""Cross-engine equivalence: graph execution vs SQL strategies.
+"""Cross-engine equivalence: graph execution vs SQL strategies vs backends.
 
 These are the reproduction's strongest correctness checks: every task query
 and a family of generated patterns must produce identical results through
 (1) the pure typed-graph pipeline, (2) the monolithic Section 8 SQL over the
-original relational schema, and (3) the partitioned Section 6.2 strategy.
+original relational schema, and (3) the partitioned Section 6.2 strategy —
+and, since the backend layer, through every registered SQL backend
+(in-memory engine and real SQLite) for both strategies on every dataset.
 """
 
 import pytest
 
+from repro.relational.backends import create_backend
 from repro.tgm.conditions import AttributeCompare, AttributeLike
 from repro.core.from_sql import sql_to_pattern
 from repro.core.operators import add, initiate, select, shift
@@ -18,6 +21,12 @@ from repro.core.sql_execution import (
     results_equal,
 )
 from repro.study.tasks import ground_truth_for, task_set_a, task_set_b
+
+BACKENDS = ["memory", "sqlite"]
+STRATEGIES = {
+    "monolithic": execute_monolithic,
+    "partitioned": execute_partitioned,
+}
 
 
 def _patterns(tgdb):
@@ -66,6 +75,62 @@ def _patterns(tgdb):
     return out
 
 
+def _movie_patterns(tgdb):
+    """A representative family of patterns over the movies schema."""
+    schema = tgdb.schema
+    out = []
+
+    pattern = initiate(schema, "Studios")
+    out.append(("all studios", pattern))
+
+    pattern = initiate(schema, "Movies")
+    pattern = add(pattern, schema, "Movies->People #2")  # cast (M:N)
+    pattern = shift(pattern, "Movies")
+    out.append(("movies with cast column", pattern))
+
+    pattern = initiate(schema, "Movies")
+    pattern = add(pattern, schema, "Movies->Movie_Genres")  # multivalued
+    pattern = select(pattern, AttributeLike("genre", "%drama%"))
+    pattern = shift(pattern, "Movies")
+    out.append(("dramas", pattern))
+
+    pattern = initiate(schema, "People")
+    pattern = add(pattern, schema, "People->Movies")  # directed (FK reverse)
+    pattern = add(pattern, schema, "Movies->Studios")
+    pattern = select(pattern, AttributeLike("country", "%USA%"))
+    pattern = shift(pattern, "People")
+    out.append(("directors at US studios", pattern))
+
+    pattern = initiate(schema, "Movies")
+    pattern = add(pattern, schema, "Movies->Movies: decade")  # categorical
+    pattern = shift(pattern, "Movies")
+    out.append(("movies with decade column", pattern))
+
+    return out
+
+
+# Toy reuses the academic schema, so its pattern family is the same.
+_PATTERN_FAMILIES = {
+    "academic": _patterns,
+    "movies": _movie_patterns,
+    "toy": _patterns,
+}
+
+
+@pytest.fixture(scope="session")
+def loaded_backends(academic_db, movies_db, toy_db):
+    """One loaded backend per (dataset, engine) — shared by the matrix."""
+    databases = {"academic": academic_db, "movies": movies_db, "toy": toy_db}
+    backends = {
+        (dataset, name): create_backend(name, database)
+        for dataset, database in databases.items()
+        for name in BACKENDS
+    }
+    yield backends
+    for backend in backends.values():
+        backend.close()
+
+
 class TestThreeWayEquivalence:
     @pytest.mark.parametrize("name_index", range(7))
     def test_pattern_family(self, academic, academic_db, name_index):
@@ -81,6 +146,39 @@ class TestThreeWayEquivalence:
             academic.graph,
         )
         assert results_equal(graph, part), f"partitioned mismatch: {name}"
+
+
+class TestBackendStrategyMatrix:
+    """Graph execution == every backend × strategy, on every dataset."""
+
+    @pytest.mark.parametrize("dataset", sorted(_PATTERN_FAMILIES))
+    @pytest.mark.parametrize("backend_name", BACKENDS)
+    @pytest.mark.parametrize("strategy", sorted(STRATEGIES))
+    def test_matrix(self, request, loaded_backends, dataset, backend_name,
+                    strategy):
+        tgdb = request.getfixturevalue(dataset)
+        database = request.getfixturevalue(f"{dataset}_db")
+        backend = loaded_backends[dataset, backend_name]
+        execute = STRATEGIES[strategy]
+        for name, pattern in _PATTERN_FAMILIES[dataset](tgdb):
+            graph = graph_result_summary(pattern, tgdb.graph)
+            result = execute(
+                database, pattern, tgdb.schema, tgdb.mapping, tgdb.graph,
+                backend=backend,
+            )
+            assert results_equal(graph, result), (
+                f"{dataset}/{backend_name}/{strategy} mismatch: {name}"
+            )
+
+    def test_backend_by_name_one_shot(self, toy, toy_db):
+        """Passing the registry name builds and loads a fresh backend."""
+        _name, pattern = _patterns(toy)[2]
+        graph = graph_result_summary(pattern, toy.graph)
+        result = execute_monolithic(
+            toy_db, pattern, toy.schema, toy.mapping, toy.graph,
+            backend="sqlite",
+        )
+        assert results_equal(graph, result)
 
 
 class TestTasksEndToEnd:
