@@ -60,7 +60,18 @@ from repro.core.etable import (
     ETableRow,
     EntityRef,
 )
-from repro.core.matching import match
+from repro.core.matching import match, match_planned
+from repro.core.planner import (
+    Plan,
+    PlanStep,
+    PrefixStore,
+    build_plan,
+    candidate_ids,
+    estimate_selectivity,
+    execute_plan,
+    restore_reference_order,
+    subpattern_key,
+)
 from repro.core.operators import add, initiate, select, shift
 from repro.core.query_pattern import (
     PatternEdge,
@@ -131,7 +142,17 @@ __all__ = [
     "graph_result_summary",
     "initiate",
     "match",
+    "match_planned",
     "pattern_cache_key",
+    "Plan",
+    "PlanStep",
+    "PrefixStore",
+    "build_plan",
+    "candidate_ids",
+    "estimate_selectivity",
+    "execute_plan",
+    "restore_reference_order",
+    "subpattern_key",
     "pattern_to_sql",
     "quote_identifier",
     "score_columns",

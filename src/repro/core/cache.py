@@ -6,23 +6,43 @@ especially effective: the user's next pattern usually *extends* the current
 one, so prefix results recur constantly (every revert re-executes an old
 pattern verbatim).
 
-:class:`CachingExecutor` memoizes instance-matching results keyed by a
-canonical pattern serialization. Because patterns, conditions, and the
-instance graph are immutable during a browsing session, cached graph
-relations stay valid; the format transformation (which also builds neighbor
-columns) is re-run per call so presentation state never leaks between hits.
+:class:`CachingExecutor` layers two caches over the planning engine
+(``repro.core.planner``):
+
+* a **whole-pattern cache** keyed by :func:`pattern_cache_key` holding the
+  final, reference-ordered graph relation (exact repeats — e.g. reverts —
+  return it untouched);
+* a **prefix store** keyed by canonical *subpattern* holding every
+  intermediate relation the engine materializes. Extending a pattern by one
+  node finds the previous pattern's full result as a cached prefix and
+  executes only the delta join — the future-work item realized at the
+  granularity the paper asks for.
+
+A shared :class:`~repro.tgm.conditions.ConditionMemo` additionally memoizes
+per-(condition, node) verdicts, so expensive ``NeighborSatisfies`` semijoin
+conditions never re-scan a node's neighbors twice in one session.
+
+Because patterns, conditions, and the instance graph are immutable during a
+browsing session, cached graph relations stay valid; the format
+transformation (which also builds neighbor columns) is re-run per call so
+presentation state never leaks between hits.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Any
+from dataclasses import dataclass
 
+from repro.tgm.conditions import ConditionMemo
 from repro.tgm.graph_relation import GraphRelation
 from repro.tgm.instance_graph import InstanceGraph
 from repro.core.etable import ETable
-from repro.core.matching import match
+from repro.core.planner import (
+    ExecutionReport,
+    PrefixStore,
+    build_plan,
+    restore_reference_order,
+    execute_plan,
+)
 from repro.core.query_pattern import QueryPattern
 from repro.core.transform import transform
 
@@ -32,11 +52,13 @@ def pattern_cache_key(pattern: QueryPattern) -> tuple:
 
     Node order is normalized by key so that logically identical patterns
     built in different orders share cache entries; conditions use their
-    ``describe()`` strings (deterministic for all condition types).
+    ``cache_token()`` strings (deterministic for all condition types, and —
+    unlike ``describe()`` — never dropping discriminating detail such as a
+    ``NodeIs`` node id behind a shared display label).
     """
     nodes = tuple(
         (node.key, node.type_name,
-         tuple(sorted(c.describe() for c in node.conditions)))
+         tuple(sorted(c.cache_token() for c in node.conditions)))
         for node in sorted(pattern.nodes, key=lambda n: n.key)
     )
     edges = tuple(
@@ -49,6 +71,11 @@ def pattern_cache_key(pattern: QueryPattern) -> tuple:
 class CacheStats:
     hits: int = 0
     misses: int = 0
+    # Prefix-level reuse: misses that still started from a cached subpattern
+    # and how many already-joined pattern nodes they skipped re-executing.
+    prefix_hits: int = 0
+    reused_nodes: int = 0
+    delta_joins: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -57,28 +84,49 @@ class CacheStats:
 
 
 class CachingExecutor:
-    """Memoizes ``match()`` per pattern over one instance graph."""
+    """Memoizes ``match()`` per pattern — and per pattern *prefix* — over
+    one instance graph."""
 
-    def __init__(self, graph: InstanceGraph, max_entries: int = 256) -> None:
+    def __init__(
+        self,
+        graph: InstanceGraph,
+        max_entries: int = 256,
+        max_prefix_entries: int = 512,
+    ) -> None:
         self.graph = graph
         self.max_entries = max_entries
         self.stats = CacheStats()
-        self._store: OrderedDict[tuple, GraphRelation] = OrderedDict()
+        self.memo = ConditionMemo()
+        self.prefixes = PrefixStore(max_entries=max_prefix_entries)
+        # Whole-pattern results share the PrefixStore LRU mechanics (a hit
+        # refreshes the entry so hot patterns survive eviction pressure) but
+        # live in their own store: their keys include the primary node and
+        # their relations are reference-ordered.
+        self._store = PrefixStore(max_entries=max_entries)
 
     def match(self, pattern: QueryPattern) -> GraphRelation:
         key = pattern_cache_key(pattern)
         cached = self._store.get(key)
         if cached is not None:
             self.stats.hits += 1
-            # LRU: a hit refreshes the entry so hot prefix patterns (re-hit
-            # on every incremental extension) survive eviction pressure.
-            self._store.move_to_end(key)
             return cached
         self.stats.misses += 1
-        result = match(pattern, self.graph)
-        if len(self._store) >= self.max_entries:
-            self._store.popitem(last=False)  # least recently used
-        self._store[key] = result
+        pattern.validate(self.graph.schema)
+        plan = build_plan(pattern, self.graph, semijoin=False)
+        report = ExecutionReport()
+        relation = execute_plan(
+            plan,
+            self.graph,
+            memo=self.memo,
+            store=self.prefixes,
+            report=report,
+        )
+        if report.reused_nodes:
+            self.stats.prefix_hits += 1
+            self.stats.reused_nodes += report.reused_nodes
+        self.stats.delta_joins += report.delta_joins
+        result = restore_reference_order(pattern, relation, self.graph)
+        self._store.put(key, result)
         return result
 
     def execute(
@@ -91,3 +139,5 @@ class CachingExecutor:
     def invalidate(self) -> None:
         """Drop everything (call after mutating the instance graph)."""
         self._store.clear()
+        self.prefixes.clear()
+        self.memo.clear()

@@ -7,6 +7,16 @@ selection conditions:
 
     m(Q) = σ_C1(R1) *p1 σ_C2(R2) *p2 ... *pn-1 σ_Cn(Rn)
 
+Two evaluators implement the same function:
+
+* :func:`match` — the reference pipeline: BFS order from the primary node,
+  full base-relation scans, left-deep materializing joins. Kept simple and
+  obviously correct; it is the equivalence oracle for everything else.
+* :func:`match_planned` — the cost-based engine (``repro.core.planner``):
+  selectivity-ordered joins over index-probed candidate sets with semi-join
+  pruning, re-sorted afterwards into the reference order so the output is
+  identical attribute-for-attribute and tuple-for-tuple.
+
 The pattern is a tree, so a BFS order from the primary node guarantees each
 join connects the new node to the already-joined prefix. Selections are
 applied to each base relation *before* its join (a pushdown the formula
@@ -16,14 +26,39 @@ already implies).
 from __future__ import annotations
 
 from repro.errors import InvalidQueryPattern
-from repro.tgm.conditions import conjoin_conditions
+from repro.tgm.conditions import ConditionMemo, conjoin_conditions
 from repro.tgm.graph_relation import GraphRelation, base_relation, join, selection
-from repro.tgm.instance_graph import InstanceGraph
+from repro.tgm.instance_graph import GraphStatistics, InstanceGraph
 from repro.core.query_pattern import QueryPattern
 
 
+def match_planned(
+    pattern: QueryPattern,
+    graph: InstanceGraph,
+    stats: GraphStatistics | None = None,
+    memo: ConditionMemo | None = None,
+) -> GraphRelation:
+    """Evaluate ``m(Q)`` through the planner; output equals :func:`match`.
+
+    Joins run in greedy selectivity order over index-backed candidate sets
+    (with Yannakakis semi-join pruning); the result is then restored to the
+    reference BFS ordering, so callers cannot tell the difference — except
+    in execution time.
+    """
+    from repro.core.planner import (
+        build_plan,
+        execute_plan,
+        restore_reference_order,
+    )
+
+    pattern.validate(graph.schema)
+    plan = build_plan(pattern, graph, stats=stats)
+    relation = execute_plan(plan, graph, memo=memo)
+    return restore_reference_order(pattern, relation, graph)
+
+
 def match(pattern: QueryPattern, graph: InstanceGraph) -> GraphRelation:
-    """Evaluate ``m(Q)`` over the instance graph."""
+    """Evaluate ``m(Q)`` over the instance graph (reference evaluator)."""
     pattern.validate(graph.schema)
     order = pattern.traversal_order()
     if len(order) != len(pattern.nodes):  # pragma: no cover - validate() caught it

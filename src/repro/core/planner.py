@@ -1,0 +1,811 @@
+"""Cost-based planning for instance matching (Definition 4, Section 5.4.1).
+
+The reference matcher (:func:`repro.core.matching.match`) evaluates the
+pattern in BFS order from the primary node — correct, but oblivious to how
+selective each pattern node is. This module adds the machinery the paper's
+interactivity claim (Section 7) and its future-work item #2 (Section 9,
+"accelerating the execution speed of updated queries") call for:
+
+* **selectivity estimation** over :class:`~repro.tgm.instance_graph.GraphStatistics`
+  (per-type cardinalities, per-edge degree histograms, per-attribute
+  distinct counts) — the statistics layer of the engine;
+* **index-backed candidate enumeration**: equality and identity conditions
+  become hash-index probes (``InstanceGraph.attribute_index``) instead of
+  full type scans — the secondary-index layer;
+* a **greedy join-order planner** that starts from the most selective
+  pattern node and repeatedly joins the frontier node with the smallest
+  estimated result growth, emitting an inspectable :class:`Plan` with
+  per-step cost estimates (the REPL's ``plan`` command prints it);
+* **semi-join pruning** (a Yannakakis-style full reducer over the pattern
+  tree): candidate sets are reduced leaf-to-root and root-to-leaf before
+  any materializing join, so dangling tuples are never materialized —
+  matching is over an acyclic (tree) pattern, where this is exact;
+* **prefix-level reuse** hooks: every intermediate relation corresponds to
+  a connected subpattern; :class:`PrefixStore` keys them canonically so a
+  pattern extended by one node re-executes only the delta join (the paper's
+  future-work item #2 realized — see ``repro.core.cache``).
+
+The planner's output is *bit-identical* to the reference matcher: after
+executing in selectivity order, :func:`restore_reference_order` re-sorts
+the result into the exact attribute and tuple order the BFS pipeline would
+have produced, so every downstream consumer (format transformation, SQL
+equivalence tests, figures) sees the same ETable.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Iterable
+from weakref import WeakKeyDictionary
+
+from repro.errors import InvalidQueryPattern, TgmError
+from repro.tgm.conditions import (
+    AndCondition,
+    AttributeCompare,
+    AttributeIn,
+    AttributeLike,
+    Condition,
+    ConditionMemo,
+    LabelLike,
+    NeighborSatisfies,
+    NodeIn,
+    NodeIs,
+    NotCondition,
+    OrCondition,
+    conjoin_conditions,
+)
+from repro.tgm.graph_relation import GraphAttribute, GraphRelation
+from repro.tgm.instance_graph import GraphStatistics, InstanceGraph
+from repro.core.query_pattern import PatternEdge, QueryPattern
+
+# Heuristic selectivity defaults for predicates without usable statistics.
+_LIKE_SELECTIVITY = 0.25
+_RANGE_SELECTIVITY = 0.33
+_DEFAULT_SELECTIVITY = 0.5
+
+
+# ----------------------------------------------------------------------
+# Selectivity estimation
+# ----------------------------------------------------------------------
+def estimate_selectivity(
+    condition: Condition | None,
+    type_name: str,
+    stats: GraphStatistics,
+) -> float:
+    """Estimated fraction of ``type_name`` nodes satisfying ``condition``."""
+    if condition is None:
+        return 1.0
+    cardinality = max(1, stats.cardinality(type_name))
+    if isinstance(condition, AndCondition):
+        product = 1.0
+        for operand in condition.operands:
+            product *= estimate_selectivity(operand, type_name, stats)
+        return product
+    if isinstance(condition, OrCondition):
+        product = 1.0
+        for operand in condition.operands:
+            product *= 1.0 - estimate_selectivity(operand, type_name, stats)
+        return 1.0 - product
+    if isinstance(condition, NotCondition):
+        return 1.0 - estimate_selectivity(condition.operand, type_name, stats)
+    if isinstance(condition, NodeIs):
+        return 1.0 / cardinality
+    if isinstance(condition, NodeIn):
+        return min(1.0, len(condition.node_ids) / cardinality)
+    if isinstance(condition, AttributeCompare):
+        distinct = max(1, stats.distinct_count(type_name, condition.attribute))
+        if condition.op == "=":
+            return 1.0 / distinct
+        if condition.op == "!=":
+            return 1.0 - 1.0 / distinct
+        return _RANGE_SELECTIVITY
+    if isinstance(condition, AttributeIn):
+        distinct = max(1, stats.distinct_count(type_name, condition.attribute))
+        return min(1.0, len(condition.values) / distinct)
+    if isinstance(condition, AttributeLike):
+        return 1.0 - _LIKE_SELECTIVITY if condition.negate else _LIKE_SELECTIVITY
+    if isinstance(condition, LabelLike):
+        return _LIKE_SELECTIVITY
+    if isinstance(condition, NeighborSatisfies):
+        edge_stats = stats.edge_type_stats(condition.edge_type)
+        participation = min(1.0, edge_stats.sources / cardinality)
+        schema = stats.graph.schema
+        if schema.has_edge_type(condition.edge_type):
+            inner_type = schema.edge_type(condition.edge_type).target
+            inner_selectivity = estimate_selectivity(
+                condition.inner, inner_type, stats
+            )
+        else:
+            inner_selectivity = _DEFAULT_SELECTIVITY
+        expected_matches = edge_stats.avg_degree * inner_selectivity
+        return participation * min(1.0, expected_matches)
+    return _DEFAULT_SELECTIVITY
+
+
+# ----------------------------------------------------------------------
+# Candidate enumeration (index probes instead of type scans)
+# ----------------------------------------------------------------------
+def candidate_ids(
+    graph: InstanceGraph,
+    type_name: str,
+    condition: Condition | None,
+    memo: ConditionMemo | None = None,
+) -> list[int]:
+    """Node ids of ``type_name`` satisfying ``condition``.
+
+    Identity probes (``NodeIs``/``NodeIn``) and attribute-equality probes
+    (via the graph's hash indexes) narrow the candidate pool before the
+    residual condition is evaluated, turning ``σ`` into index lookups.
+    """
+    if condition is None:
+        return graph.node_ids_of_type(type_name)
+    pool: Iterable[int] | None = None
+    node_probes = condition.node_probes()
+    if node_probes is not None:
+        pool = [
+            node_id
+            for node_id in node_probes
+            if graph.has_node(node_id)
+            and graph.node(node_id).type_name == type_name
+        ]
+    else:
+        probes = condition.index_probes()
+        if probes:
+            # Use the narrowest probe; the residual filter below applies the
+            # full condition anyway, so any sound probe is safe.
+            best: list[int] | None = None
+            for attribute, values in probes:
+                ids: list[int] = []
+                for value in values:
+                    ids.extend(
+                        graph.find_ids_by_attribute(type_name, attribute, value)
+                    )
+                if best is None or len(ids) < len(best):
+                    best = ids
+            pool = sorted(set(best or ()))
+    if pool is None:
+        pool = graph.node_ids_of_type(type_name)
+    if memo is not None:
+        return [
+            node_id
+            for node_id in pool
+            if memo.matches(condition, graph.node(node_id), graph)
+        ]
+    return [
+        node_id
+        for node_id in pool
+        if condition.matches(graph.node(node_id), graph)
+    ]
+
+
+# ----------------------------------------------------------------------
+# Plan representation
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PlanStep:
+    """One step of a :class:`Plan`: a base scan or a materializing join."""
+
+    kind: str  # "scan" | "join"
+    key: str  # pattern-node key this step produces
+    est_rows: float  # estimated result cardinality *after* this step
+    detail: str  # human-readable access-path / fanout note
+    edge_type: str | None = None  # traversal edge (join steps only)
+    left_key: str | None = None  # prefix attribute the join probes from
+
+    def describe(self) -> str:
+        if self.kind == "scan":
+            return f"scan {self.key}: {self.detail} (est {self.est_rows:.1f} rows)"
+        return (
+            f"join {self.left_key} -[{self.edge_type}]-> {self.key}: "
+            f"{self.detail} (est {self.est_rows:.1f} rows)"
+        )
+
+
+@dataclass
+class Plan:
+    """An inspectable execution plan for one query pattern.
+
+    ``steps[0]`` is always a scan of the most selective node; each later
+    step joins one more pattern node onto the connected prefix. ``explain``
+    renders the plan the way the REPL's ``plan`` command shows it.
+    """
+
+    pattern: QueryPattern
+    steps: list[PlanStep]
+    semijoin: bool = True
+    node_estimates: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def order(self) -> list[str]:
+        return [step.key for step in self.steps]
+
+    def explain(self) -> str:
+        lines = ["Execution plan (selectivity-ordered):"]
+        for number, step in enumerate(self.steps, start=1):
+            lines.append(f"  {number}. {step.describe()}")
+        if self.semijoin and len(self.steps) > 1:
+            lines.append(
+                "  semi-join reduction: candidate sets pruned leaf-to-root "
+                "and root-to-leaf before materializing joins"
+            )
+        return "\n".join(lines)
+
+
+def build_plan(
+    pattern: QueryPattern,
+    graph: InstanceGraph,
+    stats: GraphStatistics | None = None,
+    semijoin: bool = True,
+) -> Plan:
+    """Greedy selectivity-ordered join plan over the pattern tree.
+
+    Starts from the pattern node with the smallest estimated post-selection
+    cardinality, then repeatedly picks the frontier node minimizing the
+    estimated result growth ``rows × fanout(edge) × selectivity(node)``.
+    Directions without an adjacency index (an edge type lacking its reverse
+    twin) are never chosen.
+    """
+    stats = stats or graph.statistics()
+    estimates: dict[str, float] = {}
+    selectivities: dict[str, float] = {}
+    for node in pattern.nodes:
+        condition = conjoin_conditions(node.conditions)
+        selectivity = estimate_selectivity(condition, node.type_name, stats)
+        selectivities[node.key] = selectivity
+        estimates[node.key] = stats.cardinality(node.type_name) * selectivity
+
+    start_key = min(estimates, key=lambda key: (estimates[key], _index_of(pattern, key)))
+    start_node = pattern.node(start_key)
+    steps = [
+        PlanStep(
+            kind="scan",
+            key=start_key,
+            est_rows=estimates[start_key],
+            detail=_scan_detail(start_node, graph),
+        )
+    ]
+    covered = {start_key}
+    est_rows = max(estimates[start_key], 0.0)
+    while len(covered) < len(pattern.nodes):
+        best: tuple[float, int, str, PatternEdge, str, str] | None = None
+        for edge in pattern.edges:
+            for left_key, new_key in (
+                (edge.source_key, edge.target_key),
+                (edge.target_key, edge.source_key),
+            ):
+                if left_key not in covered or new_key in covered:
+                    continue
+                traversal = _traversal_edge_name(graph, edge, new_key)
+                if traversal is None:
+                    continue
+                left_type = pattern.node(left_key).type_name
+                new_type = pattern.node(new_key).type_name
+                fanout = stats.avg_fanout(traversal, left_type)
+                growth = est_rows * fanout * selectivities[new_key]
+                candidate = (
+                    growth,
+                    _index_of(pattern, new_key),
+                    new_key,
+                    edge,
+                    left_key,
+                    traversal,
+                )
+                if best is None or candidate[:2] < best[:2]:
+                    best = candidate
+        if best is None:
+            raise InvalidQueryPattern(
+                "pattern is not connected (or an edge lacks a traversable "
+                "direction)"
+            )
+        growth, _, new_key, edge, left_key, traversal = best
+        est_rows = growth
+        left_type = pattern.node(left_key).type_name
+        steps.append(
+            PlanStep(
+                kind="join",
+                key=new_key,
+                est_rows=est_rows,
+                detail=(
+                    f"probe adjacency (avg fanout "
+                    f"{stats.avg_fanout(traversal, left_type):.2f}, node "
+                    f"selectivity {selectivities[new_key]:.3f})"
+                ),
+                edge_type=traversal,
+                left_key=left_key,
+            )
+        )
+        covered.add(new_key)
+    return Plan(
+        pattern=pattern,
+        steps=steps,
+        semijoin=semijoin and len(pattern.nodes) > 1,
+        node_estimates=estimates,
+    )
+
+
+def _index_of(pattern: QueryPattern, key: str) -> int:
+    for index, node in enumerate(pattern.nodes):
+        if node.key == key:
+            return index
+    return len(pattern.nodes)
+
+
+def _scan_detail(node, graph: InstanceGraph) -> str:
+    condition = conjoin_conditions(node.conditions)
+    if condition is None:
+        return f"full {node.type_name} scan"
+    if condition.node_probes() is not None:
+        return "identity probe"
+    probes = condition.index_probes()
+    if probes:
+        attribute = probes[0][0]
+        return f"hash-index probe on {node.type_name}.{attribute}"
+    return f"filtered {node.type_name} scan"
+
+
+def _traversal_edge_name(
+    graph: InstanceGraph, edge: PatternEdge, toward_key: str
+) -> str | None:
+    """Adjacency-indexed edge-type name for traversing ``edge`` toward
+    ``toward_key``; None when that direction has no index."""
+    if toward_key == edge.target_key:
+        return edge.edge_type
+    schema_edge = graph.schema.edge_type(edge.edge_type)
+    return schema_edge.reverse_name
+
+
+# ----------------------------------------------------------------------
+# Prefix store: canonical subpattern keys -> intermediate relations
+# ----------------------------------------------------------------------
+def subpattern_key(pattern: QueryPattern, keys: frozenset[str]) -> tuple:
+    """Canonical, primary-independent key of the induced subpattern.
+
+    Two patterns that share a connected subpattern (same node keys, types,
+    conditions, and induced edges) map to the same key, regardless of node
+    insertion order or which node is primary — so an intermediate computed
+    for one pattern is reusable by any extension of it.
+    """
+    nodes = tuple(
+        sorted(
+            (
+                node.key,
+                node.type_name,
+                tuple(sorted(c.cache_token() for c in node.conditions)),
+            )
+            for node in pattern.nodes
+            if node.key in keys
+        )
+    )
+    edges = tuple(
+        sorted(
+            (edge.edge_type, edge.source_key, edge.target_key)
+            for edge in pattern.edges
+            if edge.source_key in keys and edge.target_key in keys
+        )
+    )
+    return (nodes, edges)
+
+
+class PrefixStore:
+    """LRU store of intermediate relations keyed by canonical subpattern.
+
+    Every entry is semantically *exact*: the full selection+join of its
+    subpattern (no cross-subpattern pruning), so any pattern containing the
+    subpattern may start from it and only execute the delta joins.
+    """
+
+    def __init__(self, max_entries: int = 512) -> None:
+        self.max_entries = max_entries
+        self._store: OrderedDict[tuple, GraphRelation] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, key: tuple) -> bool:
+        return key in self._store
+
+    def get(self, key: tuple) -> GraphRelation | None:
+        relation = self._store.get(key)
+        if relation is not None:
+            self._store.move_to_end(key)
+        return relation
+
+    def put(self, key: tuple, relation: GraphRelation) -> None:
+        if key in self._store:
+            self._store.move_to_end(key)
+        elif len(self._store) >= self.max_entries:
+            self._store.popitem(last=False)
+        self._store[key] = relation
+
+    def clear(self) -> None:
+        self._store.clear()
+
+
+# How many candidate subpatterns the reuse lookup may inspect before giving
+# up; incremental sessions hit at distance 0 or 1, so this is generous.
+_MAX_PREFIX_CANDIDATES = 64
+
+
+def find_cached_base(
+    pattern: QueryPattern, store: PrefixStore
+) -> tuple[frozenset[str], GraphRelation] | None:
+    """Largest cached subpattern of ``pattern``, by leaf-removal BFS.
+
+    Explores subpatterns in order of how many nodes were removed (0 = the
+    whole pattern), always removing tree leaves so every candidate stays
+    connected. Capped at ``_MAX_PREFIX_CANDIDATES`` inspections.
+    """
+    all_keys = frozenset(node.key for node in pattern.nodes)
+    queue: deque[frozenset[str]] = deque([all_keys])
+    seen: set[frozenset[str]] = {all_keys}
+    inspected = 0
+    while queue and inspected < _MAX_PREFIX_CANDIDATES:
+        keys = queue.popleft()
+        inspected += 1
+        cached = store.get(subpattern_key(pattern, keys))
+        if cached is not None:
+            return keys, cached
+        if len(keys) == 1:
+            continue
+        degree: dict[str, int] = {key: 0 for key in keys}
+        for edge in pattern.edges:
+            if edge.source_key in keys and edge.target_key in keys:
+                degree[edge.source_key] += 1
+                degree[edge.target_key] += 1
+        for key, count in degree.items():
+            if count <= 1:  # a leaf of the induced tree: removal stays connected
+                smaller = keys - {key}
+                if smaller not in seen:
+                    seen.add(smaller)
+                    queue.append(smaller)
+    return None
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+@dataclass
+class ExecutionReport:
+    """What actually happened while executing a plan (for cache stats)."""
+
+    reused_nodes: int = 0
+    delta_joins: int = 0
+    semijoin_pruned: int = 0
+
+
+def execute_plan(
+    plan: Plan,
+    graph: InstanceGraph,
+    memo: ConditionMemo | None = None,
+    store: PrefixStore | None = None,
+    report: ExecutionReport | None = None,
+) -> GraphRelation:
+    """Run a plan; result tuples are in *engine order* (see
+    :func:`restore_reference_order` for the reference ordering).
+
+    Without a ``store``: candidate sets are computed per node, reduced with
+    the Yannakakis semi-join passes (when ``plan.semijoin``), then joined in
+    plan order — the fastest single-shot strategy.
+
+    With a ``store``: the executor first looks for the largest cached
+    subpattern and only executes the delta joins, recording every new
+    intermediate under its canonical subpattern key. Cross-subpattern
+    semi-join reduction is skipped so every cached intermediate stays exact
+    for its own subpattern (reusable by *any* extension).
+    """
+    pattern = plan.pattern
+    report = report if report is not None else ExecutionReport()
+    conditions = {
+        node.key: conjoin_conditions(node.conditions) for node in pattern.nodes
+    }
+    types = {node.key: node.type_name for node in pattern.nodes}
+
+    covered: frozenset[str]
+    relation: GraphRelation
+    if store is not None:
+        base = find_cached_base(pattern, store)
+    else:
+        base = None
+
+    candidates: dict[str, dict[int, None]] = {}
+
+    def candidate_set(key: str) -> dict[int, None]:
+        cached = candidates.get(key)
+        if cached is None:
+            cached = dict.fromkeys(
+                candidate_ids(graph, types[key], conditions[key], memo)
+            )
+            candidates[key] = cached
+        return cached
+
+    if base is not None:
+        covered, relation = base
+        report.reused_nodes = len(covered)
+    else:
+        start_key = plan.steps[0].key
+        if store is None and plan.semijoin:
+            for key in types:
+                candidate_set(key)
+            report.semijoin_pruned = _semijoin_reduce(
+                pattern, graph, candidates, plan.steps[0].key
+            )
+        start_ids = list(candidate_set(start_key))
+        relation = GraphRelation.from_columns(
+            [GraphAttribute(start_key, types[start_key])], [start_ids]
+        )
+        covered = frozenset([start_key])
+        if store is not None:
+            store.put(subpattern_key(pattern, covered), relation)
+
+    # Delta joins: follow the plan order, skipping already-covered nodes;
+    # when the cached base doesn't match the plan prefix, fall back to any
+    # traversable frontier edge (the greedy order is a heuristic, coverage
+    # correctness only needs connectivity).
+    remaining = [step for step in plan.steps if step.key not in covered]
+    pending = deque(remaining)
+    stuck_guard = 0
+    while pending:
+        step = pending.popleft()
+        join_info = _frontier_join(pattern, graph, covered, step.key)
+        if join_info is None:
+            pending.append(step)  # not adjacent to covered set yet
+            stuck_guard += 1
+            if stuck_guard > len(pending) + 1:
+                raise TgmError(
+                    f"cannot reach pattern node {step.key!r} from the "
+                    f"covered set {sorted(covered)!r}"
+                )
+            continue
+        stuck_guard = 0
+        left_key, traversal = join_info
+        relation = _delta_join(
+            relation,
+            graph,
+            left_key,
+            traversal,
+            step.key,
+            types[step.key],
+            candidate_set(step.key),
+        )
+        report.delta_joins += 1
+        covered = covered | {step.key}
+        if store is not None:
+            store.put(subpattern_key(pattern, covered), relation)
+    return relation
+
+
+def _frontier_join(
+    pattern: QueryPattern,
+    graph: InstanceGraph,
+    covered: frozenset[str],
+    new_key: str,
+) -> tuple[str, str] | None:
+    """(left key, traversal edge name) connecting ``new_key`` to ``covered``."""
+    for edge in pattern.edges_touching(new_key):
+        other = (
+            edge.target_key if edge.source_key == new_key else edge.source_key
+        )
+        if other not in covered:
+            continue
+        traversal = _traversal_edge_name(graph, edge, new_key)
+        if traversal is not None:
+            return other, traversal
+    return None
+
+
+def _delta_join(
+    relation: GraphRelation,
+    graph: InstanceGraph,
+    left_key: str,
+    traversal_edge: str,
+    new_key: str,
+    new_type: str,
+    candidate_set: dict[int, None],
+) -> GraphRelation:
+    """Join one new pattern node onto the prefix by probing adjacency.
+
+    Dangling prefix tuples (no neighbor inside the candidate set) are
+    dropped without materializing anything — the semi-join check and the
+    join share one pass.
+    """
+    left_position = relation.position(left_key)
+    columns = relation.columns_view()
+    source_column = columns[left_position]
+    adjacency = graph._adjacency
+    # First pass collects (prefix row index, neighbor) pairs; the output
+    # columns are then materialized column-wise, which is much faster than
+    # per-output-row appends across every column.
+    selected: list[int] = []
+    new_column: list[int] = []
+    for index in range(len(relation)):
+        neighbors = adjacency.get((source_column[index], traversal_edge))
+        if not neighbors:
+            continue
+        for neighbor_id in neighbors:
+            if neighbor_id in candidate_set:
+                selected.append(index)
+                new_column.append(neighbor_id)
+    out = [[column[index] for index in selected] for column in columns]
+    out.append(new_column)
+    attributes = list(relation.attributes) + [GraphAttribute(new_key, new_type)]
+    return GraphRelation.from_columns(attributes, out)
+
+
+def _semijoin_reduce(
+    pattern: QueryPattern,
+    graph: InstanceGraph,
+    candidates: dict[str, dict[int, None]],
+    root_key: str,
+) -> int:
+    """Yannakakis-style full reduction of per-node candidate sets.
+
+    Leaf-to-root then root-to-leaf semi-join passes over the pattern tree
+    rooted at the plan's start node. After both passes, every surviving
+    candidate participates in at least one full match, so the materializing
+    joins never produce dangling tuples. Returns how many candidates were
+    pruned. Exact because the pattern is a tree (Definition 3).
+    """
+    order = _tree_order(pattern, root_key)
+    pruned = 0
+    # Leaf-to-root: parent keeps nodes with >= 1 neighbor in the child set.
+    for child_key, parent_key, edge in reversed(order):
+        pruned += _semijoin_filter(
+            pattern, graph, candidates, parent_key, child_key, edge
+        )
+    # Root-to-leaf: child keeps nodes with >= 1 neighbor in the parent set.
+    for child_key, parent_key, edge in order:
+        pruned += _semijoin_filter(
+            pattern, graph, candidates, child_key, parent_key, edge
+        )
+    return pruned
+
+
+def _tree_order(
+    pattern: QueryPattern, root_key: str
+) -> list[tuple[str, str, PatternEdge]]:
+    """BFS (child, parent, edge) triples of the pattern tree from ``root``."""
+    order: list[tuple[str, str, PatternEdge]] = []
+    seen = {root_key}
+    queue = deque([root_key])
+    while queue:
+        current = queue.popleft()
+        for edge in pattern.edges_touching(current):
+            other = (
+                edge.target_key
+                if edge.source_key == current
+                else edge.source_key
+            )
+            if other in seen:
+                continue
+            seen.add(other)
+            order.append((other, current, edge))
+            queue.append(other)
+    return order
+
+
+def _semijoin_filter(
+    pattern: QueryPattern,
+    graph: InstanceGraph,
+    candidates: dict[str, dict[int, None]],
+    keep_key: str,
+    against_key: str,
+    edge: PatternEdge,
+) -> int:
+    """Drop ``keep_key`` candidates with no ``edge`` neighbor among the
+    ``against_key`` candidates; returns the number pruned."""
+    # Traverse from the keep side toward the against side.
+    traversal = _traversal_edge_name(graph, edge, toward_key=against_key)
+    if traversal is None:
+        return 0  # direction not indexed; reduction is optional
+    keep = candidates[keep_key]
+    against = candidates[against_key]
+    adjacency = graph._adjacency
+    survivors = {
+        node_id: None
+        for node_id in keep
+        if any(
+            neighbor in against
+            for neighbor in adjacency.get((node_id, traversal), ())
+        )
+    }
+    pruned = len(keep) - len(survivors)
+    if pruned:
+        candidates[keep_key] = survivors
+    return pruned
+
+
+# ----------------------------------------------------------------------
+# Reference-order restoration
+# ----------------------------------------------------------------------
+# Adjacency-rank dictionaries are pure functions of the (immutable during a
+# session) adjacency lists, so they are shared across restorations of one
+# graph; the version guard drops them after a mutation.
+_RANK_CACHES: "WeakKeyDictionary[InstanceGraph, tuple[int, dict]]" = (
+    WeakKeyDictionary()
+)
+
+
+def _graph_rank_cache(graph: InstanceGraph) -> dict[tuple[int, str], dict[int, int]]:
+    entry = _RANK_CACHES.get(graph)
+    if entry is None or entry[0] != graph.version:
+        entry = (graph.version, {})
+        _RANK_CACHES[graph] = entry
+    return entry[1]
+
+
+def restore_reference_order(
+    pattern: QueryPattern,
+    relation: GraphRelation,
+    graph: InstanceGraph,
+) -> GraphRelation:
+    """Re-order a planner result into the reference matcher's exact output.
+
+    The reference pipeline joins in BFS order from the primary node and
+    iterates base relations in node-insertion order and adjacency lists in
+    edge-insertion order, which makes its tuple order lexicographic in
+    per-position ranks: the primary's insertion rank first, then — for each
+    later BFS position — the rank of the node within its *parent's*
+    adjacency list. Sorting by that key (and permuting attributes into BFS
+    order) reproduces the reference output bit-for-bit, so ETable row order
+    and cell order are preserved no matter what order the planner joined in.
+    """
+    order = pattern.traversal_order()
+    positions = [relation.position(key) for key, _ in order]
+    columns = relation.columns_view()
+    rank_cache = _graph_rank_cache(graph)
+    primary_type = pattern.node(order[0][0]).type_name
+    root_rank = rank_cache.get(("type", primary_type))
+    if root_rank is None:
+        root_rank = {
+            node_id: rank
+            for rank, node_id in enumerate(graph.node_ids_of_type(primary_type))
+        }
+        rank_cache[("type", primary_type)] = root_rank
+    parents: list[tuple[int, str]] = []
+    for key, edge in order[1:]:
+        assert edge is not None
+        if edge.target_key == key:
+            traversal = edge.edge_type
+            parent_key = edge.source_key
+        else:
+            traversal = graph.schema.reverse_of(edge.edge_type).name
+            parent_key = edge.target_key
+        parents.append((relation.position(parent_key), traversal))
+
+    def ranks_of(parent_id: int, traversal: str) -> dict[int, int]:
+        cache_key = (parent_id, traversal)
+        ranks = rank_cache.get(cache_key)
+        if ranks is None:
+            ranks = {}
+            for index, neighbor in enumerate(
+                graph.neighbors_view(parent_id, traversal)
+            ):
+                if neighbor not in ranks:
+                    ranks[neighbor] = index
+            rank_cache[cache_key] = ranks
+        return ranks
+
+    # One composite integer key per row, accumulated column-wise: each BFS
+    # position contributes its rank scaled into its own digit range (the
+    # per-edge max degree bounds adjacency ranks), so integer comparison
+    # equals the positional lexicographic comparison the reference's nested
+    # loops produce — and sorts much faster than tuple keys.
+    size = len(relation)
+    stats = graph.statistics()
+    root_column = columns[positions[0]]
+    sort_keys = [root_rank[node_id] for node_id in root_column]
+    for (parent_position, traversal), position in zip(parents, positions[1:]):
+        radix = stats.edge_type_stats(traversal).max_degree + 1
+        parent_column = columns[parent_position]
+        child_column = columns[position]
+        for index in range(size):
+            rank = ranks_of(parent_column[index], traversal)[child_column[index]]
+            sort_keys[index] = sort_keys[index] * radix + rank
+    permutation = sorted(range(size), key=sort_keys.__getitem__)
+    attributes = [relation.attributes[position] for position in positions]
+    out = [
+        [columns[position][index] for index in permutation]
+        for position in positions
+    ]
+    return GraphRelation.from_columns(attributes, out)

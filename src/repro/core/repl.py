@@ -21,6 +21,7 @@ Commands (one per line)::
     rank [k]                        keep the k best columns (future work #3)
     revert <step#>                  return to a history step
     rows [n]                        print the current table
+    plan                            show the execution plan + cache stats
     columns | schema | history | sql
     help | quit
 """
@@ -119,6 +120,7 @@ class Repl:
             "rank": self._cmd_rank,
             "revert": self._cmd_revert,
             "rows": self._cmd_rows,
+            "plan": self._cmd_plan,
             "columns": self._cmd_columns,
             "schema": self._cmd_schema,
             "history": self._cmd_history,
@@ -254,6 +256,10 @@ class Repl:
     def _cmd_rows(self, args: tuple[str, ...]) -> str:
         count = _int_arg(args[0], "rows [n]") if args else self.max_rows
         return self._table_text(max_rows=count)
+
+    def _cmd_plan(self, args: tuple[str, ...]) -> str:
+        self._require_table()
+        return self.session.explain_plan()
 
     def _cmd_columns(self, args: tuple[str, ...]) -> str:
         etable = self._require_table()

@@ -47,16 +47,27 @@ class EtableSession:
         graph: InstanceGraph,
         row_limit: int | None = None,
         use_cache: bool = False,
+        engine: str = "planned",
     ) -> None:
         self.schema = schema
         self.graph = graph
         self.row_limit = row_limit
+        self.engine = engine
         self.current: ETable | None = None
         self.history: list[HistoryEntry] = []
         self._sort: tuple[str, bool] | None = None
         # Optional reuse of intermediate results (Section 9, future work #2):
-        # with the cache on, reverts and repeated sub-queries skip matching.
+        # with the cache on, reverts and repeated sub-queries skip matching,
+        # and incremental extensions execute only their delta joins.
         if use_cache:
+            if engine != "planned":
+                # The caching executor always plans; silently serving the
+                # planner to someone who asked for the naive oracle would
+                # mask exactly the discrepancies the oracle exists to find.
+                raise InvalidAction(
+                    "use_cache=True always executes through the planner; "
+                    f"pass use_cache=False to use engine={engine!r}"
+                )
             from repro.core.cache import CachingExecutor
 
             self._executor: "CachingExecutor | None" = CachingExecutor(graph)
@@ -66,7 +77,44 @@ class EtableSession:
     def _execute(self, pattern: QueryPattern) -> ETable:
         if self._executor is not None:
             return self._executor.execute(pattern, self.row_limit)
-        return execute_pattern(pattern, self.graph, self.row_limit)
+        return execute_pattern(pattern, self.graph, self.row_limit,
+                               engine=self.engine)
+
+    def explain_plan(self) -> str:
+        """The current pattern's execution plan (and cache stats, if any).
+
+        This is what the REPL's ``plan`` command prints: the inspectable
+        :class:`~repro.core.planner.Plan` with per-step cost estimates.
+        """
+        from repro.core.planner import build_plan
+
+        pattern = self._require_pattern()
+        # Mirror the session's actual execution mode: the caching executor
+        # plans with semijoin=False (cached intermediates must stay exact
+        # per subpattern), so the printed plan must not advertise the
+        # reduction passes that only the direct planned path runs.
+        plan = build_plan(pattern, self.graph,
+                          semijoin=self._executor is None
+                          and self.engine == "planned")
+        lines = [plan.explain()]
+        if self._executor is None and self.engine == "naive":
+            lines.append(
+                "note: this session executes the naive reference matcher; "
+                "the plan above shows what the planner would do"
+            )
+        if self._executor is not None:
+            stats = self._executor.stats
+            lines.append(
+                "reuse: intermediates cached per subpattern; extensions "
+                "re-execute only their delta joins"
+            )
+            lines.append(
+                f"cache: {stats.hits} hits / {stats.misses} misses "
+                f"({stats.hit_rate:.0%}), {stats.prefix_hits} prefix hits "
+                f"reusing {stats.reused_nodes} joined nodes, "
+                f"{stats.delta_joins} delta joins"
+            )
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # The default table list (Figure 9, component 1)

@@ -22,11 +22,12 @@ be re-shown with :meth:`ETable.show_column`.
 from __future__ import annotations
 
 from typing import Any
+from weakref import WeakKeyDictionary
 
 from repro.tgm.graph_relation import GraphRelation
 from repro.tgm.instance_graph import InstanceGraph, Node
 from repro.core.etable import ColumnKind, ColumnSpec, ETable, ETableRow, EntityRef
-from repro.core.matching import match
+from repro.core.matching import match, match_planned
 from repro.core.query_pattern import QueryPattern
 
 
@@ -34,13 +35,23 @@ def execute_pattern(
     pattern: QueryPattern,
     graph: InstanceGraph,
     row_limit: int | None = None,
+    engine: str = "planned",
 ) -> ETable:
     """Run the full pipeline: instance matching, then format transformation.
 
     ``row_limit`` truncates the *presented* rows (UI pagination); matching
     itself is always complete so reference counts stay exact.
+
+    ``engine`` selects the matcher: ``"planned"`` (default) runs the
+    cost-based planner, ``"naive"`` the reference BFS pipeline. Both produce
+    the same ETable; the reference stays available as the oracle.
     """
-    matched = match(pattern, graph)
+    if engine == "planned":
+        matched = match_planned(pattern, graph)
+    elif engine == "naive":
+        matched = match(pattern, graph)
+    else:
+        raise ValueError(f"unknown matching engine {engine!r}")
     return transform(pattern, matched, graph, row_limit=row_limit)
 
 
@@ -81,12 +92,13 @@ def transform(
         (key, matched.position(key)) for key in participating_keys
     ]
 
-    # One pass over the matched tuples: collect row order and the distinct
-    # participating nodes per (row, column).
+    # One streamed pass over the matched tuples (no row-wise materialization
+    # of the relation): collect row order and the distinct participating
+    # nodes per (row, column).
     row_order: list[int] = []
     row_index: dict[int, int] = {}
     cell_sets: list[dict[str, dict[int, None]]] = []  # ordered-set per cell
-    for tuple_row in matched.tuples:
+    for tuple_row in matched.iter_rows():
         primary_id = tuple_row[primary_position]
         index = row_index.get(primary_id)
         if index is None:
@@ -101,19 +113,29 @@ def transform(
     if row_limit is not None:
         row_order = row_order[:row_limit]
 
+    refs = _ref_cache(graph)
+
+    def ref_of(node_id: int) -> EntityRef:
+        ref = refs.get(node_id)
+        if ref is None:
+            ref = _node_ref(graph.node(node_id), schema)
+            refs[node_id] = ref
+        return ref
+
     rows: list[ETableRow] = []
     for index, primary_id in enumerate(row_order):
         node = graph.node(primary_id)
         cells: dict[str, list[EntityRef]] = {}
         for key, _ in participating_positions:
             cells[key] = [
-                _entity_ref(graph, node_id)
-                for node_id in cell_sets[index][key]
+                ref_of(node_id) for node_id in cell_sets[index][key]
             ]
         for edge_type in neighbor_edges:
             cells[edge_type.name] = [
-                _node_ref(neighbor, schema)
-                for neighbor in graph.neighbors(primary_id, edge_type.name)
+                ref_of(neighbor_id)
+                for neighbor_id in graph.neighbors_view(
+                    primary_id, edge_type.name
+                )
             ]
         rows.append(
             ETableRow(
@@ -126,6 +148,23 @@ def transform(
     etable = ETable(pattern, columns, rows, graph)
     _auto_hide_duplicated_neighbors(etable)
     return etable
+
+
+# EntityRefs are immutable and depend only on a node's label, so one cache
+# per graph version serves every transform over that graph. WeakKeyDictionary
+# keeps dropped graphs collectable; the version check drops stale labels
+# after a mutation.
+_REF_CACHES: "WeakKeyDictionary[InstanceGraph, tuple[int, dict[int, EntityRef]]]" = (
+    WeakKeyDictionary()
+)
+
+
+def _ref_cache(graph: InstanceGraph) -> dict[int, EntityRef]:
+    entry = _REF_CACHES.get(graph)
+    if entry is None or entry[0] != graph.version:
+        entry = (graph.version, {})
+        _REF_CACHES[graph] = entry
+    return entry[1]
 
 
 def _entity_ref(graph: InstanceGraph, node_id: int) -> EntityRef:

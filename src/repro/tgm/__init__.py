@@ -15,6 +15,7 @@ from repro.tgm.conditions import (
     AttributeIn,
     AttributeLike,
     Condition,
+    ConditionMemo,
     LabelLike,
     NeighborSatisfies,
     NodeIn,
@@ -31,7 +32,13 @@ from repro.tgm.graph_relation import (
     projection,
     selection,
 )
-from repro.tgm.instance_graph import Edge, InstanceGraph, Node
+from repro.tgm.instance_graph import (
+    Edge,
+    EdgeTypeStats,
+    GraphStatistics,
+    InstanceGraph,
+    Node,
+)
 from repro.tgm.schema_graph import (
     EdgeType,
     EdgeTypeCategory,
@@ -47,7 +54,10 @@ __all__ = [
     "AttributeIn",
     "AttributeLike",
     "Condition",
+    "ConditionMemo",
     "Edge",
+    "EdgeTypeStats",
+    "GraphStatistics",
     "EdgeType",
     "EdgeTypeCategory",
     "GraphAttribute",

@@ -39,8 +39,95 @@ class Condition:
     def describe(self) -> str:
         raise NotImplementedError
 
+    def index_probes(self) -> tuple[tuple[str, tuple[Any, ...]], ...]:
+        """Attribute-equality probes this condition implies.
+
+        Each probe is ``(attribute, candidate_values)``: every matching node
+        must have ``attribute`` equal to one of ``candidate_values``, so the
+        planner can answer the selection with hash-index lookups instead of
+        a full type scan. An empty tuple means "no probe available".
+        """
+        return ()
+
+    def node_probes(self) -> tuple[int, ...] | None:
+        """Node ids this condition restricts matches to (identity probes).
+
+        ``None`` means unconstrained; a tuple means every matching node's id
+        is in the tuple (the planner starts from those ids directly).
+        """
+        return None
+
+    def cache_token(self) -> str:
+        """A string that distinguishes *semantically different* conditions.
+
+        Cache keys must use this, not ``describe()``: display strings may
+        drop discriminating detail (``NodeIs`` shows its label instead of
+        its node id, and two different nodes can share a label).
+        """
+        return self.describe()
+
     def __str__(self) -> str:
         return self.describe()
+
+
+class ConditionMemo:
+    """Memoizes per-(condition, node) results across executions.
+
+    Conditions and the instance graph are immutable during a browsing
+    session, so a condition's verdict on a node never changes. Keeping the
+    memo on the executor means an incremental session evaluates each
+    ``NeighborSatisfies`` (the expensive semijoin condition) at most once
+    per node over its whole lifetime, instead of once per user action.
+
+    Combinators (``And``/``Or``/``Not``) are evaluated *compositionally*:
+    their operands go through the memo individually, so the conjunction a
+    session accretes filter-by-filter still hits the entries of its parts —
+    the incremental pattern ``σ_A``, ``σ_A∧B``, ``σ_A∧B∧C`` evaluates each
+    base predicate once per node, total.
+
+    Conditions with unhashable payloads fall back to direct evaluation.
+    """
+
+    def __init__(self) -> None:
+        self._results: dict[tuple[Condition, int], bool] = {}
+        self.hits = 0
+        self.evaluations = 0
+
+    def matches(
+        self, condition: "Condition", node: "Node", graph: "InstanceGraph"
+    ) -> bool:
+        try:
+            key = (condition, node.node_id)
+            cached = self._results.get(key)
+        except TypeError:  # unhashable condition payload
+            return self._evaluate(condition, node, graph)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        result = self._evaluate(condition, node, graph)
+        self._results[key] = result
+        return result
+
+    def _evaluate(
+        self, condition: "Condition", node: "Node", graph: "InstanceGraph"
+    ) -> bool:
+        if isinstance(condition, AndCondition):
+            return all(
+                self.matches(operand, node, graph)
+                for operand in condition.operands
+            )
+        if isinstance(condition, OrCondition):
+            return any(
+                self.matches(operand, node, graph)
+                for operand in condition.operands
+            )
+        if isinstance(condition, NotCondition):
+            return not self.matches(condition.operand, node, graph)
+        self.evaluations += 1
+        return condition.matches(node, graph)
+
+    def clear(self) -> None:
+        self._results.clear()
 
 
 def _format_value(value: Any) -> str:
@@ -71,6 +158,11 @@ class AttributeCompare(Condition):
             except TypeError:
                 return False
         return _OPS[self.op](actual, self.value)
+
+    def index_probes(self) -> tuple[tuple[str, tuple[Any, ...]], ...]:
+        if self.op == "=" and self.value is not None:
+            return ((self.attribute, (self.value,)),)
+        return ()
 
     def describe(self) -> str:
         return f"{self.attribute} {self.op} {_format_value(self.value)}"
@@ -110,6 +202,12 @@ class AttributeIn(Condition):
         actual = node.attributes.get(self.attribute)
         return actual is not None and actual in self.values
 
+    def index_probes(self) -> tuple[tuple[str, tuple[Any, ...]], ...]:
+        values = tuple(v for v in self.values if v is not None)
+        if values:
+            return ((self.attribute, values),)
+        return ()
+
     def describe(self) -> str:
         rendered = ", ".join(_format_value(v) for v in self.values)
         return f"{self.attribute} in ({rendered})"
@@ -128,6 +226,14 @@ class NodeIs(Condition):
 
     def matches(self, node: "Node", graph: "InstanceGraph") -> bool:
         return node.node_id == self.node_id
+
+    def node_probes(self) -> tuple[int, ...] | None:
+        return (self.node_id,)
+
+    def cache_token(self) -> str:
+        # describe() shows the label for the history panel, but two nodes
+        # can share a label; the cache must key on identity.
+        return f"node #{self.node_id}"
 
     def describe(self) -> str:
         if self.label:
@@ -152,6 +258,9 @@ class NodeIn(Condition):
 
     def matches(self, node: "Node", graph: "InstanceGraph") -> bool:
         return node.node_id in self.node_ids
+
+    def node_probes(self) -> tuple[int, ...] | None:
+        return tuple(sorted(self.node_ids))
 
     def describe(self) -> str:
         rendered = ", ".join(str(i) for i in sorted(self.node_ids))
@@ -192,6 +301,9 @@ class NeighborSatisfies(Condition):
             for neighbor in graph.neighbors(node.node_id, self.edge_type)
         )
 
+    def cache_token(self) -> str:
+        return f"any {self.edge_type} ({self.inner.cache_token()})"
+
     def describe(self) -> str:
         return f"any {self.edge_type} ({self.inner.describe()})"
 
@@ -202,6 +314,28 @@ class AndCondition(Condition):
 
     def matches(self, node: "Node", graph: "InstanceGraph") -> bool:
         return all(operand.matches(node, graph) for operand in self.operands)
+
+    def index_probes(self) -> tuple[tuple[str, tuple[Any, ...]], ...]:
+        out: list[tuple[str, tuple[Any, ...]]] = []
+        for operand in self.operands:
+            out.extend(operand.index_probes())
+        return tuple(out)
+
+    def node_probes(self) -> tuple[int, ...] | None:
+        constrained = [
+            probes
+            for probes in (op.node_probes() for op in self.operands)
+            if probes is not None
+        ]
+        if not constrained:
+            return None
+        ids = set(constrained[0])
+        for probes in constrained[1:]:
+            ids &= set(probes)
+        return tuple(sorted(ids))
+
+    def cache_token(self) -> str:
+        return " & ".join(operand.cache_token() for operand in self.operands)
 
     def describe(self) -> str:
         return " & ".join(operand.describe() for operand in self.operands)
@@ -214,6 +348,9 @@ class OrCondition(Condition):
     def matches(self, node: "Node", graph: "InstanceGraph") -> bool:
         return any(operand.matches(node, graph) for operand in self.operands)
 
+    def cache_token(self) -> str:
+        return " | ".join(f"({operand.cache_token()})" for operand in self.operands)
+
     def describe(self) -> str:
         return " | ".join(f"({operand.describe()})" for operand in self.operands)
 
@@ -224,6 +361,9 @@ class NotCondition(Condition):
 
     def matches(self, node: "Node", graph: "InstanceGraph") -> bool:
         return not self.operand.matches(node, graph)
+
+    def cache_token(self) -> str:
+        return f"not ({self.operand.cache_token()})"
 
     def describe(self) -> str:
         return f"not ({self.operand.describe()})"

@@ -6,16 +6,27 @@ of a node type in a query pattern — a *pattern node*), and each tuple is a
 list of node ids. Three operators are defined: selection ``σ``, join ``*``
 (over an edge type), and projection ``Π``. Instance matching (Definition 4)
 composes selections and joins; format transformation uses projection.
+
+Storage is *columnar*: tuples live as parallel per-attribute lists of node
+ids, so operators touch only the columns they need and the planner's delta
+joins append to flat lists instead of re-building row tuples. The row-wise
+``tuples`` view is materialized lazily for callers that want it.
+
+Arity validation happens once, at construction boundaries (the public
+``GraphRelation(...)`` constructor): operator outputs are built through the
+internal fast constructors (:meth:`GraphRelation.from_columns` /
+:meth:`GraphRelation.from_rows`) whose shapes are correct by construction,
+so a query plan never re-validates the same tuples on every step.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Iterable, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import TgmError
-from repro.tgm.conditions import Condition
-from repro.tgm.instance_graph import InstanceGraph, Node
+from repro.tgm.conditions import Condition, ConditionMemo
+from repro.tgm.instance_graph import InstanceGraph
 
 
 @dataclass(frozen=True)
@@ -38,6 +49,8 @@ class GraphAttribute:
 class GraphRelation:
     """An ordered set of tuples of node ids over :class:`GraphAttribute` s."""
 
+    __slots__ = ("attributes", "_columns", "_tuples")
+
     def __init__(
         self,
         attributes: Sequence[GraphAttribute],
@@ -47,19 +60,76 @@ class GraphRelation:
         keys = [attribute.key for attribute in self.attributes]
         if len(set(keys)) != len(keys):
             raise TgmError(f"duplicate graph-relation attribute keys in {keys!r}")
-        self.tuples: list[tuple[int, ...]] = list(tuples)
-        for row in self.tuples:
-            if len(row) != len(self.attributes):
+        rows = [tuple(row) for row in tuples]
+        arity = len(self.attributes)
+        for row in rows:
+            if len(row) != arity:
                 raise TgmError(
-                    f"tuple arity {len(row)} != attribute arity "
-                    f"{len(self.attributes)}"
+                    f"tuple arity {len(row)} != attribute arity {arity}"
                 )
+        self._tuples: list[tuple[int, ...]] | None = rows
+        if rows:
+            self._columns: list[list[int]] = [list(col) for col in zip(*rows)]
+        else:
+            self._columns = [[] for _ in self.attributes]
+
+    # ------------------------------------------------------------------
+    # Fast internal constructors (operator outputs; no per-row validation)
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls,
+        attributes: Sequence[GraphAttribute],
+        columns: Sequence[list[int]],
+    ) -> "GraphRelation":
+        """Wrap parallel columns without re-validating every row.
+
+        The caller guarantees the columns are equal-length and aligned with
+        ``attributes`` — true for every algebra operator, whose output shape
+        is correct by construction.
+        """
+        relation = cls.__new__(cls)
+        relation.attributes = list(attributes)
+        relation._columns = list(columns)
+        relation._tuples = None
+        return relation
+
+    @classmethod
+    def from_rows(
+        cls,
+        attributes: Sequence[GraphAttribute],
+        rows: list[tuple[int, ...]],
+    ) -> "GraphRelation":
+        """Wrap already-valid row tuples without re-validating arity."""
+        relation = cls.__new__(cls)
+        relation.attributes = list(attributes)
+        relation._tuples = rows
+        if rows:
+            relation._columns = [list(col) for col in zip(*rows)]
+        else:
+            relation._columns = [[] for _ in relation.attributes]
+        return relation
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def __len__(self) -> int:
-        return len(self.tuples)
+        if self._columns:
+            return len(self._columns[0])
+        return len(self._tuples or ())
+
+    @property
+    def tuples(self) -> list[tuple[int, ...]]:
+        """Row-wise view, materialized lazily from the columns."""
+        if self._tuples is None:
+            self._tuples = list(zip(*self._columns)) if self._columns else []
+        return self._tuples
+
+    def iter_rows(self) -> Iterator[tuple[int, ...]]:
+        """Stream row tuples without caching the materialized list."""
+        if self._tuples is not None:
+            return iter(self._tuples)
+        return zip(*self._columns)
 
     @property
     def keys(self) -> list[str]:
@@ -75,26 +145,20 @@ class GraphRelation:
         return self.attributes[self.position(key)]
 
     def column(self, key: str) -> list[int]:
-        position = self.position(key)
-        return [row[position] for row in self.tuples]
+        return list(self._columns[self.position(key)])
+
+    def columns_view(self) -> list[list[int]]:
+        """The internal parallel columns; callers must not mutate them."""
+        return self._columns
 
     def distinct_column(self, key: str) -> list[int]:
         """Distinct node ids of one attribute, first-appearance order."""
-        position = self.position(key)
-        seen: set[int] = set()
-        out: list[int] = []
-        for row in self.tuples:
-            node_id = row[position]
-            if node_id in seen:
-                continue
-            seen.add(node_id)
-            out.append(node_id)
-        return out
+        return list(dict.fromkeys(self._columns[self.position(key)]))
 
     def to_table(self, graph: InstanceGraph) -> list[dict[str, Any]]:
         """Render tuples as label dictionaries (used by Figure 8's bench)."""
         out: list[dict[str, Any]] = []
-        for row in self.tuples:
+        for row in self.iter_rows():
             item: dict[str, Any] = {}
             for attribute, node_id in zip(self.attributes, row):
                 item[attribute.key] = graph.node(node_id).label(graph.schema)
@@ -111,8 +175,9 @@ def base_relation(
     """The base graph relation of one node type: one single-attribute tuple
     per node instance."""
     attribute = GraphAttribute(key or type_name, type_name)
-    tuples = [(node_id,) for node_id in graph.node_ids_of_type(type_name)]
-    return GraphRelation([attribute], tuples)
+    return GraphRelation.from_columns(
+        [attribute], [list(graph.node_ids_of_type(type_name))]
+    )
 
 
 def selection(
@@ -120,15 +185,32 @@ def selection(
     key: str,
     condition: Condition,
     graph: InstanceGraph,
+    memo: ConditionMemo | None = None,
 ) -> GraphRelation:
-    """``σ_Ci(R)``: keep tuples whose ``key`` node satisfies the condition."""
+    """``σ_Ci(R)``: keep tuples whose ``key`` node satisfies the condition.
+
+    With a :class:`ConditionMemo`, each (condition, node) pair is evaluated
+    at most once across the memo's lifetime — repeated incremental queries
+    never re-scan the neighbors behind a ``NeighborSatisfies`` twice.
+    """
     position = relation.position(key)
-    kept = [
-        row
-        for row in relation.tuples
-        if condition.matches(graph.node(row[position]), graph)
+    target = relation.columns_view()[position]
+    if memo is not None:
+        kept = [
+            index
+            for index, node_id in enumerate(target)
+            if memo.matches(condition, graph.node(node_id), graph)
+        ]
+    else:
+        kept = [
+            index
+            for index, node_id in enumerate(target)
+            if condition.matches(graph.node(node_id), graph)
+        ]
+    columns = [
+        [column[index] for index in kept] for column in relation.columns_view()
     ]
-    return GraphRelation(list(relation.attributes), kept)
+    return GraphRelation.from_columns(list(relation.attributes), columns)
 
 
 def join(
@@ -162,30 +244,40 @@ def join(
             f"{right_attr.type_name!r}, edge expects {edge_type.target!r}"
         )
 
-    by_target: dict[int, list[tuple[int, ...]]] = {}
-    for row in right.tuples:
-        by_target.setdefault(row[right_position], []).append(row)
+    right_columns = right.columns_view()
+    by_target: dict[int, list[int]] = {}
+    for index, node_id in enumerate(right_columns[right_position]):
+        by_target.setdefault(node_id, []).append(index)
 
+    left_columns = left.columns_view()
+    left_width = len(left_columns)
+    right_width = len(right_columns)
+    out: list[list[int]] = [[] for _ in range(left_width + right_width)]
+    left_source = left_columns[left_position]
+    for left_index in range(len(left)):
+        source_id = left_source[left_index]
+        for neighbor_id in graph.neighbors_view(source_id, edge_type_name):
+            for right_index in by_target.get(neighbor_id, ()):
+                for c in range(left_width):
+                    out[c].append(left_columns[c][left_index])
+                for c in range(right_width):
+                    out[left_width + c].append(right_columns[c][right_index])
     attributes = list(left.attributes) + list(right.attributes)
-    tuples: list[tuple[int, ...]] = []
-    for left_row in left.tuples:
-        source_id = left_row[left_position]
-        for neighbor_id in graph.neighbor_ids(source_id, edge_type_name):
-            for right_row in by_target.get(neighbor_id, ()):
-                tuples.append(left_row + right_row)
-    return GraphRelation(attributes, tuples)
+    return GraphRelation.from_columns(attributes, out)
 
 
 def projection(relation: GraphRelation, keys: Sequence[str]) -> GraphRelation:
     """``Π``: keep only ``keys`` attributes; duplicate tuples are removed."""
     positions = [relation.position(key) for key in keys]
     attributes = [relation.attributes[position] for position in positions]
+    columns = relation.columns_view()
     seen: set[tuple[int, ...]] = set()
-    tuples: list[tuple[int, ...]] = []
-    for row in relation.tuples:
-        projected = tuple(row[position] for position in positions)
+    out: list[list[int]] = [[] for _ in positions]
+    for index in range(len(relation)):
+        projected = tuple(columns[position][index] for position in positions)
         if projected in seen:
             continue
         seen.add(projected)
-        tuples.append(projected)
-    return GraphRelation(attributes, tuples)
+        for c, value in enumerate(projected):
+            out[c].append(value)
+    return GraphRelation.from_columns(attributes, out)

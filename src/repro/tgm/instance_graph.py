@@ -4,12 +4,24 @@ Nodes are entities with attribute values; edges are relationships typed by
 the schema graph. The graph maintains adjacency indexes in *both* directions
 of every edge-type twin pair, so a neighbor lookup — the operation behind
 every entity-reference cell in an ETable — is a hash probe plus a list scan.
+
+Beyond adjacency, the graph keeps two families of *secondary indexes* built
+lazily and invalidated on mutation:
+
+* an attribute-equality hash index per ``(type, attribute)`` pair, turning
+  ``attribute = value`` selections into probes instead of full type scans;
+* a label index per type (the attribute index over the type's label
+  attribute), backing ``find_by_label`` and Single/SeeAll-style lookups.
+
+A :class:`GraphStatistics` summary (per-type cardinalities, per-edge-type
+degree histograms, per-attribute distinct counts) feeds the query planner's
+selectivity and join-fanout estimates (``repro.core.planner``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Iterator
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.errors import GraphIntegrityError, TgmError, UnknownNodeType
 from repro.tgm.conditions import Condition
@@ -52,6 +64,81 @@ class Edge:
     attributes: tuple[tuple[str, Any], ...] = ()
 
 
+@dataclass(frozen=True)
+class EdgeTypeStats:
+    """Degree summary of one edge-type direction (for join-fanout estimates).
+
+    ``pairs`` counts (source, target) adjacency entries; ``sources`` counts
+    distinct source nodes with at least one such edge; ``histogram`` maps
+    out-degree -> number of source nodes with that degree.
+    """
+
+    pairs: int
+    sources: int
+    max_degree: int
+    histogram: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def avg_degree(self) -> float:
+        return self.pairs / self.sources if self.sources else 0.0
+
+
+class GraphStatistics:
+    """Cheap summary statistics over one :class:`InstanceGraph` snapshot.
+
+    Built once per graph version (the graph drops its cached statistics on
+    mutation); all lookups afterwards are dictionary probes. The planner
+    uses these for selectivity estimation, never for correctness.
+    """
+
+    def __init__(self, graph: "InstanceGraph") -> None:
+        self.graph = graph
+        self.type_cardinalities: dict[str, int] = {
+            name: len(ids) for name, ids in graph._nodes_by_type.items()
+        }
+        per_edge: dict[str, dict[int, int]] = {}
+        for (node_id, edge_name), targets in graph._adjacency.items():
+            histogram = per_edge.setdefault(edge_name, {})
+            degree = len(targets)
+            histogram[degree] = histogram.get(degree, 0) + 1
+        self.edge_stats: dict[str, EdgeTypeStats] = {}
+        for edge_name, histogram in per_edge.items():
+            pairs = sum(degree * count for degree, count in histogram.items())
+            sources = sum(histogram.values())
+            self.edge_stats[edge_name] = EdgeTypeStats(
+                pairs=pairs,
+                sources=sources,
+                max_degree=max(histogram),
+                histogram=dict(histogram),
+            )
+        self._distinct_counts: dict[tuple[str, str], int] = {}
+
+    def cardinality(self, type_name: str) -> int:
+        return self.type_cardinalities.get(type_name, 0)
+
+    def edge_type_stats(self, edge_type_name: str) -> EdgeTypeStats:
+        return self.edge_stats.get(
+            edge_type_name, EdgeTypeStats(pairs=0, sources=0, max_degree=0)
+        )
+
+    def avg_fanout(self, edge_type_name: str, source_type: str) -> float:
+        """Expected number of ``edge_type`` neighbors per *source-type node*
+        (zero-degree nodes included — this is the join-growth factor)."""
+        cardinality = self.cardinality(source_type)
+        if cardinality == 0:
+            return 0.0
+        return self.edge_type_stats(edge_type_name).pairs / cardinality
+
+    def distinct_count(self, type_name: str, attribute: str) -> int:
+        """Distinct non-NULL values of one attribute (computed lazily)."""
+        key = (type_name, attribute)
+        cached = self._distinct_counts.get(key)
+        if cached is None:
+            cached = len(self.graph.attribute_index(type_name, attribute))
+            self._distinct_counts[key] = cached
+        return cached
+
+
 class InstanceGraph:
     """A typed instance graph ``GI = (V, E)`` conforming to a schema graph."""
 
@@ -67,6 +154,15 @@ class InstanceGraph:
         # (type_name, source_key) -> node_id, for translation lookups
         self._by_source_key: dict[tuple[str, Any], int] = {}
         self._next_id = 1
+        # Lazily-built secondary indexes and statistics; dropped on mutation.
+        # (type_name, attribute) -> value -> [node ids, insertion order]
+        self._attribute_indexes: dict[
+            tuple[str, str], dict[Any, list[int]]
+        ] = {}
+        self._statistics: GraphStatistics | None = None
+        # Monotonic mutation counter so external caches (statistics users,
+        # the transform layer's entity-ref cache) can detect staleness.
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -88,6 +184,7 @@ class InstanceGraph:
         self._next_id += 1
         self._nodes[node.node_id] = node
         self._nodes_by_type[type_name].append(node.node_id)
+        self._invalidate_indexes(type_name)
         if source_key is not None:
             key = (type_name, source_key)
             if key in self._by_source_key:
@@ -130,6 +227,8 @@ class InstanceGraph:
             self._adjacency.setdefault(
                 (target_id, edge_type.reverse_name), []
             ).append(source_id)
+        self._version += 1
+        self._statistics = None  # degree histograms are stale
         return edge
 
     # ------------------------------------------------------------------
@@ -173,6 +272,16 @@ class InstanceGraph:
     def neighbor_ids(self, node_id: int, edge_type_name: str) -> list[int]:
         return list(self._adjacency.get((node_id, edge_type_name), []))
 
+    def neighbors_view(
+        self, node_id: int, edge_type_name: str
+    ) -> Sequence[int]:
+        """The internal adjacency list, without the defensive copy.
+
+        Hot-path counterpart of :meth:`neighbor_ids` for the executor's join
+        loops; callers must treat the returned sequence as read-only.
+        """
+        return self._adjacency.get((node_id, edge_type_name), ())
+
     def degree(self, node_id: int, edge_type_name: str) -> int:
         return len(self._adjacency.get((node_id, edge_type_name), []))
 
@@ -186,16 +295,95 @@ class InstanceGraph:
         return [node for node in nodes if condition.matches(node, self)]
 
     def find_by_label(self, type_name: str, label: Any) -> Node | None:
-        """First node of ``type_name`` whose label equals ``label``."""
+        """First node of ``type_name`` whose label equals ``label``.
+
+        Rides the label index: a hash probe instead of a type scan. Buckets
+        preserve insertion order, so "first" matches the legacy linear scan.
+        """
         label_attr = self.schema.node_type(type_name).label_attribute
+        if label is not None:
+            try:
+                ids = self.label_index(type_name).get(label)
+            except TypeError:
+                ids = None  # unhashable label value: fall back to scanning
+            else:
+                return self._nodes[ids[0]] if ids else None
+        # NULL probes (the index omits NULLs) and unhashable values keep the
+        # legacy scan semantics.
         for node in self.nodes_of_type(type_name):
             if node.attributes.get(label_attr) == label:
                 return node
         return None
 
     # ------------------------------------------------------------------
+    # Secondary indexes (lazy; invalidated by add_node / add_edge)
+    # ------------------------------------------------------------------
+    def attribute_index(
+        self, type_name: str, attribute: str
+    ) -> dict[Any, list[int]]:
+        """Hash index ``value -> [node ids]`` for one ``(type, attribute)``.
+
+        Built on first use and cached until the type gains a node. NULLs and
+        unhashable values are omitted (an equality probe can never match
+        NULL, and unhashable attribute values fall back to scans upstream).
+        Buckets keep node-insertion order.
+        """
+        key = (type_name, attribute)
+        index = self._attribute_indexes.get(key)
+        if index is None:
+            self.schema.node_type(type_name)  # raises UnknownNodeType
+            index = {}
+            for node_id in self._nodes_by_type.get(type_name, ()):
+                value = self._nodes[node_id].attributes.get(attribute)
+                if value is None:
+                    continue
+                try:
+                    index.setdefault(value, []).append(node_id)
+                except TypeError:
+                    continue
+            self._attribute_indexes[key] = index
+        return index
+
+    def label_index(self, type_name: str) -> dict[Any, list[int]]:
+        """The attribute index over the type's label attribute."""
+        label_attr = self.schema.node_type(type_name).label_attribute
+        return self.attribute_index(type_name, label_attr)
+
+    def find_ids_by_attribute(
+        self, type_name: str, attribute: str, value: Any
+    ) -> list[int]:
+        """Node ids with ``attribute == value``, via the hash index."""
+        try:
+            return list(self.attribute_index(type_name, attribute).get(value, ()))
+        except TypeError:  # unhashable probe value
+            return [
+                node.node_id
+                for node in self.nodes_of_type(type_name)
+                if node.attributes.get(attribute) == value
+            ]
+
+    @property
+    def version(self) -> int:
+        """Bumped on every mutation; caches key their entries by it."""
+        return self._version
+
+    def _invalidate_indexes(self, type_name: str) -> None:
+        self._version += 1
+        self._statistics = None
+        if self._attribute_indexes:
+            stale = [key for key in self._attribute_indexes if key[0] == type_name]
+            for key in stale:
+                del self._attribute_indexes[key]
+
+    # ------------------------------------------------------------------
     # Statistics
     # ------------------------------------------------------------------
+    def statistics(self) -> GraphStatistics:
+        """Summary statistics for the planner (cached per graph version)."""
+        if self._statistics is None:
+            self._statistics = GraphStatistics(self)
+        return self._statistics
+
     @property
     def node_count(self) -> int:
         return len(self._nodes)

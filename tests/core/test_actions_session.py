@@ -209,3 +209,46 @@ class TestHistory:
         assert lines[0] == "1. Open 'Papers' table"
         assert "keyword like '%user%'" in lines[1]
         assert "# of Papers (referenced)" in lines[2]
+
+
+class TestEngineSelection:
+    def test_naive_engine_session_matches_planned(self, toy):
+        planned = EtableSession(toy.schema, toy.graph, engine="planned")
+        naive = EtableSession(toy.schema, toy.graph, engine="naive")
+        planned.open("Papers")
+        naive.open("Papers")
+        assert (
+            [r.node_id for r in planned.current.rows]
+            == [r.node_id for r in naive.current.rows]
+        )
+
+    def test_unknown_engine_rejected(self, toy):
+        session = EtableSession(toy.schema, toy.graph, engine="wat")
+        with pytest.raises(ValueError):
+            session.open("Papers")
+
+    def test_cache_with_naive_engine_rejected(self, toy):
+        """The caching executor always plans; asking for the naive oracle
+        with the cache on must fail loudly, not silently run the planner."""
+        with pytest.raises(InvalidAction):
+            EtableSession(toy.schema, toy.graph, use_cache=True, engine="naive")
+
+    def test_explain_plan_matches_execution_mode(self, toy):
+        cached = EtableSession(toy.schema, toy.graph, use_cache=True)
+        cached.open("Conferences")
+        cached.pivot("Conferences->Papers")
+        text = cached.explain_plan()
+        # The cached executor skips the reduction passes (its intermediates
+        # must stay exact per subpattern), so the plan must not claim them.
+        assert "semi-join reduction" not in text
+        assert "reuse: intermediates cached per subpattern" in text
+        assert "cache:" in text
+
+        direct = EtableSession(toy.schema, toy.graph)
+        direct.open("Conferences")
+        direct.pivot("Conferences->Papers")
+        assert "semi-join reduction" in direct.explain_plan()
+
+        naive = EtableSession(toy.schema, toy.graph, engine="naive")
+        naive.open("Conferences")
+        assert "naive reference matcher" in naive.explain_plan()

@@ -62,6 +62,16 @@ class TestLookup:
         with pytest.raises(InvalidAction):
             papers_etable.find_row_by_attribute("year", 1900)
 
+    def test_find_row_by_attribute_sees_in_place_mutation(self, papers_etable):
+        """The lazy attribute index must not hide rows whose attributes were
+        mutated after it was built (rows are public mutable dicts)."""
+        original = papers_etable.find_row_by_attribute("year", 2003)
+        original.attributes["year"] = 1234  # mutate after the index exists
+        found = papers_etable.find_row_by_attribute("year", 1234)
+        assert found is original
+        with pytest.raises(InvalidAction):
+            papers_etable.find_row_by_attribute("year", 2003)
+
 
 class TestPresentation:
     def test_sort_by_base_attribute(self, papers_etable):
@@ -78,6 +88,45 @@ class TestPresentation:
         etable = execute_pattern(initiate(toy.schema, "Papers"), toy.graph)
         etable.sort("year")
         assert etable.rows[-1].attributes["year"] is not None  # toy has no nulls
+
+    def test_sort_mixed_types_total_order(self, papers_etable):
+        """A base column mixing ints, strings, and NULLs must not raise.
+
+        Regression test: ``_sort_key`` used to emit ``(0, value)`` for
+        numbers but ``(0, str(value))`` for strings, so Python compared an
+        int against a str and raised ``TypeError``.
+        """
+        values = [2003, "draft", None, 1999, "camera-ready", 2010]
+        for row, value in zip(papers_etable.rows, values):
+            row.attributes["year"] = value
+        papers_etable.sort("year")
+        sorted_years = [row.attributes["year"] for row in papers_etable.rows]
+        numbers = [v for v in sorted_years if isinstance(v, (int, float))]
+        strings = [v for v in sorted_years if isinstance(v, str)]
+        assert numbers == sorted(numbers)
+        assert strings == sorted(strings)
+        # Numbers come first, then strings, then NULLs.
+        kinds = [
+            0 if isinstance(v, (int, float)) else (2 if v is None else 1)
+            for v in sorted_years
+        ]
+        assert kinds == sorted(kinds)
+
+    def test_find_row_by_attribute_after_sort_respects_new_order(
+        self, papers_etable
+    ):
+        """The attribute index maps to the *first* row in display order and
+        must be rebuilt after sorting."""
+        for index, row in enumerate(papers_etable.rows):
+            row.attributes["parity"] = index % 2
+        first = papers_etable.find_row_by_attribute("parity", 0)
+        assert first is papers_etable.rows[0]
+        papers_etable.sort("year", descending=True)
+        refetched = papers_etable.find_row_by_attribute("parity", 0)
+        expected = next(
+            row for row in papers_etable.rows if row.attributes["parity"] == 0
+        )
+        assert refetched is expected
 
     def test_hide_show(self, papers_etable):
         papers_etable.hide_column("year")

@@ -1,0 +1,417 @@
+"""Unit tests for the planning + reuse execution engine.
+
+Covers the statistics layer, the secondary indexes, plan construction
+(order, cost estimates, explain text), semi-join pruning, the prefix store,
+and the condition memo. Integration-level equivalence against the reference
+matcher lives in tests/integration/test_planner_equivalence.py.
+"""
+
+import pytest
+
+from repro.errors import TgmError
+from repro.tgm.conditions import (
+    AttributeCompare,
+    AttributeIn,
+    AttributeLike,
+    ConditionMemo,
+    NeighborSatisfies,
+    NodeIn,
+    NodeIs,
+    conjoin_conditions,
+)
+from repro.tgm.graph_relation import GraphAttribute, GraphRelation
+from repro.core.cache import CachingExecutor
+from repro.core.matching import match, match_planned
+from repro.core.operators import add, initiate, select, shift
+from repro.core.planner import (
+    PrefixStore,
+    build_plan,
+    candidate_ids,
+    estimate_selectivity,
+    execute_plan,
+    find_cached_base,
+    restore_reference_order,
+    subpattern_key,
+)
+
+
+# ----------------------------------------------------------------------
+# Statistics layer
+# ----------------------------------------------------------------------
+class TestGraphStatistics:
+    def test_type_cardinalities(self, toy):
+        stats = toy.graph.statistics()
+        assert stats.cardinality("Papers") == len(
+            toy.graph.node_ids_of_type("Papers")
+        )
+        assert stats.cardinality("NoSuchType") == 0
+
+    def test_edge_degree_histogram(self, toy):
+        stats = toy.graph.statistics()
+        edge_stats = stats.edge_type_stats("Conferences->Papers")
+        assert edge_stats.pairs > 0
+        assert edge_stats.sources > 0
+        assert edge_stats.max_degree >= 1
+        assert sum(edge_stats.histogram.values()) == edge_stats.sources
+        assert sum(
+            degree * count for degree, count in edge_stats.histogram.items()
+        ) == edge_stats.pairs
+
+    def test_avg_fanout_counts_zero_degree_nodes(self, toy):
+        stats = toy.graph.statistics()
+        fanout = stats.avg_fanout("Conferences->Papers", "Conferences")
+        assert fanout == pytest.approx(
+            stats.edge_type_stats("Conferences->Papers").pairs
+            / stats.cardinality("Conferences")
+        )
+
+    def test_distinct_count(self, toy):
+        stats = toy.graph.statistics()
+        years = {
+            node.attributes.get("year")
+            for node in toy.graph.nodes_of_type("Papers")
+            if node.attributes.get("year") is not None
+        }
+        assert stats.distinct_count("Papers", "year") == len(years)
+
+    def test_statistics_object_is_cached(self, toy):
+        # Invalidation on mutation is covered by
+        # TestSecondaryIndexes.test_index_invalidated_by_add_node (the toy
+        # fixture is session-scoped, so it must not be mutated here).
+        assert toy.graph.statistics() is toy.graph.statistics()
+
+
+class TestSecondaryIndexes:
+    def test_attribute_index_probes(self, toy):
+        index = toy.graph.attribute_index("Papers", "year")
+        for year, ids in index.items():
+            for node_id in ids:
+                assert toy.graph.node(node_id).attributes["year"] == year
+
+    def test_index_bucket_order_is_insertion_order(self, toy):
+        index = toy.graph.attribute_index("Papers", "year")
+        by_type = toy.graph.node_ids_of_type("Papers")
+        rank = {node_id: i for i, node_id in enumerate(by_type)}
+        for ids in index.values():
+            assert ids == sorted(ids, key=rank.__getitem__)
+
+    def test_find_by_label_uses_index_and_matches_scan(self, toy):
+        label_attr = toy.schema.node_type("Papers").label_attribute
+        some = toy.graph.nodes_of_type("Papers")[2]
+        found = toy.graph.find_by_label("Papers", some.attributes[label_attr])
+        scan = next(
+            node
+            for node in toy.graph.nodes_of_type("Papers")
+            if node.attributes.get(label_attr) == some.attributes[label_attr]
+        )
+        assert found is not None and found.node_id == scan.node_id
+
+    def test_find_by_label_missing(self, toy):
+        assert toy.graph.find_by_label("Papers", "no such title") is None
+
+    def test_find_by_label_null_probe_scans(self):
+        """The index omits NULLs; a None probe keeps the legacy scan
+        semantics (first node whose label attribute is missing)."""
+        from repro.tgm.instance_graph import InstanceGraph
+        from repro.tgm.schema_graph import NodeType, SchemaGraph
+
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType("T", ("name",), "name"))
+        graph = InstanceGraph(schema)
+        graph.add_node("T", {"name": "a"})
+        unlabeled = graph.add_node("T", {})
+        found = graph.find_by_label("T", None)
+        assert found is not None and found.node_id == unlabeled.node_id
+
+    def test_index_invalidated_by_add_node(self):
+        from repro.tgm.instance_graph import InstanceGraph
+        from repro.tgm.schema_graph import NodeType, SchemaGraph
+
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType("T", ("name",), "name"))
+        graph = InstanceGraph(schema)
+        graph.add_node("T", {"name": "a"})
+        assert graph.find_by_label("T", "b") is None  # builds the index
+        added = graph.add_node("T", {"name": "b"})  # invalidates it
+        found = graph.find_by_label("T", "b")
+        assert found is not None and found.node_id == added.node_id
+        # Statistics are also rebuilt after mutation.
+        assert graph.statistics().cardinality("T") == 2
+
+
+# ----------------------------------------------------------------------
+# Selectivity estimation and candidate enumeration
+# ----------------------------------------------------------------------
+class TestEstimation:
+    def test_equality_uses_distinct_counts(self, toy):
+        stats = toy.graph.statistics()
+        selectivity = estimate_selectivity(
+            AttributeCompare("year", "=", 2012), "Papers", stats
+        )
+        assert selectivity == pytest.approx(
+            1.0 / stats.distinct_count("Papers", "year")
+        )
+
+    def test_identity_is_sharpest(self, toy):
+        stats = toy.graph.statistics()
+        node = toy.graph.nodes_of_type("Papers")[0]
+        identity = estimate_selectivity(NodeIs(node.node_id), "Papers", stats)
+        like = estimate_selectivity(AttributeLike("title", "%a%"), "Papers", stats)
+        assert identity <= like
+
+    def test_conjunction_multiplies(self, toy):
+        stats = toy.graph.statistics()
+        a = AttributeCompare("year", "=", 2012)
+        b = AttributeLike("title", "%a%")
+        both = conjoin_conditions([a, b])
+        assert estimate_selectivity(both, "Papers", stats) == pytest.approx(
+            estimate_selectivity(a, "Papers", stats)
+            * estimate_selectivity(b, "Papers", stats)
+        )
+
+    def test_candidate_ids_equality_probe(self, toy):
+        graph = toy.graph
+        condition = AttributeCompare("year", "=", 2012)
+        expected = [
+            node.node_id
+            for node in graph.nodes_of_type("Papers")
+            if condition.matches(node, graph)
+        ]
+        assert sorted(candidate_ids(graph, "Papers", condition)) == sorted(expected)
+
+    def test_candidate_ids_identity_probe_checks_type(self, toy):
+        graph = toy.graph
+        paper = graph.nodes_of_type("Papers")[0]
+        conference = graph.nodes_of_type("Conferences")[0]
+        condition = NodeIn([paper.node_id, conference.node_id])
+        assert candidate_ids(graph, "Papers", condition) == [paper.node_id]
+
+    def test_candidate_ids_attribute_in_probe(self, toy):
+        graph = toy.graph
+        condition = AttributeIn("year", (2011, 2012))
+        expected = {
+            node.node_id
+            for node in graph.nodes_of_type("Papers")
+            if condition.matches(node, graph)
+        }
+        assert set(candidate_ids(graph, "Papers", condition)) == expected
+
+
+class TestConditionMemo:
+    def test_memo_hits_on_repeat(self, toy):
+        memo = ConditionMemo()
+        graph = toy.graph
+        condition = NeighborSatisfies(
+            "Papers->Authors", AttributeLike("name", "%a%")
+        )
+        node = graph.nodes_of_type("Papers")[0]
+        first = memo.matches(condition, node, graph)
+        evaluations = memo.evaluations
+        second = memo.matches(condition, node, graph)
+        assert first == second
+        assert memo.evaluations == evaluations  # no re-evaluation
+        assert memo.hits == 1
+
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
+class TestPlan:
+    def _korea_pattern(self, toy):
+        pattern = initiate(toy.schema, "Conferences")
+        pattern = select(pattern, AttributeCompare("acronym", "=", "SIGMOD"))
+        pattern = add(pattern, toy.schema, "Conferences->Papers")
+        pattern = add(pattern, toy.schema, "Papers->Authors")
+        return pattern
+
+    def test_plan_starts_at_most_selective_node(self, toy):
+        plan = build_plan(self._korea_pattern(toy), toy.graph)
+        # The equality-selected Conferences node is the cheapest entry point.
+        assert plan.steps[0].key == "Conferences"
+        assert plan.steps[0].kind == "scan"
+        assert "hash-index probe" in plan.steps[0].detail
+
+    def test_plan_covers_every_node_exactly_once(self, toy):
+        pattern = self._korea_pattern(toy)
+        plan = build_plan(pattern, toy.graph)
+        assert sorted(plan.order) == sorted(node.key for node in pattern.nodes)
+
+    def test_plan_join_steps_connect_to_prefix(self, toy):
+        plan = build_plan(self._korea_pattern(toy), toy.graph)
+        covered = {plan.steps[0].key}
+        for step in plan.steps[1:]:
+            assert step.kind == "join"
+            assert step.left_key in covered
+            covered.add(step.key)
+
+    def test_estimates_are_monotone_nonnegative(self, toy):
+        plan = build_plan(self._korea_pattern(toy), toy.graph)
+        for step in plan.steps:
+            assert step.est_rows >= 0.0
+
+    def test_explain_mentions_every_step(self, toy):
+        plan = build_plan(self._korea_pattern(toy), toy.graph)
+        text = plan.explain()
+        for step in plan.steps:
+            assert step.key in text
+        assert "semi-join" in text
+
+    def test_single_node_plan(self, toy):
+        pattern = initiate(toy.schema, "Papers")
+        plan = build_plan(pattern, toy.graph)
+        assert [step.kind for step in plan.steps] == ["scan"]
+        assert plan.semijoin is False
+
+
+# ----------------------------------------------------------------------
+# Execution + order restoration
+# ----------------------------------------------------------------------
+class TestExecution:
+    def test_planned_equals_reference(self, toy):
+        pattern = initiate(toy.schema, "Conferences")
+        pattern = select(pattern, AttributeCompare("acronym", "=", "SIGMOD"))
+        pattern = add(pattern, toy.schema, "Conferences->Papers")
+        pattern = add(pattern, toy.schema, "Papers->Authors")
+        pattern = shift(pattern, "Authors")
+        reference = match(pattern, toy.graph)
+        planned = match_planned(pattern, toy.graph)
+        assert planned.keys == reference.keys
+        assert planned.tuples == reference.tuples
+
+    def test_semijoin_never_changes_results(self, toy):
+        pattern = initiate(toy.schema, "Institutions")
+        pattern = select(pattern, AttributeLike("country", "%Korea%"))
+        pattern = add(pattern, toy.schema, "Institutions->Authors")
+        pattern = add(pattern, toy.schema, "Authors->Papers")
+        with_semijoin = build_plan(pattern, toy.graph, semijoin=True)
+        without = build_plan(pattern, toy.graph, semijoin=False)
+        a = restore_reference_order(
+            pattern, execute_plan(with_semijoin, toy.graph), toy.graph
+        )
+        b = restore_reference_order(
+            pattern, execute_plan(without, toy.graph), toy.graph
+        )
+        assert a.tuples == b.tuples == match(pattern, toy.graph).tuples
+
+
+# ----------------------------------------------------------------------
+# Prefix store + reuse
+# ----------------------------------------------------------------------
+class TestPrefixStore:
+    def test_subpattern_key_is_primary_independent(self, toy):
+        pattern = initiate(toy.schema, "Conferences")
+        pattern = add(pattern, toy.schema, "Conferences->Papers")
+        shifted = shift(pattern, "Papers")
+        keys = frozenset(node.key for node in pattern.nodes)
+        assert subpattern_key(pattern, keys) == subpattern_key(shifted, keys)
+
+    def test_find_cached_base_prefers_larger_subpattern(self, toy):
+        pattern = initiate(toy.schema, "Conferences")
+        pattern = add(pattern, toy.schema, "Conferences->Papers")
+        extended = add(pattern, toy.schema, "Papers->Authors")
+        store = PrefixStore()
+        small = GraphRelation([GraphAttribute("Conferences", "Conferences")])
+        large = GraphRelation(
+            [
+                GraphAttribute("Conferences", "Conferences"),
+                GraphAttribute("Papers", "Papers"),
+            ]
+        )
+        store.put(subpattern_key(extended, frozenset({"Conferences"})), small)
+        store.put(
+            subpattern_key(extended, frozenset({"Conferences", "Papers"})), large
+        )
+        found = find_cached_base(extended, store)
+        assert found is not None
+        keys, relation = found
+        assert keys == frozenset({"Conferences", "Papers"})
+        assert relation is large
+
+    def test_lru_eviction(self):
+        store = PrefixStore(max_entries=2)
+        empty = GraphRelation([GraphAttribute("A", "T")])
+        store.put(("a",), empty)
+        store.put(("b",), empty)
+        store.get(("a",))  # refresh
+        store.put(("c",), empty)  # evicts b
+        assert ("a",) in store and ("c",) in store
+        assert ("b",) not in store
+
+    def test_executor_reuses_prefix_for_extension(self, toy):
+        executor = CachingExecutor(toy.graph)
+        pattern = initiate(toy.schema, "Conferences")
+        pattern = select(pattern, AttributeCompare("acronym", "=", "SIGMOD"))
+        pattern = add(pattern, toy.schema, "Conferences->Papers")
+        executor.match(pattern)
+        assert executor.stats.prefix_hits == 0
+        extended = add(pattern, toy.schema, "Papers->Authors")
+        result = executor.match(extended)
+        assert executor.stats.prefix_hits == 1
+        assert executor.stats.reused_nodes == 2  # Conferences + Papers
+        assert result.tuples == match(extended, toy.graph).tuples
+
+    def test_executor_prefix_hit_after_condition_change(self, toy):
+        """Changing the leaf's condition still reuses the shared prefix."""
+        executor = CachingExecutor(toy.graph)
+        base = initiate(toy.schema, "Conferences")
+        base = add(base, toy.schema, "Conferences->Papers")  # primary: Papers
+        first = select(base, AttributeCompare("year", ">", 2005))
+        second = select(base, AttributeCompare("year", ">", 2010))
+        executor.match(first)
+        executor.match(second)
+        # The single-node {Conferences} subpattern is shared between both.
+        assert executor.stats.prefix_hits >= 1
+
+    def test_same_label_different_nodes_do_not_collide(self, toy):
+        """Regression: ``NodeIs.describe()`` shows the label, and two nodes
+        can share one — cache keys must use the structural token instead."""
+        from repro.tgm.conditions import NodeIs
+        from repro.core.cache import pattern_cache_key
+
+        papers = toy.graph.nodes_of_type("Papers")
+        first, second = papers[0], papers[1]
+        base = initiate(toy.schema, "Papers")
+        one = select(base, NodeIs(first.node_id, label="Same Label"))
+        other = select(base, NodeIs(second.node_id, label="Same Label"))
+        assert pattern_cache_key(one) != pattern_cache_key(other)
+        keys = frozenset({"Papers"})
+        assert subpattern_key(one, keys) != subpattern_key(other, keys)
+        executor = CachingExecutor(toy.graph)
+        assert executor.match(one).tuples == [(first.node_id,)]
+        assert executor.match(other).tuples == [(second.node_id,)]
+
+    def test_invalidate_clears_prefixes_and_memo(self, toy):
+        executor = CachingExecutor(toy.graph)
+        pattern = initiate(toy.schema, "Papers")
+        executor.match(pattern)
+        assert len(executor.prefixes) > 0
+        executor.invalidate()
+        assert len(executor.prefixes) == 0
+        executor.match(pattern)
+        assert executor.stats.misses == 2
+
+
+# ----------------------------------------------------------------------
+# GraphRelation construction boundaries
+# ----------------------------------------------------------------------
+class TestGraphRelationConstruction:
+    def test_public_constructor_still_validates(self):
+        with pytest.raises(TgmError):
+            GraphRelation([GraphAttribute("A", "T")], [(1, 2)])
+
+    def test_from_columns_round_trips(self):
+        relation = GraphRelation.from_columns(
+            [GraphAttribute("A", "T"), GraphAttribute("B", "U")],
+            [[1, 2], [3, 4]],
+        )
+        assert relation.tuples == [(1, 3), (2, 4)]
+        assert list(relation.iter_rows()) == [(1, 3), (2, 4)]
+        assert relation.column("B") == [3, 4]
+
+    def test_from_rows_skips_validation_but_preserves_views(self):
+        rows = [(1, 3), (2, 4)]
+        relation = GraphRelation.from_rows(
+            [GraphAttribute("A", "T"), GraphAttribute("B", "U")], rows
+        )
+        assert len(relation) == 2
+        assert relation.distinct_column("A") == [1, 2]
