@@ -1,0 +1,203 @@
+#!/usr/bin/env python3
+"""Run the multi-user ETable navigation service over HTTP.
+
+Boots a :class:`~repro.service.manager.SessionManager` over a generated
+corpus and serves the JSON wire protocol with the stdlib threaded HTTP
+frontend — the client–server shape of the paper's prototype (Section 6).
+
+    python examples/serve.py                        # academic, port 8080
+    python examples/serve.py --dataset movies --port 9000
+    python examples/serve.py --journal-dir journals # durable sessions
+
+Then, from any HTTP client::
+
+    curl -s -X POST localhost:8080/v1/sessions
+    curl -s -X POST localhost:8080/v1/sessions/<id>/actions \\
+         -d '{"action": "open", "params": {"type": "Papers"}}'
+    curl -s 'localhost:8080/v1/sessions/<id>/etable?limit=5'
+
+``--self-test`` boots on an ephemeral port, drives a full scripted session
+end-to-end over localhost (open → filter → pivot → sort → revert → export),
+kills the service, restarts it on the same journal directory, and verifies
+the replayed session is identical — the CI smoke path.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import urllib.request
+
+
+def build_tgdb(dataset: str, papers: int):
+    from repro.translate import translate_database
+
+    if dataset == "academic":
+        from repro.datasets.academic import (
+            AcademicConfig,
+            default_categorical_attributes,
+            default_label_overrides,
+            generate_academic,
+        )
+
+        db, _ = generate_academic(AcademicConfig(papers=papers, seed=7))
+        return translate_database(
+            db,
+            categorical_attributes=default_categorical_attributes(),
+            label_overrides=default_label_overrides(),
+        )
+    if dataset == "movies":
+        from repro.datasets.movies import (
+            MoviesConfig,
+            generate_movies,
+            movies_categorical_attributes,
+            movies_label_overrides,
+        )
+
+        db = generate_movies(MoviesConfig(movies=400, people=300, seed=11))
+        return translate_database(
+            db,
+            categorical_attributes=movies_categorical_attributes(),
+            label_overrides=movies_label_overrides(),
+        )
+    if dataset == "toy":
+        from repro.datasets.academic import default_label_overrides
+        from repro.datasets.toy import generate_toy
+
+        return translate_database(
+            generate_toy(),
+            categorical_attributes={"Institutions": ["country"],
+                                    "Papers": ["year"]},
+            label_overrides=default_label_overrides(),
+        )
+    raise SystemExit(f"unknown dataset {dataset!r}")
+
+
+def _http(url: str, method: str = "GET", body: dict | None = None) -> dict:
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def self_test(args: argparse.Namespace) -> int:
+    """Boot, drive a scripted session over localhost, restart, verify."""
+    from repro.service import NavigationServer, SessionManager
+
+    tgdb = build_tgdb(args.dataset, args.papers)
+    journal_dir = args.journal_dir or tempfile.mkdtemp(prefix="etable-journals-")
+
+    manager = SessionManager(tgdb.schema, tgdb.graph, row_limit=args.row_limit,
+                             journal_dir=journal_dir)
+    server = NavigationServer(manager, port=0).start()
+    base = server.url
+    print(f"self-test: serving {args.dataset} at {base}")
+
+    health = _http(f"{base}/healthz")
+    assert health["ok"], health
+    tables = _http(f"{base}/v1/tables")["result"]["tables"]
+    assert "Papers" in tables, tables
+
+    session_id = _http(f"{base}/v1/sessions", "POST", {})["result"]["session_id"]
+    actions = [
+        {"action": "open", "params": {"type": "Papers"}},
+        {"action": "filter", "params": {"condition": {
+            "kind": "compare", "attribute": "year", "op": ">", "value": 2008}}},
+        {"action": "pivot", "params": {"column": "Papers->Authors"}},
+        {"action": "sort", "params": {"column": "name"}},
+        {"action": "revert", "params": {"index": 1}},
+    ]
+    for action in actions:
+        result = _http(f"{base}/v1/sessions/{session_id}/actions", "POST", action)
+        assert result["ok"], result
+        print(f"  {action['action']:8s} -> {result['result']}")
+    before_table = _http(
+        f"{base}/v1/sessions/{session_id}/etable?include_history=1"
+    )["result"]
+    before_history = _http(
+        f"{base}/v1/sessions/{session_id}/history"
+    )["result"]["lines"]
+
+    # "Kill" the service and restart it on the same journal directory: the
+    # replayed session must be identical (the acceptance bar of the
+    # durable-journal design).
+    server.shutdown()
+    manager2 = SessionManager(tgdb.schema, tgdb.graph,
+                              row_limit=args.row_limit,
+                              journal_dir=journal_dir)
+    resumed = manager2.recover_all()
+    assert session_id in resumed, (session_id, resumed)
+    server2 = NavigationServer(manager2, port=0).start()
+    base2 = server2.url
+    after_table = _http(
+        f"{base2}/v1/sessions/{session_id}/etable?include_history=1"
+    )["result"]
+    after_history = _http(
+        f"{base2}/v1/sessions/{session_id}/history"
+    )["result"]["lines"]
+    assert before_history == after_history, (before_history, after_history)
+    assert before_table == after_table
+    stats = _http(f"{base2}/v1/stats")["result"]
+    print(f"  restart  -> replayed {len(after_history)} history steps "
+          f"bit-identically (cache hits: {stats['cache']['hits']})")
+    server2.shutdown()
+    print("self-test: OK")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--dataset", default="academic",
+                        choices=["academic", "movies", "toy"])
+    parser.add_argument("--papers", type=int, default=1200,
+                        help="academic corpus size (default 1200)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--row-limit", type=int, default=50,
+                        help="presented rows per table (pagination)")
+    parser.add_argument("--journal-dir", default=None,
+                        help="directory for durable session journals")
+    parser.add_argument("--max-sessions", type=int, default=256)
+    parser.add_argument("--ttl", type=float, default=1800.0,
+                        help="idle session TTL in seconds")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every HTTP request")
+    parser.add_argument("--self-test", action="store_true",
+                        help="boot, drive a scripted session, verify, exit")
+    args = parser.parse_args(argv)
+
+    if args.self_test:
+        return self_test(args)
+
+    from repro.service import NavigationServer, SessionManager
+
+    print(f"generating {args.dataset} corpus...")
+    tgdb = build_tgdb(args.dataset, args.papers)
+    manager = SessionManager(
+        tgdb.schema, tgdb.graph, row_limit=args.row_limit,
+        max_sessions=args.max_sessions, ttl_seconds=args.ttl,
+        journal_dir=args.journal_dir,
+    )
+    if args.journal_dir:
+        resumed = manager.recover_all()
+        if resumed:
+            print(f"resumed {len(resumed)} journaled session(s)")
+    server = NavigationServer(manager, host=args.host, port=args.port,
+                              verbose=args.verbose)
+    print(f"serving ETable navigation API at {server.url} "
+          f"(Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        server.shutdown()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ presentation state never leaks between hits.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 
 from repro.tgm.conditions import ConditionMemo
@@ -85,49 +86,68 @@ class CacheStats:
 
 class CachingExecutor:
     """Memoizes ``match()`` per pattern — and per pattern *prefix* — over
-    one instance graph."""
+    one instance graph.
+
+    The executor is safe to share across threads (and therefore across the
+    concurrent sessions of ``repro.service``): ``match()`` runs under one
+    re-entrant lock, so the caches and counters stay consistent while the
+    format transformation — which carries per-session presentation state —
+    still runs concurrently outside it. Sharing one executor between many
+    sessions is exactly the cross-session reuse the service layer wants:
+    one user's prefix work becomes another user's cache hit.
+
+    Cache capacity is budgeted by relation *size* (rows × attributes cells,
+    see :func:`repro.core.planner.relation_cells`), not just entry count, so
+    one huge intermediate cannot pin — or flush — the working set.
+    """
 
     def __init__(
         self,
         graph: InstanceGraph,
         max_entries: int = 256,
         max_prefix_entries: int = 512,
+        max_cells: int | None = 4_000_000,
+        max_prefix_cells: int | None = 4_000_000,
     ) -> None:
         self.graph = graph
         self.max_entries = max_entries
         self.stats = CacheStats()
         self.memo = ConditionMemo()
-        self.prefixes = PrefixStore(max_entries=max_prefix_entries)
+        self.prefixes = PrefixStore(max_entries=max_prefix_entries,
+                                    max_cells=max_prefix_cells)
         # Whole-pattern results share the PrefixStore LRU mechanics (a hit
         # refreshes the entry so hot patterns survive eviction pressure) but
         # live in their own store: their keys include the primary node and
         # their relations are reference-ordered.
-        self._store = PrefixStore(max_entries=max_entries)
+        self._store = PrefixStore(max_entries=max_entries,
+                                  max_cells=max_cells)
+        self._lock = threading.RLock()
 
     def match(self, pattern: QueryPattern) -> GraphRelation:
-        key = pattern_cache_key(pattern)
-        cached = self._store.get(key)
-        if cached is not None:
-            self.stats.hits += 1
-            return cached
-        self.stats.misses += 1
-        pattern.validate(self.graph.schema)
-        plan = build_plan(pattern, self.graph, semijoin=False)
-        report = ExecutionReport()
-        relation = execute_plan(
-            plan,
-            self.graph,
-            memo=self.memo,
-            store=self.prefixes,
-            report=report,
-        )
-        if report.reused_nodes:
-            self.stats.prefix_hits += 1
-            self.stats.reused_nodes += report.reused_nodes
-        self.stats.delta_joins += report.delta_joins
-        result = restore_reference_order(pattern, relation, self.graph)
-        self._store.put(key, result)
-        return result
+        with self._lock:
+            key = pattern_cache_key(pattern)
+            cached = self._store.get(key)
+            if cached is not None:
+                self.stats.hits += 1
+                return cached
+            self.stats.misses += 1
+            pattern.validate(self.graph.schema)
+            plan = build_plan(pattern, self.graph, semijoin=False)
+            report = ExecutionReport()
+            relation = execute_plan(
+                plan,
+                self.graph,
+                memo=self.memo,
+                store=self.prefixes,
+                report=report,
+            )
+            if report.reused_nodes:
+                self.stats.prefix_hits += 1
+                self.stats.reused_nodes += report.reused_nodes
+            self.stats.delta_joins += report.delta_joins
+            result = restore_reference_order(pattern, relation, self.graph)
+            self._store.put(key, result)
+            return result
 
     def execute(
         self, pattern: QueryPattern, row_limit: int | None = None
@@ -136,8 +156,28 @@ class CachingExecutor:
         matched = self.match(pattern)
         return transform(pattern, matched, self.graph, row_limit=row_limit)
 
+    def stats_payload(self) -> dict:
+        """All cache counters as one JSON-able dict (service ``/v1/stats``).
+
+        Deliberately lock-free: every value is a monotonic counter or a
+        point-in-time gauge, and a health probe must not queue behind an
+        expensive in-flight ``match()``. Numbers may be a step stale while
+        a query executes — fine for introspection.
+        """
+        return {
+            "hits": self.stats.hits,
+            "misses": self.stats.misses,
+            "hit_rate": self.stats.hit_rate,
+            "prefix_hits": self.stats.prefix_hits,
+            "reused_nodes": self.stats.reused_nodes,
+            "delta_joins": self.stats.delta_joins,
+            "results": self._store.stats(),
+            "prefixes": self.prefixes.stats(),
+        }
+
     def invalidate(self) -> None:
         """Drop everything (call after mutating the instance graph)."""
-        self._store.clear()
-        self.prefixes.clear()
-        self.memo.clear()
+        with self._lock:
+            self._store.clear()
+            self.prefixes.clear()
+            self.memo.clear()

@@ -247,6 +247,23 @@ class ETable:
     # ------------------------------------------------------------------
     # Export
     # ------------------------------------------------------------------
+    def page_rows(self, offset: int = 0,
+                  limit: int | None = None) -> list[ETableRow]:
+        """One page of rows in display order (the interface paginates;
+        matching is complete, so ``len(self)`` stays the true row count).
+
+        Used by the wire protocol's paginated serializer; offsets past the
+        end return an empty page rather than raising, like any cursor.
+        """
+        if offset < 0:
+            raise InvalidAction(f"page offset must be >= 0, got {offset}")
+        if limit is not None and limit < 0:
+            raise InvalidAction(f"page limit must be >= 0, got {limit}")
+        rows = self.rows[offset:]
+        if limit is not None:
+            rows = rows[:limit]
+        return rows
+
     def to_dicts(self, labels: bool = True) -> list[dict[str, Any]]:
         """Rows as plain dictionaries; reference cells become label lists."""
         out: list[dict[str, Any]] = []

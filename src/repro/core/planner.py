@@ -387,17 +387,50 @@ def subpattern_key(pattern: QueryPattern, keys: frozenset[str]) -> tuple:
     return (nodes, edges)
 
 
+def relation_cells(relation: GraphRelation) -> int:
+    """The size of a graph relation in cells (rows × attributes).
+
+    Used as the eviction weight of cached intermediates: a relation's memory
+    footprint is proportional to its cell count (each cell is one node id),
+    so budgeting by cells keeps the cache's *memory* bounded instead of its
+    entry count. Empty relations still weigh one cell so every entry has a
+    positive weight.
+    """
+    return max(1, len(relation) * max(1, len(relation.attributes)))
+
+
+# Rough per-cell memory cost: a node id held in a Python list costs one
+# 8-byte pointer plus (usually shared) int objects; 8 bytes is the floor and
+# keeps the reported byte counters conservative and platform-independent.
+_BYTES_PER_CELL = 8
+
+
 class PrefixStore:
-    """LRU store of intermediate relations keyed by canonical subpattern.
+    """Size-weighted LRU store of intermediate relations keyed by canonical
+    subpattern.
 
     Every entry is semantically *exact*: the full selection+join of its
     subpattern (no cross-subpattern pruning), so any pattern containing the
     subpattern may start from it and only execute the delta joins.
+
+    Eviction is weighted by relation size (rows × attributes, via
+    :func:`relation_cells`), not entry count alone: with ``max_cells`` set,
+    inserting entries evicts least-recently-used ones until the total cell
+    budget is respected, and a single relation larger than the whole budget
+    is refused outright — one huge intermediate can neither pin the cache
+    nor wipe it.
     """
 
-    def __init__(self, max_entries: int = 512) -> None:
+    def __init__(self, max_entries: int = 512,
+                 max_cells: int | None = None) -> None:
         self.max_entries = max_entries
+        self.max_cells = max_cells
         self._store: OrderedDict[tuple, GraphRelation] = OrderedDict()
+        self._weights: dict[tuple, int] = {}
+        self.total_cells = 0
+        self.evictions = 0
+        self.evicted_cells = 0
+        self.rejected = 0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -412,14 +445,50 @@ class PrefixStore:
         return relation
 
     def put(self, key: tuple, relation: GraphRelation) -> None:
+        weight = relation_cells(relation)
+        if self.max_cells is not None and weight > self.max_cells:
+            # Admission policy: a relation larger than the entire budget
+            # would evict everything else and then sit unevictable until
+            # the next put. Refuse it; recomputing one giant intermediate
+            # is cheaper than losing the whole working set.
+            self.rejected += 1
+            self._store.pop(key, None)
+            self.total_cells -= self._weights.pop(key, 0)
+            return
         if key in self._store:
             self._store.move_to_end(key)
-        elif len(self._store) >= self.max_entries:
-            self._store.popitem(last=False)
+            self.total_cells -= self._weights[key]
         self._store[key] = relation
+        self._weights[key] = weight
+        self.total_cells += weight
+        while len(self._store) > 1 and (
+            len(self._store) > self.max_entries
+            or (self.max_cells is not None
+                and self.total_cells > self.max_cells)
+        ):
+            evicted_key, _ = self._store.popitem(last=False)
+            evicted_weight = self._weights.pop(evicted_key)
+            self.total_cells -= evicted_weight
+            self.evictions += 1
+            self.evicted_cells += evicted_weight
+
+    def stats(self) -> dict[str, int | None]:
+        """Bytes-weighted occupancy and eviction counters."""
+        return {
+            "entries": len(self._store),
+            "cells": self.total_cells,
+            "approx_bytes": self.total_cells * _BYTES_PER_CELL,
+            "max_entries": self.max_entries,
+            "max_cells": self.max_cells,
+            "evictions": self.evictions,
+            "evicted_cells": self.evicted_cells,
+            "rejected": self.rejected,
+        }
 
     def clear(self) -> None:
         self._store.clear()
+        self._weights.clear()
+        self.total_cells = 0
 
 
 # How many candidate subpatterns the reuse lookup may inspect before giving

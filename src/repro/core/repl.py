@@ -6,6 +6,12 @@ usable from a terminal (see ``examples/interactive_cli.py``) and — more
 importantly for a library — so the whole action surface is drivable and
 testable through plain strings.
 
+The REPL is a *thin client of the wire protocol*: every session action is
+parsed into JSON params and dispatched through
+:func:`repro.service.protocol.apply_action` — the same entry point the
+HTTP service and the action journal use — so the CLI exercises exactly the
+code path a remote client would.
+
 Commands (one per line)::
 
     tables                          list entity types to open
@@ -21,6 +27,7 @@ Commands (one per line)::
     rank [k]                        keep the k best columns (future work #3)
     revert <step#>                  return to a history step
     rows [n]                        print the current table
+    export [history]                dump the ETable (+history) as JSON
     plan                            show the execution plan + cache stats
     columns | schema | history | sql
     help | quit
@@ -28,6 +35,7 @@ Commands (one per line)::
 
 from __future__ import annotations
 
+import json
 import shlex
 from dataclasses import dataclass
 from typing import Any, Callable
@@ -36,7 +44,6 @@ from repro.errors import InvalidAction, ReproError
 from repro.tgm.conditions import AttributeCompare, AttributeLike, Condition
 from repro.tgm.instance_graph import InstanceGraph
 from repro.tgm.schema_graph import SchemaGraph
-from repro.core.column_ranking import select_columns
 from repro.core.render import render_etable
 from repro.core.session import EtableSession
 
@@ -120,6 +127,7 @@ class Repl:
             "rank": self._cmd_rank,
             "revert": self._cmd_revert,
             "rows": self._cmd_rows,
+            "export": self._cmd_export,
             "plan": self._cmd_plan,
             "columns": self._cmd_columns,
             "schema": self._cmd_schema,
@@ -152,47 +160,72 @@ class Repl:
                 break
         return outputs
 
+    def _dispatch(self, action: str, params: dict[str, Any]) -> dict[str, Any]:
+        """One protocol round trip against the local session.
+
+        Everything a remote client could do goes through the same
+        :func:`repro.service.protocol.apply_action` dispatch — the REPL
+        only parses text and renders results. Imported lazily so the core
+        package never depends on the service layer at import time (the
+        service imports core, not the other way around).
+        """
+        from repro.service import protocol as wire
+
+        return wire.apply_action(self.session, action, params)
+
+    @staticmethod
+    def _condition_payload(condition: Condition) -> dict[str, Any]:
+        from repro.service import protocol as wire
+
+        return wire.condition_to_json(condition)
+
     # ------------------------------------------------------------------
     # Command handlers
     # ------------------------------------------------------------------
     def _cmd_tables(self, args: tuple[str, ...]) -> str:
-        names = self.session.default_table_list()
+        names = self._dispatch("tables", {})["tables"]
         return "tables: " + ", ".join(names)
 
     def _cmd_open(self, args: tuple[str, ...]) -> str:
         _require(args, 1, "open <Type>")
-        self.session.open(args[0])
+        self._dispatch("open", {"type": args[0]})
         return self._table_text()
 
     def _cmd_filter(self, args: tuple[str, ...]) -> str:
         _require(args, 3, "filter <attr> <op> <value>")
         condition = build_condition(args[0], args[1], " ".join(args[2:]))
-        self.session.filter(condition)
+        self._dispatch("filter",
+                       {"condition": self._condition_payload(condition)})
         return self._table_text()
 
     def _cmd_nfilter(self, args: tuple[str, ...]) -> str:
         if len(args) < 4:
             raise InvalidAction("usage: nfilter <column> <attr> <op> <value>")
         condition = build_condition(args[1], args[2], " ".join(args[3:]))
-        self.session.filter_by_neighbor(args[0], condition)
+        self._dispatch("nfilter", {
+            "column": args[0],
+            "condition": self._condition_payload(condition),
+        })
         return self._table_text()
 
     def _cmd_pivot(self, args: tuple[str, ...]) -> str:
         _require(args, 1, "pivot <column>")
-        self.session.pivot(" ".join(args))
+        self._dispatch("pivot", {"column": " ".join(args)})
         return self._table_text()
 
     def _cmd_seeall(self, args: tuple[str, ...]) -> str:
         if len(args) < 2:
             raise InvalidAction("usage: seeall <row#> <column>")
-        row = self._row(args[0])
-        self.session.see_all(row, " ".join(args[1:]))
+        self._dispatch("seeall", {
+            "row": self._row_index(args[0]),
+            "column": " ".join(args[1:]),
+        })
         return self._table_text()
 
     def _cmd_single(self, args: tuple[str, ...]) -> str:
         if len(args) < 2:
             raise InvalidAction("usage: single <row#> <column> [<ref#>]")
-        row = self._row(args[0])
+        row_index = self._row_index(args[0])
         etable = self.session.current
         assert etable is not None
         # The full tail is tried as a column name first so display names
@@ -212,14 +245,9 @@ class Repl:
                     f"or {' '.join(args[1:-1])!r}"
                 ) from None
             index = int(args[-1])
-        refs = row.refs(column.key)
-        if not refs:
-            raise InvalidAction(f"cell {column.display!r} is empty")
-        if not 0 <= index < len(refs):
-            raise InvalidAction(
-                f"reference index {index} out of range (0..{len(refs) - 1})"
-            )
-        self.session.single(refs[index])
+        self._dispatch("single", {
+            "row": row_index, "column": column.key, "ref": index,
+        })
         return self._table_text()
 
     def _cmd_sort(self, args: tuple[str, ...]) -> str:
@@ -227,39 +255,56 @@ class Repl:
             raise InvalidAction("usage: sort <column> [desc]")
         descending = args[-1].lower() == "desc"
         column = " ".join(args[:-1]) if descending else " ".join(args)
-        self.session.sort(column, descending=descending)
+        self._dispatch("sort", {"column": column, "descending": descending})
         return self._table_text()
 
     def _cmd_hide(self, args: tuple[str, ...]) -> str:
         _require(args, 1, "hide <column>")
-        self.session.hide_column(" ".join(args))
+        self._dispatch("hide", {"column": " ".join(args)})
         return self._table_text()
 
     def _cmd_show(self, args: tuple[str, ...]) -> str:
         _require(args, 1, "show <column>")
-        self.session.show_column(" ".join(args))
+        self._dispatch("show", {"column": " ".join(args)})
         return self._table_text()
 
     def _cmd_rank(self, args: tuple[str, ...]) -> str:
-        etable = self._require_table()
+        self._require_table()
         keep = _int_arg(args[0], "rank [k]") if args else 8
-        ranking = select_columns(etable, keep=keep)
-        lines = [item.explain() for item in ranking[:keep]]
+        result = self._dispatch("rank", {"keep": keep})
+        lines = [item["explain"] for item in result["ranking"][:keep]]
         return "\n".join(lines + ["", self._table_text()])
 
     def _cmd_revert(self, args: tuple[str, ...]) -> str:
         _require(args, 1, "revert <step#>")
         step = _int_arg(args[0], "revert <step#>")  # history is shown 1-based
-        self.session.revert(step - 1)
+        self._dispatch("revert", {"index": step - 1})
         return self._table_text()
 
     def _cmd_rows(self, args: tuple[str, ...]) -> str:
         count = _int_arg(args[0], "rows [n]") if args else self.max_rows
         return self._table_text(max_rows=count)
 
+    def _cmd_export(self, args: tuple[str, ...]) -> str:
+        """Dump the current ETable (optionally plus history) as JSON.
+
+        The payload comes from the wire protocol's ETable serializer, so a
+        CLI export is byte-compatible with what the HTTP service returns.
+        """
+        self._require_table()
+        include_history = False
+        if args:
+            if len(args) > 1 or args[0].lower() != "history":
+                raise InvalidAction("usage: export [history]")
+            include_history = True
+        result = self._dispatch(
+            "export", {"include_history": include_history}
+        )
+        return json.dumps(result, indent=2, default=str)
+
     def _cmd_plan(self, args: tuple[str, ...]) -> str:
         self._require_table()
-        return self.session.explain_plan()
+        return self._dispatch("plan", {})["text"]
 
     def _cmd_columns(self, args: tuple[str, ...]) -> str:
         etable = self._require_table()
@@ -276,7 +321,7 @@ class Repl:
         return etable.pattern.to_ascii()
 
     def _cmd_history(self, args: tuple[str, ...]) -> str:
-        lines = self.session.history_lines()
+        lines = self._dispatch("history", {})["lines"]
         return "\n".join(lines) if lines else "(empty)"
 
     def _cmd_sql(self, args: tuple[str, ...]) -> str:
@@ -307,12 +352,14 @@ class Repl:
             raise InvalidAction("no table open; use 'open <Type>' first")
         return self.session.current
 
-    def _row(self, text: str):
+    def _row_index(self, text: str) -> int:
         etable = self._require_table()
         try:
-            return etable.row(int(text))
+            index = int(text)
         except ValueError:
             raise InvalidAction(f"expected a row number, got {text!r}") from None
+        etable.row(index)  # validate now, so usage errors precede dispatch
+        return index
 
     def _table_text(self, max_rows: int | None = None) -> str:
         etable = self._require_table()

@@ -48,6 +48,7 @@ class EtableSession:
         row_limit: int | None = None,
         use_cache: bool = False,
         engine: str = "planned",
+        executor: "CachingExecutor | None" = None,
     ) -> None:
         self.schema = schema
         self.graph = graph
@@ -58,19 +59,30 @@ class EtableSession:
         self._sort: tuple[str, bool] | None = None
         # Optional reuse of intermediate results (Section 9, future work #2):
         # with the cache on, reverts and repeated sub-queries skip matching,
-        # and incremental extensions execute only their delta joins.
-        if use_cache:
+        # and incremental extensions execute only their delta joins. An
+        # explicit ``executor`` may be *shared between sessions* (the
+        # multi-user service hosts many sessions over one executor so one
+        # user's prefix work speeds up another's).
+        if executor is not None or use_cache:
             if engine != "planned":
                 # The caching executor always plans; silently serving the
                 # planner to someone who asked for the naive oracle would
                 # mask exactly the discrepancies the oracle exists to find.
                 raise InvalidAction(
-                    "use_cache=True always executes through the planner; "
-                    f"pass use_cache=False to use engine={engine!r}"
+                    "cached execution always goes through the planner; "
+                    f"disable the cache to use engine={engine!r}"
                 )
+            if executor is not None and executor.graph is not graph:
+                raise InvalidAction(
+                    "the shared executor was built over a different "
+                    "instance graph"
+                )
+        if executor is not None:
+            self._executor: "CachingExecutor | None" = executor
+        elif use_cache:
             from repro.core.cache import CachingExecutor
 
-            self._executor: "CachingExecutor | None" = CachingExecutor(graph)
+            self._executor = CachingExecutor(graph)
         else:
             self._executor = None
 
@@ -267,6 +279,30 @@ class EtableSession:
             for number, entry in enumerate(self.history, start=1)
         ]
 
+    def restore_history(self, entries: list[HistoryEntry]) -> ETable | None:
+        """Replace the whole history and re-materialize its final state.
+
+        This is the journal-checkpoint restore path of ``repro.service``:
+        a checkpoint record carries the full serialized history, and
+        replaying it must reproduce the *identical* history list plus the
+        ETable of its last entry (pattern re-execution rides the prefix
+        cache, so restarts are cheap). Not a user action — nothing is
+        appended to the history.
+        """
+        self.history = list(entries)
+        if not self.history:
+            self.current = None
+            self._sort = None
+            return None
+        last = self.history[-1]
+        etable = self._execute(last.pattern)
+        etable.hidden_columns |= set(last.hidden)
+        if last.sort is not None:
+            etable.sort(last.sort[0], descending=last.sort[1])
+        self.current = etable
+        self._sort = last.sort
+        return etable
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
@@ -280,6 +316,15 @@ class EtableSession:
 
     def _require_pattern(self) -> QueryPattern:
         return self._require_etable().pattern
+
+    def resolve_column(self, column: str | ColumnSpec) -> ColumnSpec:
+        """Resolve a column by spec, exact key, or header text.
+
+        Public because protocol clients (the wire protocol, the REPL)
+        address columns by string; exact keys are tried first so
+        programmatic use stays stable, then display names.
+        """
+        return self._resolve_column(column)
 
     def _resolve_column(self, column: str | ColumnSpec) -> ColumnSpec:
         if isinstance(column, ColumnSpec):

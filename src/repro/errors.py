@@ -107,6 +107,22 @@ class InvalidAction(EtableError):
     """A user-level action referenced a column, row, or cell that is absent."""
 
 
+class ServiceError(ReproError):
+    """Base class for multi-user navigation-service errors."""
+
+
+class ProtocolError(ServiceError):
+    """A wire-protocol request is malformed (bad action, params, version)."""
+
+
+class UnknownSession(ServiceError):
+    """A request referenced a session id the manager does not host."""
+
+
+class JournalCorrupt(ServiceError):
+    """An action journal contains an undecodable record before its tail."""
+
+
 class StudyError(ReproError):
     """Base class for user-study simulator errors."""
 

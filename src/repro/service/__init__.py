@@ -1,0 +1,51 @@
+"""Multi-user navigation service over the ETable core (Sections 6, 8, 9).
+
+The reproduction's client–server layer: many concurrent
+:class:`~repro.core.session.EtableSession` s hosted over one shared graph
+and one shared plan-and-reuse cache, a versioned JSON wire protocol, a
+durable per-session action journal, and a stdlib threaded HTTP frontend.
+
+    from repro.service import SessionManager, NavigationServer
+
+    manager = SessionManager(schema, graph, journal_dir="journals")
+    server = NavigationServer(manager, port=8080).start()
+"""
+
+from repro.service.journal import ActionJournal, read_records, replay_journal
+from repro.service.manager import ManagedSession, SessionManager
+from repro.service.http_api import NavigationServer
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    Request,
+    Response,
+    apply_action,
+    condition_from_json,
+    condition_to_json,
+    etable_from_json,
+    etable_to_json,
+    history_from_json,
+    history_to_json,
+    pattern_from_json,
+    pattern_to_json,
+)
+
+__all__ = [
+    "ActionJournal",
+    "ManagedSession",
+    "NavigationServer",
+    "PROTOCOL_VERSION",
+    "Request",
+    "Response",
+    "SessionManager",
+    "apply_action",
+    "condition_from_json",
+    "condition_to_json",
+    "etable_from_json",
+    "etable_to_json",
+    "history_from_json",
+    "history_to_json",
+    "pattern_from_json",
+    "pattern_to_json",
+    "read_records",
+    "replay_journal",
+]

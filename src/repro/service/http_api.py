@@ -1,0 +1,283 @@
+"""Threaded HTTP frontend for the navigation service (stdlib only).
+
+The paper's prototype served its ETable web interface from a central server
+(Section 6); this module is that frontend, speaking the JSON wire protocol
+of :mod:`repro.service.protocol` over ``http.server.ThreadingHTTPServer``
+(one thread per connection — browsing actions are short, and all shared
+state is behind the :class:`~repro.service.manager.SessionManager` locks).
+
+Routes, mapped to the Figure 9 interface components:
+
+=============================================  ===========================
+route                                          Figure 9 counterpart
+=============================================  ===========================
+``GET  /healthz``                              liveness + session counts
+``GET  /v1/stats``                             cache/manager introspection
+``GET  /v1/tables``                            component 1, table list
+``POST /v1/sessions``                          a user opens the interface
+``DELETE /v1/sessions/<id>``                   the user leaves
+``POST /v1/sessions/<id>/actions``             components 2+4: every user
+                                               action (open/filter/nfilter/
+                                               pivot/single/seeall/sort/
+                                               hide/show/rank/revert) as a
+                                               ``{"action", "params"}`` body
+``GET  /v1/sessions/<id>/etable``              component 3, the enriched
+                                               table (``offset``/``limit``/
+                                               ``max_refs`` paginate)
+``GET  /v1/sessions/<id>/history``             component 4, history panel
+``GET  /v1/sessions/<id>/plan``                execution-plan introspection
+=============================================  ===========================
+
+Every response body is a protocol :class:`~repro.service.protocol.Response`
+envelope; HTTP status codes mirror ``ok`` (200), domain rejections (400),
+unknown sessions/routes (404).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ProtocolError, ReproError, UnknownSession
+from repro.service import protocol
+from repro.service.manager import SessionManager
+
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class NavigationRequestHandler(BaseHTTPRequestHandler):
+    """Maps HTTP routes onto the session manager's protocol surface."""
+
+    server_version = "EtableService/1"
+    protocol_version = "HTTP/1.1"
+
+    # The manager is attached to the *server* object (one per service).
+    @property
+    def manager(self) -> SessionManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # ------------------------------------------------------------------
+    # HTTP verbs
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._drain_body()
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        query = {key: values[-1]
+                 for key, values in parse_qs(parsed.query).items()}
+        try:
+            if parts == ["healthz"]:
+                stats = self.manager.stats()
+                self._send(200, protocol.Response.success({
+                    "status": "ok",
+                    "live_sessions": stats["live_sessions"],
+                    "actions": stats["actions"],
+                }))
+                return
+            if parts == ["v1", "stats"]:
+                self._send(200, protocol.Response.success(self.manager.stats()))
+                return
+            if parts == ["v1", "tables"]:
+                response = self.manager.handle_request(
+                    protocol.Request(action="tables")
+                )
+                self._send(200 if response.ok else 400, response)
+                return
+            if len(parts) == 4 and parts[:2] == ["v1", "sessions"]:
+                session_id, leaf = parts[2], parts[3]
+                if leaf == "etable":
+                    self._dispatch(session_id, "etable", _etable_params(query))
+                    return
+                if leaf == "history":
+                    self._dispatch(session_id, "history", {})
+                    return
+                if leaf == "plan":
+                    self._dispatch(session_id, "plan", {})
+                    return
+            self._send(404, protocol.Response.failure(
+                f"no route for GET {parsed.path}"
+            ))
+        except ReproError as error:
+            self._send_error_response(error)
+
+    def do_POST(self) -> None:  # noqa: N802
+        parsed = urlparse(self.path)
+        parts = [part for part in parsed.path.split("/") if part]
+        try:
+            body = self._read_json_body()
+            if parts == ["v1", "sessions"]:
+                request = protocol.Request(
+                    action="create_session",
+                    params=body if isinstance(body, dict) else {},
+                )
+                response = self.manager.handle_request(request)
+                self._send(200 if response.ok else 400, response)
+                return
+            if (len(parts) == 4 and parts[:2] == ["v1", "sessions"]
+                    and parts[3] == "actions"):
+                session_id = parts[2]
+                if not isinstance(body, dict):
+                    raise ProtocolError(
+                        "action request body must be a JSON object"
+                    )
+                body.setdefault("session_id", session_id)
+                request = protocol.Request.from_json(body)
+                if request.session_id != session_id:
+                    raise ProtocolError(
+                        "body session_id does not match the URL session"
+                    )
+                response = self.manager.handle_request(request)
+                self._send(_status_of(response), response)
+                return
+            self._send(404, protocol.Response.failure(
+                f"no route for POST {parsed.path}"
+            ))
+        except ReproError as error:
+            self._send_error_response(error)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._drain_body()
+        parts = [part for part in urlparse(self.path).path.split("/") if part]
+        try:
+            if len(parts) == 3 and parts[:2] == ["v1", "sessions"]:
+                self.manager.close_session(parts[2])
+                self._send(200, protocol.Response.success(
+                    {"closed": parts[2]}, session_id=parts[2]
+                ))
+                return
+            self._send(404, protocol.Response.failure(
+                f"no route for DELETE {self.path}"
+            ))
+        except ReproError as error:
+            self._send_error_response(error)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _dispatch(self, session_id: str, action: str,
+                  params: dict[str, Any]) -> None:
+        request = protocol.Request(action=action, params=params,
+                                   session_id=session_id)
+        response = self.manager.handle_request(request)
+        self._send(_status_of(response), response)
+
+    def _read_json_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > _MAX_BODY_BYTES:
+            # Too big to drain; the connection must not be reused with the
+            # unread body still in the stream.
+            self.close_connection = True
+            raise ProtocolError(f"request body too large ({length} bytes)")
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ProtocolError(f"request body is not JSON: {error}") from None
+
+    def _drain_body(self) -> None:
+        """Consume a declared body on verbs that ignore it (GET/DELETE).
+
+        HTTP/1.1 keep-alive parses the next request where the last one
+        ended; unread body bytes would desync the connection.
+        """
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0:
+            return
+        if length > _MAX_BODY_BYTES:
+            self.close_connection = True
+            return
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(min(65536, remaining))
+            if not chunk:
+                break
+            remaining -= len(chunk)
+
+    def _send(self, status: int, response: protocol.Response) -> None:
+        payload = json.dumps(response.to_json(), default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json; charset=utf-8")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_error_response(self, error: ReproError) -> None:
+        status = 404 if isinstance(error, UnknownSession) else 400
+        # Pass the exception itself so the envelope keeps its
+        # machine-readable error_type, same as the handle_request path.
+        self._send(status, protocol.Response.failure(error))
+
+
+def _status_of(response: protocol.Response) -> int:
+    if response.ok:
+        return 200
+    if response.error_type == "unknown_session":
+        return 404
+    return 400
+
+
+def _etable_params(query: dict[str, str]) -> dict[str, Any]:
+    params: dict[str, Any] = {}
+    for name in ("offset", "limit", "max_refs"):
+        if name in query:
+            params[name] = query[name]
+    if query.get("include_history") in ("1", "true", "yes"):
+        params["include_history"] = True
+    return params
+
+
+class NavigationServer:
+    """A running HTTP service around one :class:`SessionManager`.
+
+    ``port=0`` binds an ephemeral port (tests, CI); :meth:`start` serves on
+    a daemon thread so the caller owns the lifecycle.
+    """
+
+    def __init__(self, manager: SessionManager, host: str = "127.0.0.1",
+                 port: int = 8080, verbose: bool = False) -> None:
+        self.manager = manager
+        self.httpd = ThreadingHTTPServer(
+            (host, port), NavigationRequestHandler
+        )
+        self.httpd.daemon_threads = True
+        self.httpd.manager = manager  # type: ignore[attr-defined]
+        self.httpd.verbose = verbose  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self.httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self.httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "NavigationServer":
+        self._thread = threading.Thread(
+            target=self.httpd.serve_forever, name="etable-http", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        self.httpd.serve_forever()
+
+    def shutdown(self) -> None:
+        self.httpd.shutdown()
+        self.httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None

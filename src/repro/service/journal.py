@@ -1,0 +1,217 @@
+"""Durable per-session action journal with cheap replay.
+
+Browsing sessions are state machines driven by small, deterministic
+actions; persisting the *actions* (not the results) makes session state
+durable at almost no cost. Each accepted mutating action is appended to an
+append-only JSON-lines file; on restart the manager replays the file
+through the same :func:`repro.service.protocol.apply_action` dispatch that
+served it live, and every re-executed pattern rides the shared prefix-reuse
+cache — recovery is a sequence of cache hits plus delta joins, not a cold
+re-computation.
+
+Record shapes (one JSON object per line)::
+
+    {"type": "meta", "version": 1, "session_id": "..."}
+    {"type": "action", "seq": 3, "action": "filter", "params": {...}}
+    {"type": "checkpoint", "seq": 7, "history": [<history entries>]}
+
+**Revert truncates.** A revert makes every action after the reverted step
+dead weight: replaying them only to revert away from them again would make
+the journal — and recovery time — grow forever under the paper's
+revert-heavy browsing behavior (Figure 1's history panel). Instead of
+appending the revert, the journal is atomically rewritten to a single
+*checkpoint* record carrying the full serialized history (which still
+contains the revert entries — the user's trail is part of the state).
+Replaying a checkpoint restores that exact history list and re-executes
+only the final pattern, so a replayed session is bit-identical to the one
+that crashed.
+
+Torn tails are expected: a crash can cut the last line mid-write. Readers
+keep every record up to the first undecodable line and ignore the tail, so
+a killed session restarts from its last durable action.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+from repro.errors import JournalCorrupt
+from repro.core.session import EtableSession
+from repro.service import protocol
+
+JOURNAL_SUFFIX = ".journal"
+JOURNAL_VERSION = 1
+
+
+class ActionJournal:
+    """Append-only journal of one session's accepted mutating actions."""
+
+    def __init__(self, path: Path | str, session_id: str,
+                 fsync: bool = False) -> None:
+        self.path = Path(path)
+        self.session_id = session_id
+        self.fsync = fsync
+        self.seq = 0
+        self._handle = None
+        # Records recovered from an existing file, for the resume path to
+        # replay without re-reading the file.
+        self.recovered_records: list[dict[str, Any]] = []
+        if self.path.exists():
+            records, durable_length, max_seq = scan_journal(self.path)
+            self.recovered_records = records
+            self.seq = max_seq
+            # A crash can leave a torn (or garbled) tail after the last
+            # durable record. Appending onto it would weld the next record
+            # to the partial line and silently lose it on the following
+            # restart — truncate to the durable boundary first.
+            if durable_length < self.path.stat().st_size:
+                with self.path.open("r+b") as handle:
+                    handle.truncate(durable_length)
+            self._handle = self.path.open("a", encoding="utf-8")
+        else:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = self.path.open("a", encoding="utf-8")
+            self._write({"type": "meta", "version": JOURNAL_VERSION,
+                         "session_id": session_id})
+
+    # ------------------------------------------------------------------
+    def record_action(self, action: str, params: dict[str, Any]) -> None:
+        """Append one accepted action (call only after it succeeded)."""
+        self.seq += 1
+        self._write({"type": "action", "seq": self.seq, "action": action,
+                     "params": params})
+
+    def checkpoint(self, history_payload: list[dict[str, Any]]) -> None:
+        """Atomically replace the journal with one checkpoint record.
+
+        Called after a successful revert: the serialized history (which
+        includes the revert entry itself) *is* the session state, so the
+        journal shrinks to meta + checkpoint instead of growing forever.
+        """
+        self.seq += 1
+        tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
+        with tmp_path.open("w", encoding="utf-8") as handle:
+            handle.write(_dump({"type": "meta", "version": JOURNAL_VERSION,
+                                "session_id": self.session_id}) + "\n")
+            handle.write(_dump({"type": "checkpoint", "seq": self.seq,
+                                "history": history_payload}) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        if self._handle is not None:
+            self._handle.close()
+        os.replace(tmp_path, self.path)
+        self._handle = self.path.open("a", encoding="utf-8")
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    # ------------------------------------------------------------------
+    def _write(self, record: dict[str, Any]) -> None:
+        assert self._handle is not None
+        self._handle.write(_dump(record) + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+
+def _dump(record: dict[str, Any]) -> str:
+    return json.dumps(record, separators=(",", ":"), default=str)
+
+
+def scan_journal(path: Path | str) -> tuple[list[dict[str, Any]], int, int]:
+    """One pass over a journal file, tolerant of a torn tail.
+
+    Returns ``(records, durable_byte_length, max_seq)``: every decodable
+    record, the byte offset where durable content ends (everything after
+    it is a torn/garbled tail from a crash mid-write), and the highest
+    ``seq`` seen. An undecodable line *followed by* decodable records means
+    real corruption — not a crash artifact — and raises
+    :class:`JournalCorrupt`.
+    """
+    raw = Path(path).read_bytes()
+    lines = raw.split(b"\n")
+    # Every element except the last was newline-terminated; the last is
+    # either b"" (file ends with a newline) or an unterminated partial
+    # line — never durable either way.
+    terminated = lines[:-1]
+    records: list[dict[str, Any]] = []
+    durable_length = 0
+    max_seq = 0
+    for index, line in enumerate(terminated):
+        if not line.strip():
+            durable_length += len(line) + 1
+            continue
+        record: Any = None
+        try:
+            record = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            record = None
+        if not isinstance(record, dict) or "type" not in record:
+            if any(rest.strip() for rest in terminated[index + 1:]):
+                raise JournalCorrupt(
+                    f"{path}: undecodable record at line {index + 1}"
+                )
+            break  # garbled final terminated line: treat as torn tail
+        records.append(record)
+        durable_length += len(line) + 1
+        try:
+            max_seq = max(max_seq, int(record.get("seq", 0)))
+        except (TypeError, ValueError):
+            pass
+    # ``tail`` (an unterminated partial line, if any) is never durable.
+    return records, durable_length, max_seq
+
+
+def read_records(path: Path | str, strict: bool = False) -> list[dict[str, Any]]:
+    """All decodable records, stopping at a torn tail.
+
+    A truncated or garbled trailing line is the expected signature of a
+    crash mid-write and is silently dropped (``strict=True`` raises for it
+    instead); garbage *before* later records means real corruption and
+    always raises :class:`JournalCorrupt`.
+    """
+    records, durable_length, _ = scan_journal(path)
+    if strict and durable_length < Path(path).stat().st_size:
+        raise JournalCorrupt(f"{path}: torn tail after byte {durable_length}")
+    return records
+
+
+def replay_records(session: EtableSession,
+                   records: Iterable[dict[str, Any]]) -> int:
+    """Re-apply journal records to a fresh session; returns actions applied.
+
+    Checkpoints restore the serialized history wholesale (and re-execute
+    only its final pattern); action records go through the exact protocol
+    dispatch that produced them. Deterministic by construction: every
+    protocol action is a pure function of session state and params.
+    """
+    applied = 0
+    for record in records:
+        kind = record.get("type")
+        if kind == "meta":
+            continue
+        if kind == "checkpoint":
+            session.restore_history(
+                protocol.history_from_json(record["history"])
+            )
+            applied += 1
+        elif kind == "action":
+            protocol.apply_action(session, record["action"],
+                                  record.get("params", {}))
+            applied += 1
+        else:
+            raise JournalCorrupt(f"unknown journal record type {kind!r}")
+    return applied
+
+
+def replay_journal(path: Path | str,
+                   make_session: Callable[[], EtableSession]) -> EtableSession:
+    """Rebuild a session from its journal file."""
+    session = make_session()
+    replay_records(session, read_records(path))
+    return session

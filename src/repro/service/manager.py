@@ -1,0 +1,396 @@
+"""Concurrent session hosting over one shared typed-graph database.
+
+The paper's user study ran many participants against one ETable server
+(Section 8); related navigation-server work (Wheeldon et al.) observes the
+same workload shape: *many cheap stateful sessions over one shared
+database*. The :class:`SessionManager` is that shape made concrete:
+
+* every session is an ordinary :class:`~repro.core.session.EtableSession`,
+  serialized by its own lock (a browsing session is inherently sequential —
+  one user, one action at a time);
+* all sessions share one immutable ``SchemaGraph``/``InstanceGraph`` and
+  one thread-safe :class:`~repro.core.cache.CachingExecutor`, so the prefix
+  work of one user becomes the cache hit of another — the PR 2
+  plan-and-reuse engine amortized across the whole user population;
+* sessions are evicted by idle TTL and by LRU pressure, but eviction is
+  cheap to undo: each session's durable action journal
+  (:mod:`repro.service.journal`) lets the manager resurrect it on the next
+  request, replaying through the shared cache.
+
+The manager speaks :mod:`repro.service.protocol`; the HTTP frontend and the
+throughput bench are thin clients of :meth:`apply` / :meth:`handle_request`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ProtocolError, ReproError, ServiceError, UnknownSession
+from repro.tgm.instance_graph import InstanceGraph
+from repro.tgm.schema_graph import SchemaGraph
+from repro.core.cache import CachingExecutor
+from repro.core.session import EtableSession
+from repro.service import protocol
+from repro.service.journal import (
+    JOURNAL_SUFFIX,
+    ActionJournal,
+    replay_records,
+)
+
+
+@dataclass
+class ManagedSession:
+    """One hosted session plus its lock, journal, and usage clock."""
+
+    session_id: str
+    session: EtableSession
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    journal: ActionJournal | None = None
+    created_at: float = 0.0
+    last_used: float = 0.0
+    actions: int = 0
+
+
+class SessionManager:
+    """Hosts many concurrent ETable sessions over one shared graph."""
+
+    def __init__(
+        self,
+        schema: SchemaGraph,
+        graph: InstanceGraph,
+        row_limit: int | None = None,
+        max_sessions: int = 256,
+        ttl_seconds: float | None = 1800.0,
+        journal_dir: str | Path | None = None,
+        executor: CachingExecutor | None = None,
+        fsync_journal: bool = False,
+    ) -> None:
+        self.schema = schema
+        self.graph = graph
+        self.row_limit = row_limit
+        self.max_sessions = max_sessions
+        self.ttl_seconds = ttl_seconds
+        self.journal_dir = Path(journal_dir) if journal_dir else None
+        self.fsync_journal = fsync_journal
+        # One executor for everyone: cross-session prefix reuse is the
+        # service's whole performance story.
+        self.executor = executor or CachingExecutor(graph)
+        self._sessions: dict[str, ManagedSession] = {}
+        self._lock = threading.RLock()
+        self.created = 0
+        self.resumed = 0
+        self.evicted = 0
+        self.total_actions = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def create_session(self, session_id: str | None = None) -> str:
+        """Open a new session; returns its id."""
+        with self._lock:
+            if session_id is None:
+                session_id = uuid.uuid4().hex[:12]
+            if not _valid_session_id(session_id):
+                raise ProtocolError(
+                    f"invalid session id {session_id!r} (alphanumeric, "
+                    f"'-' and '_' only, at most 64 chars)"
+                )
+            if session_id in self._sessions:
+                raise ServiceError(f"session {session_id!r} already exists")
+            managed = self._host(session_id)
+            self.created += 1
+            self._evict_over_capacity(protect=session_id)
+            return managed.session_id
+
+    def close_session(self, session_id: str, drop_journal: bool = False) -> None:
+        """Close a session (its journal stays unless ``drop_journal``)."""
+        with self._lock:
+            managed = self._sessions.pop(session_id, None)
+        if managed is None and not drop_journal:
+            raise UnknownSession(f"no session {session_id!r}")
+        if managed is not None and managed.journal is not None:
+            # Wait for any in-flight action before closing the journal: it
+            # was checked out before the pop above and must still be able
+            # to record its (already accepted) action.
+            with managed.lock:
+                managed.journal.close()
+        if drop_journal and self.journal_dir is not None:
+            path = self._journal_path(session_id)
+            if path.exists():
+                path.unlink()
+
+    def session_ids(self) -> list[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    # ------------------------------------------------------------------
+    # The hot path
+    # ------------------------------------------------------------------
+    def apply(self, session_id: str, action: str,
+              params: dict[str, Any] | None = None) -> dict[str, Any]:
+        """Apply one protocol action to one session, journaling it.
+
+        Thread-safe: the manager lock covers session lookup/eviction only;
+        the action itself runs under the session's own lock, so distinct
+        sessions execute concurrently while one session's actions stay
+        strictly ordered.
+        """
+        params = params or {}
+        while True:
+            managed = self._checkout(session_id)
+            managed.lock.acquire()
+            with self._lock:
+                still_hosted = self._sessions.get(session_id) is managed
+            if still_hosted:
+                break
+            # Evicted between checkout and lock acquisition (its journal is
+            # closed); check out the resurrected instance instead.
+            managed.lock.release()
+        try:
+            result = protocol.apply_action(managed.session, action, params)
+            # Journal only after the action was accepted — a rejected
+            # action must not poison replay.
+            if managed.journal is not None and action in protocol.MUTATING_ACTIONS:
+                if action == "revert":
+                    # Truncate-and-checkpoint: see repro.service.journal.
+                    managed.journal.checkpoint(
+                        protocol.history_to_json(managed.session.history)
+                    )
+                else:
+                    managed.journal.record_action(action, params)
+            managed.actions += 1
+            managed.last_used = time.monotonic()
+        finally:
+            managed.lock.release()
+        with self._lock:
+            self.total_actions += 1
+        return result
+
+    def handle_request(self, request: protocol.Request) -> protocol.Response:
+        """Serve one protocol request envelope (session mgmt included)."""
+        try:
+            if request.action == "create_session":
+                session_id = self.create_session(
+                    request.params.get("session_id") or request.session_id
+                )
+                return protocol.Response.success(
+                    {"session_id": session_id}, request, session_id=session_id
+                )
+            if request.action == "close_session":
+                session_id = self._required_session_id(request)
+                self.close_session(
+                    session_id,
+                    drop_journal=bool(request.params.get("drop_journal")),
+                )
+                return protocol.Response.success({"closed": session_id}, request)
+            if request.action == "stats":
+                return protocol.Response.success(self.stats(), request)
+            if request.action == "tables":
+                # The default table list is session-independent; serve it
+                # without requiring a session (Figure 9, component 1).
+                return protocol.Response.success(
+                    {"tables": [t.name for t in self.schema.entity_types]},
+                    request,
+                )
+            session_id = self._required_session_id(request)
+            result = self.apply(session_id, request.action, request.params)
+            return protocol.Response.success(result, request)
+        except ReproError as error:
+            return protocol.Response.failure(error, request)
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def resume_session(self, session_id: str) -> str:
+        """Rebuild an evicted/crashed session from its journal."""
+        with self._lock:
+            if session_id in self._sessions:
+                return session_id
+            if self.journal_dir is None:
+                raise UnknownSession(f"no session {session_id!r}")
+            path = self._journal_path(session_id)
+            if not path.exists():
+                raise UnknownSession(
+                    f"no live session or journal for {session_id!r}"
+                )
+            # Opening the journal scans it once: records to replay, torn
+            # tail truncated, sequence counter restored.
+            managed = self._host(session_id, existing_journal=True)
+            # Pre-acquire the session lock *before* the session becomes
+            # visible: a concurrent apply() that finds the entry queues
+            # behind the replay instead of acting on (and journaling into)
+            # a still-empty session.
+            managed.lock.acquire()
+        try:
+            # Replay outside the manager lock (it can take a while).
+            assert managed.journal is not None
+            replay_records(managed.session, managed.journal.recovered_records)
+            managed.last_used = time.monotonic()
+        except BaseException:
+            # A failed replay must not leave a half-built session live.
+            with self._lock:
+                self._sessions.pop(session_id, None)
+            if managed.journal is not None:
+                managed.journal.close()
+            raise
+        finally:
+            managed.lock.release()
+        with self._lock:
+            self.resumed += 1
+            self._evict_over_capacity(protect=session_id)
+        return session_id
+
+    def recoverable_sessions(self) -> list[str]:
+        """Session ids with a journal on disk (live ones included)."""
+        if self.journal_dir is None:
+            return []
+        return sorted(
+            path.name[: -len(JOURNAL_SUFFIX)]
+            for path in self.journal_dir.glob(f"*{JOURNAL_SUFFIX}")
+        )
+
+    def recover_all(self) -> list[str]:
+        """Resume every journaled session (service restart warm-up)."""
+        resumed = []
+        for session_id in self.recoverable_sessions():
+            with self._lock:
+                live = session_id in self._sessions
+            if not live:
+                self.resume_session(session_id)
+                resumed.append(session_id)
+        return resumed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            live = len(self._sessions)
+            actions = self.total_actions
+            created, resumed, evicted = self.created, self.resumed, self.evicted
+        return {
+            "live_sessions": live,
+            "created": created,
+            "resumed": resumed,
+            "evicted": evicted,
+            "actions": actions,
+            "cache": self.executor.stats_payload(),
+        }
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _host(self, session_id: str,
+              existing_journal: bool = False) -> ManagedSession:
+        session = EtableSession(
+            self.schema, self.graph, row_limit=self.row_limit,
+            executor=self.executor,
+        )
+        journal = None
+        if self.journal_dir is not None:
+            path = self._journal_path(session_id)
+            if not existing_journal and path.exists():
+                raise ServiceError(
+                    f"journal for session {session_id!r} already exists; "
+                    f"resume it instead of re-creating it"
+                )
+            journal = ActionJournal(path, session_id,
+                                    fsync=self.fsync_journal)
+        now = time.monotonic()
+        managed = ManagedSession(
+            session_id=session_id, session=session, journal=journal,
+            created_at=now, last_used=now,
+        )
+        self._sessions[session_id] = managed
+        return managed
+
+    def _checkout(self, session_id: str) -> ManagedSession:
+        with self._lock:
+            self._evict_expired()
+            managed = self._sessions.get(session_id)
+        if managed is None:
+            # Transparent resurrection: an evicted (or pre-restart) session
+            # with a journal picks up exactly where it stopped.
+            self.resume_session(session_id)
+            with self._lock:
+                managed = self._sessions.get(session_id)
+            if managed is None:
+                raise UnknownSession(f"no session {session_id!r}")
+        return managed
+
+    def _journal_path(self, session_id: str) -> Path:
+        assert self.journal_dir is not None
+        # Validate on *every* path construction, not just create_session:
+        # resume and drop_journal reach here with client-supplied ids, and
+        # "../../etc/x" must never escape the journal directory.
+        if not _valid_session_id(session_id):
+            raise ProtocolError(
+                f"invalid session id {session_id!r} (alphanumeric, "
+                f"'-' and '_' only, at most 64 chars)"
+            )
+        return self.journal_dir / f"{session_id}{JOURNAL_SUFFIX}"
+
+    def _evict_expired(self) -> None:
+        if self.ttl_seconds is None:
+            return
+        deadline = time.monotonic() - self.ttl_seconds
+        for session_id, managed in list(self._sessions.items()):
+            if managed.last_used < deadline:
+                self._evict_one(session_id)
+
+    def _evict_over_capacity(self, protect: str | None = None) -> None:
+        """Evict LRU sessions past ``max_sessions``.
+
+        ``protect`` exempts the session being created/resumed right now:
+        when every *other* session is mid-action, the newcomer would
+        otherwise be the only lockable victim, and create_session would
+        return an id it just evicted.
+        """
+        while len(self._sessions) > self.max_sessions:
+            victims = sorted(
+                (managed for managed in self._sessions.values()
+                 if managed.session_id != protect),
+                key=lambda m: m.last_used,
+            )
+            for managed in victims:
+                if self._evict_one(managed.session_id):
+                    break
+            else:
+                return  # every other session is mid-action; try again later
+
+    def _evict_one(self, session_id: str) -> bool:
+        """Evict one session if it is idle right now (never mid-action)."""
+        managed = self._sessions.get(session_id)
+        if managed is None:
+            return False
+        if not managed.lock.acquire(blocking=False):
+            return False
+        try:
+            del self._sessions[session_id]
+            if managed.journal is not None:
+                managed.journal.close()
+            self.evicted += 1
+            return True
+        finally:
+            managed.lock.release()
+
+    def _required_session_id(self, request: protocol.Request) -> str:
+        session_id = request.session_id or request.params.get("session_id")
+        if not session_id:
+            raise ProtocolError(
+                f"action {request.action!r} needs a session_id"
+            )
+        return str(session_id)
+
+
+def _valid_session_id(session_id: object) -> bool:
+    return (
+        isinstance(session_id, str)
+        and 0 < len(session_id) <= 64
+        and all(c.isalnum() or c in "-_" for c in session_id)
+    )

@@ -1,0 +1,693 @@
+"""The navigation service's versioned JSON wire protocol.
+
+The paper's ETable prototype is a client–server web application (Sections 6
+and 9): the browser sends user actions, the server re-executes the query
+pattern and returns the enriched table. This module is that contract, made
+explicit and transport-independent:
+
+* :class:`Request` / :class:`Response` — versioned envelope dataclasses;
+* serializers for every domain object that crosses the wire — conditions,
+  query patterns, entity references, history entries, and paginated
+  ETables — each with an exact inverse (``*_from_json``), so the journal,
+  the HTTP frontend, and the REPL's ``export`` command share one
+  serialization path;
+* :func:`apply_action` — the single dispatch point mapping wire-level
+  action names onto :class:`~repro.core.session.EtableSession` methods.
+
+Action names mirror the paper's Figure 9 interface components:
+
+====================  ==================================================
+action                Figure 9 / Section 6.1 counterpart
+====================  ==================================================
+``tables``            component 1, the default table list
+``open``              U1 — click a node type
+``seeall``            U2 — click a cell's reference-count badge
+``filter``            U3 — the column-header filter popup
+``nfilter``           U3 on a neighbor column ("translated to subqueries")
+``pivot``             U4 — the pivot button of a reference column
+``single``            click one entity reference (Figure 2a)
+``sort``/``hide``/    the additional presentation actions of Section 6.1
+``show``
+``rank``              column ranking (Section 9, future work #3)
+``revert``            component 4, the history panel's revert
+``history``           component 4, the history panel itself
+``plan``              the execution plan (engine introspection)
+``etable``/``export`` component 3, the enriched table (paginated)
+====================  ==================================================
+
+All payloads are plain JSON types, so any HTTP client — or a file on disk,
+which is exactly what the action journal is — can speak the protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import InvalidAction, ProtocolError
+from repro.tgm.conditions import (
+    AndCondition,
+    AttributeCompare,
+    AttributeIn,
+    AttributeLike,
+    Condition,
+    LabelLike,
+    NeighborSatisfies,
+    NodeIn,
+    NodeIs,
+    NotCondition,
+    OrCondition,
+)
+from repro.tgm.instance_graph import InstanceGraph
+from repro.core.etable import ColumnKind, ColumnSpec, ETable, ETableRow, EntityRef
+from repro.core.query_pattern import PatternEdge, PatternNode, QueryPattern
+from repro.core.session import EtableSession, HistoryEntry
+
+PROTOCOL_VERSION = 1
+
+
+# ----------------------------------------------------------------------
+# Envelopes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Request:
+    """One wire request: an action name plus JSON params."""
+
+    action: str
+    params: dict[str, Any] = field(default_factory=dict)
+    session_id: str | None = None
+    request_id: str | None = None
+    version: int = PROTOCOL_VERSION
+
+    def to_json(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "version": self.version,
+            "action": self.action,
+            "params": dict(self.params),
+        }
+        if self.session_id is not None:
+            payload["session_id"] = self.session_id
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "Request":
+        if not isinstance(payload, dict):
+            raise ProtocolError("request must be a JSON object")
+        version = payload.get("version", PROTOCOL_VERSION)
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                f"unsupported protocol version {version!r} "
+                f"(this server speaks {PROTOCOL_VERSION})"
+            )
+        action = payload.get("action")
+        if not isinstance(action, str) or not action:
+            raise ProtocolError("request needs a non-empty 'action' string")
+        params = payload.get("params", {})
+        if not isinstance(params, dict):
+            raise ProtocolError("'params' must be a JSON object")
+        return cls(
+            action=action,
+            params=params,
+            session_id=payload.get("session_id"),
+            request_id=payload.get("request_id"),
+            version=version,
+        )
+
+
+@dataclass(frozen=True)
+class Response:
+    """One wire response: success with a result, or failure with an error.
+
+    ``error_type`` classifies failures machine-readably (snake-cased from
+    the raising :class:`~repro.errors.ReproError` subclass, e.g.
+    ``unknown_session``, ``invalid_action``) so transports can map them —
+    the HTTP frontend turns ``unknown_session`` into a 404.
+    """
+
+    ok: bool
+    result: Any = None
+    error: str | None = None
+    error_type: str | None = None
+    session_id: str | None = None
+    request_id: str | None = None
+    version: int = PROTOCOL_VERSION
+
+    def to_json(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {"version": self.version, "ok": self.ok}
+        if self.ok:
+            payload["result"] = self.result
+        else:
+            payload["error"] = self.error
+            if self.error_type is not None:
+                payload["error_type"] = self.error_type
+        if self.session_id is not None:
+            payload["session_id"] = self.session_id
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "Response":
+        return cls(
+            ok=bool(payload.get("ok")),
+            result=payload.get("result"),
+            error=payload.get("error"),
+            error_type=payload.get("error_type"),
+            session_id=payload.get("session_id"),
+            request_id=payload.get("request_id"),
+            version=payload.get("version", PROTOCOL_VERSION),
+        )
+
+    @classmethod
+    def success(cls, result: Any, request: Request | None = None,
+                session_id: str | None = None) -> "Response":
+        return cls(
+            ok=True,
+            result=result,
+            session_id=session_id
+            or (request.session_id if request else None),
+            request_id=request.request_id if request else None,
+        )
+
+    @classmethod
+    def failure(cls, error: str | Exception,
+                request: Request | None = None,
+                session_id: str | None = None) -> "Response":
+        error_type = None
+        if isinstance(error, Exception):
+            error_type = _snake_case(type(error).__name__)
+        return cls(
+            ok=False,
+            error=str(error),
+            error_type=error_type,
+            session_id=session_id
+            or (request.session_id if request else None),
+            request_id=request.request_id if request else None,
+        )
+
+
+def _snake_case(name: str) -> str:
+    out = []
+    for index, char in enumerate(name):
+        if char.isupper() and index and not name[index - 1].isupper():
+            out.append("_")
+        out.append(char.lower())
+    return "".join(out)
+
+
+# ----------------------------------------------------------------------
+# Condition serialization
+# ----------------------------------------------------------------------
+def condition_to_json(condition: Condition) -> dict[str, Any]:
+    """Serialize any built-in condition; raises for unknown types."""
+    if isinstance(condition, AttributeCompare):
+        return {"kind": "compare", "attribute": condition.attribute,
+                "op": condition.op, "value": condition.value}
+    if isinstance(condition, AttributeLike):
+        return {"kind": "like", "attribute": condition.attribute,
+                "pattern": condition.pattern, "negate": condition.negate}
+    if isinstance(condition, AttributeIn):
+        return {"kind": "in", "attribute": condition.attribute,
+                "values": list(condition.values)}
+    if isinstance(condition, NodeIs):
+        return {"kind": "node_is", "node_id": condition.node_id,
+                "label": condition.label}
+    if isinstance(condition, NodeIn):
+        return {"kind": "node_in", "node_ids": sorted(condition.node_ids)}
+    if isinstance(condition, LabelLike):
+        return {"kind": "label_like", "pattern": condition.pattern}
+    if isinstance(condition, NeighborSatisfies):
+        return {"kind": "neighbor", "edge_type": condition.edge_type,
+                "inner": condition_to_json(condition.inner)}
+    if isinstance(condition, AndCondition):
+        return {"kind": "and",
+                "operands": [condition_to_json(c) for c in condition.operands]}
+    if isinstance(condition, OrCondition):
+        return {"kind": "or",
+                "operands": [condition_to_json(c) for c in condition.operands]}
+    if isinstance(condition, NotCondition):
+        return {"kind": "not", "operand": condition_to_json(condition.operand)}
+    raise ProtocolError(
+        f"condition type {type(condition).__name__!r} is not serializable"
+    )
+
+
+def condition_from_json(payload: dict[str, Any]) -> Condition:
+    if not isinstance(payload, dict) or "kind" not in payload:
+        raise ProtocolError("a condition payload needs a 'kind' field")
+    kind = payload["kind"]
+    try:
+        if kind == "compare":
+            return AttributeCompare(payload["attribute"], payload["op"],
+                                    payload["value"])
+        if kind == "like":
+            return AttributeLike(payload["attribute"], payload["pattern"],
+                                 negate=bool(payload.get("negate", False)))
+        if kind == "in":
+            return AttributeIn(payload["attribute"], tuple(payload["values"]))
+        if kind == "node_is":
+            return NodeIs(int(payload["node_id"]),
+                          label=payload.get("label", ""))
+        if kind == "node_in":
+            return NodeIn(int(i) for i in payload["node_ids"])
+        if kind == "label_like":
+            return LabelLike(payload["pattern"])
+        if kind == "neighbor":
+            return NeighborSatisfies(payload["edge_type"],
+                                     condition_from_json(payload["inner"]))
+        if kind == "and":
+            return AndCondition(tuple(
+                condition_from_json(c) for c in payload["operands"]))
+        if kind == "or":
+            return OrCondition(tuple(
+                condition_from_json(c) for c in payload["operands"]))
+        if kind == "not":
+            return NotCondition(condition_from_json(payload["operand"]))
+    except KeyError as error:
+        raise ProtocolError(
+            f"condition of kind {kind!r} is missing field {error}"
+        ) from None
+    raise ProtocolError(f"unknown condition kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Pattern / history / entity-ref serialization
+# ----------------------------------------------------------------------
+def pattern_to_json(pattern: QueryPattern) -> dict[str, Any]:
+    return {
+        "primary": pattern.primary_key,
+        "nodes": [
+            {
+                "key": node.key,
+                "type": node.type_name,
+                "conditions": [condition_to_json(c) for c in node.conditions],
+            }
+            for node in pattern.nodes
+        ],
+        "edges": [
+            {"edge_type": edge.edge_type, "source": edge.source_key,
+             "target": edge.target_key}
+            for edge in pattern.edges
+        ],
+    }
+
+
+def pattern_from_json(payload: dict[str, Any]) -> QueryPattern:
+    try:
+        nodes = tuple(
+            PatternNode(
+                key=node["key"],
+                type_name=node["type"],
+                conditions=tuple(
+                    condition_from_json(c) for c in node.get("conditions", ())
+                ),
+            )
+            for node in payload["nodes"]
+        )
+        edges = tuple(
+            PatternEdge(edge_type=edge["edge_type"], source_key=edge["source"],
+                        target_key=edge["target"])
+            for edge in payload.get("edges", ())
+        )
+        return QueryPattern(primary_key=payload["primary"], nodes=nodes,
+                            edges=edges)
+    except (KeyError, TypeError) as error:
+        raise ProtocolError(f"malformed pattern payload: {error}") from None
+
+
+def entity_ref_to_json(ref: EntityRef) -> dict[str, Any]:
+    return {"node_id": ref.node_id, "type": ref.type_name, "label": ref.label}
+
+
+def entity_ref_from_json(payload: dict[str, Any]) -> EntityRef:
+    return EntityRef(node_id=payload["node_id"], type_name=payload["type"],
+                     label=payload["label"])
+
+
+def history_entry_to_json(entry: HistoryEntry) -> dict[str, Any]:
+    return {
+        "description": entry.description,
+        "operators": list(entry.operators),
+        "pattern": pattern_to_json(entry.pattern),
+        "sort": list(entry.sort) if entry.sort is not None else None,
+        "hidden": sorted(entry.hidden),
+    }
+
+
+def history_entry_from_json(payload: dict[str, Any]) -> HistoryEntry:
+    sort = payload.get("sort")
+    return HistoryEntry(
+        description=payload["description"],
+        operators=tuple(payload.get("operators", ())),
+        pattern=pattern_from_json(payload["pattern"]),
+        sort=(sort[0], bool(sort[1])) if sort is not None else None,
+        hidden=frozenset(payload.get("hidden", ())),
+    )
+
+
+def history_to_json(entries: list[HistoryEntry]) -> list[dict[str, Any]]:
+    return [history_entry_to_json(entry) for entry in entries]
+
+
+def history_from_json(payload: list[dict[str, Any]]) -> list[HistoryEntry]:
+    return [history_entry_from_json(entry) for entry in payload]
+
+
+# ----------------------------------------------------------------------
+# ETable serialization (paginated)
+# ----------------------------------------------------------------------
+def etable_to_json(
+    etable: ETable,
+    offset: int = 0,
+    limit: int | None = None,
+    max_refs: int | None = None,
+) -> dict[str, Any]:
+    """Serialize an enriched table, paginated over rows.
+
+    ``offset``/``limit`` slice the presented rows (the paper's interface
+    paginates; matching is always complete). ``max_refs`` truncates each
+    reference cell's *list* while keeping its exact ``count`` — the
+    reference-count badge of Figure 1 stays truthful even when a cell is
+    abbreviated on the wire.
+    """
+    try:
+        rows = etable.page_rows(offset, limit)
+    except InvalidAction as error:
+        raise ProtocolError(str(error)) from None
+    out_rows = []
+    for row in rows:
+        cells: dict[str, Any] = {}
+        for column in etable.columns:
+            if column.kind is ColumnKind.BASE:
+                continue
+            refs = row.refs(column.key)
+            shown = refs if max_refs is None else refs[:max_refs]
+            cells[column.key] = {
+                "count": len(refs),
+                "refs": [entity_ref_to_json(ref) for ref in shown],
+            }
+        out_rows.append({
+            "node_id": row.node_id,
+            "attributes": dict(row.attributes),
+            "cells": cells,
+        })
+    return {
+        "version": PROTOCOL_VERSION,
+        "primary_type": etable.primary_type,
+        "pattern": pattern_to_json(etable.pattern),
+        "columns": [
+            {
+                "kind": column.kind.name.lower(),
+                "key": column.key,
+                "display": column.display,
+                "type": column.type_name,
+                "hidden": column.key in etable.hidden_columns,
+            }
+            for column in etable.columns
+        ],
+        "total_rows": len(etable),
+        "offset": offset,
+        "returned": len(out_rows),
+        "rows": out_rows,
+    }
+
+
+_COLUMN_KINDS = {kind.name.lower(): kind for kind in ColumnKind}
+
+
+def etable_from_json(payload: dict[str, Any], graph: InstanceGraph) -> ETable:
+    """Rebuild an :class:`ETable` from a full (unpaginated, untruncated)
+    serialization — the inverse of :func:`etable_to_json`.
+
+    Only the serialized rows are restored; a paginated payload yields a
+    partial table (``total_rows`` tells the client what it is missing).
+    """
+    pattern = pattern_from_json(payload["pattern"])
+    columns = [
+        ColumnSpec(
+            kind=_COLUMN_KINDS[column["kind"]],
+            key=column["key"],
+            display=column["display"],
+            type_name=column.get("type"),
+        )
+        for column in payload["columns"]
+    ]
+    rows = [
+        ETableRow(
+            node_id=row["node_id"],
+            attributes=dict(row["attributes"]),
+            cells={
+                key: [entity_ref_from_json(ref) for ref in cell["refs"]]
+                for key, cell in row["cells"].items()
+            },
+        )
+        for row in payload["rows"]
+    ]
+    etable = ETable(pattern, columns, rows, graph)
+    etable.hidden_columns = {
+        column["key"] for column in payload["columns"] if column["hidden"]
+    }
+    return etable
+
+
+# ----------------------------------------------------------------------
+# Action dispatch
+# ----------------------------------------------------------------------
+def _table_summary(session: EtableSession) -> dict[str, Any]:
+    etable = session.current
+    assert etable is not None
+    return {
+        "primary_type": etable.primary_type,
+        "total_rows": len(etable),
+        "columns": len(etable.columns),
+        "history_length": len(session.history),
+    }
+
+
+def _build_condition(params: dict[str, Any]) -> Condition:
+    condition = params.get("condition")
+    if condition is None:
+        raise ProtocolError("this action needs a 'condition' param")
+    return condition_from_json(condition)
+
+
+def _int_param(params: dict[str, Any], name: str, default: int | None = None,
+               minimum: int | None = None) -> int:
+    value = params.get(name, default)
+    if value is None or isinstance(value, bool):
+        raise ProtocolError(f"this action needs an integer {name!r} param")
+    try:
+        value = int(value)
+    except (TypeError, ValueError):
+        raise ProtocolError(
+            f"param {name!r} must be an integer, got {params[name]!r}"
+        ) from None
+    if minimum is not None and value < minimum:
+        raise ProtocolError(f"param {name!r} must be >= {minimum}, got {value}")
+    return value
+
+
+def _act_tables(session: EtableSession, params: dict) -> dict:
+    return {"tables": session.default_table_list()}
+
+
+def _act_open(session: EtableSession, params: dict) -> dict:
+    type_name = params.get("type")
+    if not isinstance(type_name, str):
+        raise ProtocolError("open needs a 'type' string param")
+    session.open(type_name)
+    return _table_summary(session)
+
+
+def _act_filter(session: EtableSession, params: dict) -> dict:
+    session.filter(_build_condition(params))
+    return _table_summary(session)
+
+
+def _act_nfilter(session: EtableSession, params: dict) -> dict:
+    column = params.get("column")
+    if not isinstance(column, str):
+        raise ProtocolError("nfilter needs a 'column' string param")
+    session.filter_by_neighbor(column, _build_condition(params))
+    return _table_summary(session)
+
+
+def _act_pivot(session: EtableSession, params: dict) -> dict:
+    column = params.get("column")
+    if not isinstance(column, str):
+        raise ProtocolError("pivot needs a 'column' string param")
+    session.pivot(column)
+    return _table_summary(session)
+
+
+def _resolve_row(session: EtableSession, params: dict) -> ETableRow:
+    etable = session.current
+    if etable is None:
+        raise InvalidAction("no ETable is open; call open() first")
+    if "row_node_id" in params:
+        return etable.row_for_node(_int_param(params, "row_node_id"))
+    if "row" in params:
+        return etable.row(_int_param(params, "row"))
+    raise ProtocolError("this action needs a 'row' index or 'row_node_id'")
+
+
+def _act_single(session: EtableSession, params: dict) -> dict:
+    if "node_id" in params:
+        session.single(_int_param(params, "node_id"))
+        return _table_summary(session)
+    row = _resolve_row(session, params)
+    column = params.get("column")
+    if not isinstance(column, str):
+        raise ProtocolError("single needs a 'node_id', or a row + 'column'")
+    spec = session.resolve_column(column)
+    refs = row.refs(spec.key)
+    if not refs:
+        raise InvalidAction(f"cell {spec.display!r} is empty")
+    index = _int_param(params, "ref", default=0)
+    if not 0 <= index < len(refs):
+        raise InvalidAction(
+            f"reference index {index} out of range (0..{len(refs) - 1})"
+        )
+    session.single(refs[index])
+    return _table_summary(session)
+
+
+def _act_seeall(session: EtableSession, params: dict) -> dict:
+    row = _resolve_row(session, params)
+    column = params.get("column")
+    if not isinstance(column, str):
+        raise ProtocolError("seeall needs a 'column' string param")
+    session.see_all(row, column)
+    return _table_summary(session)
+
+
+def _act_sort(session: EtableSession, params: dict) -> dict:
+    column = params.get("column")
+    if not isinstance(column, str):
+        raise ProtocolError("sort needs a 'column' string param")
+    session.sort(column, descending=bool(params.get("descending", False)))
+    return _table_summary(session)
+
+
+def _act_hide(session: EtableSession, params: dict) -> dict:
+    column = params.get("column")
+    if not isinstance(column, str):
+        raise ProtocolError("hide needs a 'column' string param")
+    session.hide_column(column)
+    return _table_summary(session)
+
+
+def _act_show(session: EtableSession, params: dict) -> dict:
+    column = params.get("column")
+    if not isinstance(column, str):
+        raise ProtocolError("show needs a 'column' string param")
+    session.show_column(column)
+    return _table_summary(session)
+
+
+def _act_rank(session: EtableSession, params: dict) -> dict:
+    from repro.core.column_ranking import select_columns
+
+    etable = session.current
+    if etable is None:
+        raise InvalidAction("no ETable is open; call open() first")
+    keep = _int_param(params, "keep", default=8, minimum=1)
+    ranking = select_columns(etable, keep=keep)
+    return {
+        "ranking": [
+            {
+                "key": item.column.key,
+                "display": item.column.display,
+                "score": item.score,
+                "explain": item.explain(),
+            }
+            for item in ranking
+        ],
+        "kept": keep,
+    }
+
+
+def _act_revert(session: EtableSession, params: dict) -> dict:
+    if "index" not in params:
+        raise ProtocolError("revert needs an 'index' param (0-based)")
+    session.revert(_int_param(params, "index"))
+    return _table_summary(session)
+
+
+def _act_plan(session: EtableSession, params: dict) -> dict:
+    return {"text": session.explain_plan()}
+
+
+def _act_history(session: EtableSession, params: dict) -> dict:
+    return {
+        "lines": session.history_lines(),
+        "entries": history_to_json(session.history),
+    }
+
+
+def _act_etable(session: EtableSession, params: dict) -> dict:
+    etable = session.current
+    if etable is None:
+        raise InvalidAction("no ETable is open; call open() first")
+    limit = params.get("limit")
+    payload: dict[str, Any] = {
+        "etable": etable_to_json(
+            etable,
+            offset=_int_param(params, "offset", default=0, minimum=0),
+            limit=(_int_param(params, "limit", minimum=0)
+                   if limit is not None else None),
+            max_refs=(_int_param(params, "max_refs", minimum=0)
+                      if params.get("max_refs") is not None else None),
+        )
+    }
+    if params.get("include_history"):
+        payload["history"] = history_to_json(session.history)
+    return payload
+
+
+# Action name -> handler. "export" is an alias of "etable": the REPL's
+# export command and the HTTP GET both serialize through this one path.
+ACTIONS: dict[str, Callable[[EtableSession, dict], dict]] = {
+    "tables": _act_tables,
+    "open": _act_open,
+    "filter": _act_filter,
+    "nfilter": _act_nfilter,
+    "pivot": _act_pivot,
+    "single": _act_single,
+    "seeall": _act_seeall,
+    "sort": _act_sort,
+    "hide": _act_hide,
+    "show": _act_show,
+    "rank": _act_rank,
+    "revert": _act_revert,
+    "plan": _act_plan,
+    "history": _act_history,
+    "etable": _act_etable,
+    "export": _act_etable,
+}
+
+# Actions that change session state and therefore must be journaled for
+# replay. "rank" is included: select_columns hides the losing columns in
+# place, and hidden-column state carries forward into later actions.
+MUTATING_ACTIONS = frozenset({
+    "open", "filter", "nfilter", "pivot", "single", "seeall",
+    "sort", "hide", "show", "rank", "revert",
+})
+
+
+def apply_action(session: EtableSession, action: str,
+                 params: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Apply one wire-level action to a session; returns the result payload.
+
+    Raises :class:`ProtocolError` for malformed requests and lets the
+    session's own :class:`~repro.errors.ReproError` subclasses propagate
+    for domain failures — callers turn both into failure responses.
+    """
+    handler = ACTIONS.get(action)
+    if handler is None:
+        raise ProtocolError(
+            f"unknown action {action!r}; known: {', '.join(sorted(ACTIONS))}"
+        )
+    return handler(session, params or {})

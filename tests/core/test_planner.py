@@ -337,6 +337,60 @@ class TestPrefixStore:
         assert ("a",) in store and ("c",) in store
         assert ("b",) not in store
 
+    def test_size_weighted_eviction(self):
+        """Eviction is budgeted by cells (rows x attributes), not entries:
+        a large insert pushes out as many LRU entries as its weight needs."""
+        attrs = [GraphAttribute("A", "T")]
+        small = GraphRelation(attrs, [(i,) for i in range(10)])    # 10 cells
+        large = GraphRelation(attrs, [(i,) for i in range(85)])    # 85 cells
+        store = PrefixStore(max_entries=100, max_cells=100)
+        for name in ("a", "b", "c"):
+            store.put((name,), small)
+        assert store.total_cells == 30
+        store.put(("big",), large)  # 30 + 85 > 100: evicts a and b
+        assert ("a",) not in store and ("b",) not in store
+        assert ("c",) in store and ("big",) in store
+        assert store.total_cells == 95
+        assert store.evictions == 2 and store.evicted_cells == 20
+
+    def test_oversized_relation_cannot_pin_the_cache(self):
+        """A relation bigger than the whole budget is refused outright
+        (ROADMAP: 'one huge intermediate cannot pin the cache')."""
+        attrs = [GraphAttribute("A", "T")]
+        small = GraphRelation(attrs, [(i,) for i in range(10)])
+        huge = GraphRelation(attrs, [(i,) for i in range(500)])
+        store = PrefixStore(max_entries=100, max_cells=100)
+        store.put(("a",), small)
+        store.put(("huge",), huge)
+        assert ("huge",) not in store
+        assert ("a",) in store  # the working set survived
+        assert store.rejected == 1
+
+    def test_reput_updates_weight_accounting(self):
+        attrs = [GraphAttribute("A", "T")]
+        store = PrefixStore(max_entries=10, max_cells=1000)
+        store.put(("a",), GraphRelation(attrs, [(i,) for i in range(10)]))
+        store.put(("a",), GraphRelation(attrs, [(i,) for i in range(20)]))
+        assert store.total_cells == 20
+
+    def test_stats_exposes_bytes_weighted_counters(self):
+        attrs = [GraphAttribute("A", "T"), GraphAttribute("B", "T")]
+        store = PrefixStore(max_entries=4, max_cells=1000)
+        store.put(("a",), GraphRelation(attrs, [(1, 2), (3, 4)]))  # 4 cells
+        stats = store.stats()
+        assert stats["entries"] == 1
+        assert stats["cells"] == 4
+        assert stats["approx_bytes"] == 4 * 8
+        assert stats["max_cells"] == 1000
+        assert {"evictions", "evicted_cells", "rejected"} <= set(stats)
+
+    def test_clear_resets_weight_accounting(self):
+        attrs = [GraphAttribute("A", "T")]
+        store = PrefixStore(max_entries=4, max_cells=100)
+        store.put(("a",), GraphRelation(attrs, [(1,), (2,)]))
+        store.clear()
+        assert store.total_cells == 0 and len(store) == 0
+
     def test_executor_reuses_prefix_for_extension(self, toy):
         executor = CachingExecutor(toy.graph)
         pattern = initiate(toy.schema, "Conferences")

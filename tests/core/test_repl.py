@@ -179,6 +179,48 @@ class TestCommands:
         out = repl.execute_line("single 0 Authors 99")
         assert out.startswith("error:") and "out of range" in out
 
+    def test_export_is_protocol_json(self, repl):
+        """The export command emits the wire protocol's ETable payload —
+        the CLI and the HTTP service share one serialization path."""
+        import json
+
+        from repro.service import protocol
+
+        repl.execute_line("open Papers")
+        repl.execute_line("filter year > 2005")
+        payload = json.loads(repl.execute_line("export"))
+        assert payload["etable"]["primary_type"] == "Papers"
+        assert payload["etable"]["total_rows"] == 6
+        assert "history" not in payload
+        # Identical to serializing the session's table directly.
+        assert payload["etable"] == protocol.etable_to_json(repl.session.current)
+
+    def test_export_history(self, repl):
+        import json
+
+        repl.execute_line("open Papers")
+        repl.execute_line("sort year desc")
+        payload = json.loads(repl.execute_line("export history"))
+        assert len(payload["history"]) == 2
+        assert payload["history"][0]["description"] == "Open 'Papers' table"
+
+    def test_export_round_trips_through_protocol(self, repl, toy):
+        import json
+
+        from repro.service import protocol
+
+        repl.execute_line("open Papers")
+        repl.execute_line("hide page_start")
+        payload = json.loads(repl.execute_line("export"))
+        rebuilt = protocol.etable_from_json(payload["etable"], toy.graph)
+        assert rebuilt.pattern == repl.session.current.pattern
+        assert rebuilt.hidden_columns == repl.session.current.hidden_columns
+
+    def test_export_usage_errors(self, repl):
+        assert "error:" in repl.execute_line("export")  # no table open
+        repl.execute_line("open Papers")
+        assert "error:" in repl.execute_line("export bogus")
+
     def test_quit(self, repl):
         assert repl.execute_line("quit") == "bye"
         assert repl.done

@@ -1,0 +1,122 @@
+"""Concurrent-session stress: interleaved threads == serial execution.
+
+The manager's concurrency contract is per-session isolation over shared
+immutable data plus a shared cache: N threads hammering one manager must
+leave every session in exactly the state a serial run of its script would.
+Runs over both fixture databases (academic and movies) so the contract is
+exercised on two different schemas.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.service import protocol
+from repro.service.manager import SessionManager
+
+THREADS = 12
+
+
+def _academic_script(user: int):
+    year = 2002 + (user % 8)
+    base = [
+        ("open", {"type": "Papers"}),
+        ("filter", {"condition": {"kind": "compare", "attribute": "year",
+                                  "op": ">", "value": year}}),
+        ("pivot", {"column": "Papers->Authors"}),
+    ]
+    if user % 3 == 0:
+        base += [("sort", {"column": "name"}),
+                 ("revert", {"index": 1})]
+    elif user % 3 == 1:
+        base += [("pivot", {"column": "Authors->Institutions"}),
+                 ("filter", {"condition": {
+                     "kind": "like", "attribute": "name",
+                     "pattern": "%i%", "negate": False}})]
+    else:
+        base += [("revert", {"index": 0}),
+                 ("filter", {"condition": {
+                     "kind": "compare", "attribute": "year", "op": "<=",
+                     "value": year + 5}})]
+    return base
+
+
+def _movies_script(user: int):
+    base = [
+        ("open", {"type": "Movies"}),
+        ("pivot", {"column": "Movies->People"}),
+    ]
+    if user % 2 == 0:
+        base += [("revert", {"index": 0}),
+                 ("sort", {"column": "year", "descending": True})]
+    else:
+        base += [("filter", {"condition": {
+            "kind": "like", "attribute": "name", "pattern": "%a%",
+            "negate": False}})]
+    return base
+
+
+def _signature(manager, session_id):
+    return (
+        manager.apply(session_id, "etable", {"include_history": True}),
+        manager.apply(session_id, "history", {})["lines"],
+    )
+
+
+def _stress(tgdb, script_of):
+    manager = SessionManager(tgdb.schema, tgdb.graph, ttl_seconds=None,
+                             max_sessions=THREADS + 4)
+    session_ids = [manager.create_session(f"u{user}")
+                   for user in range(THREADS)]
+    barrier = threading.Barrier(THREADS)
+    errors = []
+
+    def drive(user):
+        rng = random.Random(user)
+        try:
+            barrier.wait(timeout=30)
+            for action, params in script_of(user):
+                manager.apply(session_ids[user], action, params)
+                if rng.random() < 0.5:  # interleave reads with writes
+                    manager.apply(session_ids[user], "etable", {"limit": 5})
+        except BaseException as error:  # noqa: BLE001
+            errors.append(error)
+
+    threads = [threading.Thread(target=drive, args=(user,), daemon=True)
+               for user in range(THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120)
+    if errors:
+        raise errors[0]
+
+    # Serial oracle: one fresh manager, scripts run one after another.
+    serial = SessionManager(tgdb.schema, tgdb.graph, ttl_seconds=None,
+                            max_sessions=THREADS + 4)
+    for user in range(THREADS):
+        sid = serial.create_session(f"u{user}")
+        for action, params in script_of(user):
+            serial.apply(sid, action, params)
+        assert _signature(manager, session_ids[user]) == _signature(serial, sid), (
+            f"user {user}: concurrent state diverged from serial execution"
+        )
+    return manager
+
+
+class TestConcurrentStress:
+    def test_academic_interleaved_equals_serial(self, academic):
+        manager = _stress(academic, _academic_script)
+        # The whole point of sharing the executor: overlapping scripts
+        # must have produced cross-session hits.
+        assert manager.executor.stats.hits + manager.executor.stats.prefix_hits > 0
+
+    def test_movies_interleaved_equals_serial(self, movies):
+        _stress(movies, _movies_script)
+
+    def test_histories_have_expected_lengths(self, academic):
+        manager = _stress(academic, _academic_script)
+        for user in range(THREADS):
+            lines = manager.apply(f"u{user}", "history", {})["lines"]
+            assert len(lines) == len(_academic_script(user))

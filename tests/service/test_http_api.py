@@ -1,0 +1,208 @@
+"""End-to-end HTTP tests: a scripted session over a live localhost server."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.service import NavigationServer
+from repro.service.manager import SessionManager
+
+
+@pytest.fixture()
+def server(toy, tmp_path):
+    manager = SessionManager(toy.schema, toy.graph,
+                             journal_dir=tmp_path / "journals")
+    server = NavigationServer(manager, port=0).start()
+    yield server
+    server.shutdown()
+
+
+def _call(server, path, method="GET", body=None):
+    data = json.dumps(body).encode("utf-8") if body is not None else None
+    request = urllib.request.Request(
+        server.url + path, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=10) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def _act(server, session_id, action, params=None):
+    return _call(server, f"/v1/sessions/{session_id}/actions", "POST",
+                 {"action": action, "params": params or {}})
+
+
+class TestRoutes:
+    def test_healthz(self, server):
+        status, body = _call(server, "/healthz")
+        assert status == 200 and body["ok"]
+        assert body["result"]["status"] == "ok"
+
+    def test_tables(self, server):
+        status, body = _call(server, "/v1/tables")
+        assert status == 200 and "Papers" in body["result"]["tables"]
+
+    def test_stats(self, server):
+        status, body = _call(server, "/v1/stats")
+        assert status == 200 and "cache" in body["result"]
+
+    def test_unknown_route_404(self, server):
+        assert _call(server, "/nope")[0] == 404
+        assert _call(server, "/v1/frobnicate", "POST", {})[0] == 404
+
+    def test_unknown_session_404(self, server):
+        status, body = _call(server, "/v1/sessions/ghost/etable")
+        assert status == 404
+        assert body["error_type"] == "unknown_session"
+
+    def test_delete_unknown_session_keeps_error_type(self, server):
+        """Errors raised outside handle_request (the DELETE path) must
+        carry the same machine-readable error_type as envelope failures."""
+        status, body = _call(server, "/v1/sessions/ghost", "DELETE")
+        assert status == 404
+        assert body["error_type"] == "unknown_session"
+
+    def test_bad_action_400(self, server):
+        _, created = _call(server, "/v1/sessions", "POST", {})
+        sid = created["result"]["session_id"]
+        status, body = _act(server, sid, "frobnicate")
+        assert status == 400 and not body["ok"]
+
+    def test_non_json_body_400(self, server):
+        request = urllib.request.Request(
+            server.url + "/v1/sessions", data=b"not json", method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_session_id_mismatch_400(self, server):
+        _, created = _call(server, "/v1/sessions", "POST", {})
+        sid = created["result"]["session_id"]
+        status, _ = _call(server, f"/v1/sessions/{sid}/actions", "POST",
+                          {"action": "open", "params": {"type": "Papers"},
+                           "session_id": "someone-else"})
+        assert status == 400
+
+    def test_keepalive_survives_delete_with_body(self, server):
+        """Regression: a DELETE carrying a body used to leave unread bytes
+        in the keep-alive stream, desyncing the next request."""
+        import http.client
+
+        connection = http.client.HTTPConnection(server.host, server.port,
+                                                timeout=10)
+        try:
+            _, created = _call(server, "/v1/sessions", "POST",
+                               {"session_id": "keepalive"})
+            body = json.dumps({"why": "some clients send bodies"})
+            connection.request("DELETE", "/v1/sessions/keepalive", body=body,
+                               headers={"Content-Type": "application/json"})
+            first = connection.getresponse()
+            assert first.status == 200
+            first.read()
+            # Same connection must serve a clean second request.
+            connection.request("GET", "/healthz")
+            second = connection.getresponse()
+            assert second.status == 200
+            assert json.loads(second.read())["ok"]
+        finally:
+            connection.close()
+
+    def test_delete_session(self, server):
+        _, created = _call(server, "/v1/sessions", "POST", {})
+        sid = created["result"]["session_id"]
+        status, body = _call(server, f"/v1/sessions/{sid}", "DELETE")
+        assert status == 200 and body["result"]["closed"] == sid
+
+
+class TestScriptedSession:
+    def test_full_browsing_session(self, server):
+        """Figure 7's incremental query over HTTP: open → filter →
+        seeall → pivot, with the table and history fetched per step."""
+        status, created = _call(server, "/v1/sessions", "POST",
+                                {"session_id": "e2e"})
+        assert status == 200
+        sid = created["result"]["session_id"]
+        assert sid == "e2e"
+
+        status, body = _act(server, sid, "open", {"type": "Conferences"})
+        assert status == 200 and body["result"]["primary_type"] == "Conferences"
+
+        status, body = _act(server, sid, "filter", {"condition": {
+            "kind": "compare", "attribute": "acronym", "op": "=",
+            "value": "SIGMOD"}})
+        assert status == 200 and body["result"]["total_rows"] == 1
+
+        status, body = _act(server, sid, "seeall",
+                            {"row": 0, "column": "Papers"})
+        assert status == 200 and body["result"]["primary_type"] == "Papers"
+
+        status, body = _act(server, sid, "pivot", {"column": "Authors"})
+        assert status == 200 and body["result"]["primary_type"] == "Authors"
+
+        status, body = _call(server, f"/v1/sessions/{sid}/history")
+        assert status == 200
+        lines = body["result"]["lines"]
+        assert len(lines) == 4 and lines[0] == "1. Open 'Conferences' table"
+
+        status, body = _call(server, f"/v1/sessions/{sid}/plan")
+        assert status == 200 and "cache" in body["result"]["text"]
+
+        status, body = _act(server, sid, "revert", {"index": 0})
+        assert status == 200 and body["result"]["primary_type"] == "Conferences"
+
+    def test_etable_pagination(self, server):
+        _, created = _call(server, "/v1/sessions", "POST", {})
+        sid = created["result"]["session_id"]
+        _act(server, sid, "open", {"type": "Papers"})
+        status, body = _call(
+            server, f"/v1/sessions/{sid}/etable?offset=2&limit=3&max_refs=1"
+        )
+        assert status == 200
+        etable = body["result"]["etable"]
+        assert etable["offset"] == 2 and etable["returned"] == 3
+        assert etable["total_rows"] == 7
+        for row in etable["rows"]:
+            for cell in row["cells"].values():
+                assert len(cell["refs"]) <= 1
+
+    def test_include_history_flag(self, server):
+        _, created = _call(server, "/v1/sessions", "POST", {})
+        sid = created["result"]["session_id"]
+        _act(server, sid, "open", {"type": "Papers"})
+        status, body = _call(
+            server, f"/v1/sessions/{sid}/etable?include_history=1"
+        )
+        assert status == 200 and len(body["result"]["history"]) == 1
+
+    def test_concurrent_http_clients_stay_isolated(self, server):
+        import threading
+
+        results = {}
+
+        def drive(user, type_name):
+            _, created = _call(server, "/v1/sessions", "POST",
+                               {"session_id": f"client-{user}"})
+            sid = created["result"]["session_id"]
+            for _ in range(3):
+                _act(server, sid, "open", {"type": type_name})
+            _, body = _call(server, f"/v1/sessions/{sid}/etable")
+            results[user] = body["result"]["etable"]["primary_type"]
+
+        threads = [
+            threading.Thread(target=drive,
+                             args=(user, "Papers" if user % 2 else "Authors"))
+            for user in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert results == {
+            user: ("Papers" if user % 2 else "Authors") for user in range(6)
+        }

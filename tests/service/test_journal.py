@@ -1,0 +1,272 @@
+"""Durable action journal: append, truncate-and-checkpoint, crash replay."""
+
+import json
+
+import pytest
+
+from repro.errors import JournalCorrupt, UnknownSession
+from repro.core.session import EtableSession
+from repro.service import protocol
+from repro.service.journal import (
+    ActionJournal,
+    read_records,
+    replay_journal,
+    replay_records,
+)
+from repro.service.manager import SessionManager
+
+
+def _signature(session: EtableSession):
+    return (
+        protocol.etable_to_json(session.current),
+        protocol.history_to_json(session.history),
+        session.history_lines(),
+    )
+
+
+def _manager(toy, tmp_path, **kwargs):
+    return SessionManager(toy.schema, toy.graph,
+                          journal_dir=tmp_path / "journals", **kwargs)
+
+
+SCRIPT = [
+    ("open", {"type": "Papers"}),
+    ("filter", {"condition": {"kind": "compare", "attribute": "year",
+                              "op": ">", "value": 2005}}),
+    ("pivot", {"column": "Papers->Authors"}),
+    ("sort", {"column": "name", "descending": True}),
+    ("hide", {"column": "institution_id"}),
+]
+
+
+class TestJournalWriting:
+    def test_actions_are_appended(self, toy, tmp_path):
+        manager = _manager(toy, tmp_path)
+        sid = manager.create_session("alice")
+        for action, params in SCRIPT:
+            manager.apply(sid, action, params)
+        records = read_records(tmp_path / "journals" / "alice.journal")
+        assert records[0]["type"] == "meta"
+        actions = [r for r in records if r["type"] == "action"]
+        assert [(r["action"]) for r in actions] == [a for a, _ in SCRIPT]
+        assert [r["seq"] for r in actions] == [1, 2, 3, 4, 5]
+
+    def test_non_mutating_actions_not_journaled(self, toy, tmp_path):
+        manager = _manager(toy, tmp_path)
+        sid = manager.create_session("alice")
+        manager.apply(sid, "open", {"type": "Papers"})
+        manager.apply(sid, "history", {})
+        manager.apply(sid, "plan", {})
+        manager.apply(sid, "etable", {"limit": 2})
+        records = read_records(tmp_path / "journals" / "alice.journal")
+        assert sum(1 for r in records if r["type"] == "action") == 1
+
+    def test_rejected_action_not_journaled(self, toy, tmp_path):
+        manager = _manager(toy, tmp_path)
+        sid = manager.create_session("alice")
+        manager.apply(sid, "open", {"type": "Papers"})
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            manager.apply(sid, "pivot", {"column": "No Such Column"})
+        records = read_records(tmp_path / "journals" / "alice.journal")
+        assert sum(1 for r in records if r["type"] == "action") == 1
+
+
+class TestReplay:
+    def test_replay_is_bit_identical(self, toy, tmp_path):
+        manager = _manager(toy, tmp_path)
+        sid = manager.create_session("alice")
+        for action, params in SCRIPT:
+            manager.apply(sid, action, params)
+        live = _signature(manager._sessions[sid].session)
+
+        replayed = replay_journal(
+            tmp_path / "journals" / "alice.journal",
+            lambda: EtableSession(toy.schema, toy.graph),
+        )
+        assert _signature(replayed) == live
+
+    def test_manager_restart_resumes_sessions(self, toy, tmp_path):
+        manager = _manager(toy, tmp_path)
+        for user in ("alice", "bob"):
+            sid = manager.create_session(user)
+            for action, params in SCRIPT[: 3 if user == "bob" else 5]:
+                manager.apply(sid, action, params)
+        live_alice = _signature(manager._sessions["alice"].session)
+
+        restarted = _manager(toy, tmp_path)
+        assert restarted.recoverable_sessions() == ["alice", "bob"]
+        assert sorted(restarted.recover_all()) == ["alice", "bob"]
+        assert _signature(restarted._sessions["alice"].session) == live_alice
+        # And the resumed session keeps working (bob ended on Authors).
+        restarted.apply("bob", "sort", {"column": "name"})
+
+    def test_killed_mid_script_restarts_from_last_durable_action(
+        self, toy, tmp_path
+    ):
+        """The acceptance scenario: a torn tail (crash mid-write) is
+        dropped and the session replays to the last durable action."""
+        manager = _manager(toy, tmp_path)
+        sid = manager.create_session("alice")
+        for action, params in SCRIPT:
+            manager.apply(sid, action, params)
+        path = tmp_path / "journals" / "alice.journal"
+        reference = _signature(manager._sessions[sid].session)
+
+        # Simulate the crash: a partial record at the tail.
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"type": "action", "seq": 6, "act')
+
+        restarted = _manager(toy, tmp_path)
+        restarted.resume_session("alice")
+        assert _signature(restarted._sessions["alice"].session) == reference
+
+    def test_resume_truncates_torn_tail_before_appending(self, toy, tmp_path):
+        """Regression: appending onto a torn tail used to weld the next
+        record to the partial line, silently losing it on the *second*
+        restart. The journal must truncate to the durable boundary when
+        it reopens."""
+        manager = _manager(toy, tmp_path)
+        sid = manager.create_session("alice")
+        manager.apply(sid, "open", {"type": "Papers"})
+        path = tmp_path / "journals" / "alice.journal"
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write('{"type": "action", "seq": 2, "act')  # crash
+
+        restarted = _manager(toy, tmp_path)
+        restarted.resume_session("alice")
+        restarted.apply("alice", "filter", {"condition": {
+            "kind": "compare", "attribute": "year", "op": ">", "value": 2005}})
+        reference = _signature(restarted._sessions["alice"].session)
+
+        # Second restart: the filter recorded after the crash must survive.
+        again = _manager(toy, tmp_path)
+        again.resume_session("alice")
+        assert _signature(again._sessions["alice"].session) == reference
+        actions = [r for r in read_records(path) if r["type"] == "action"]
+        assert [r["action"] for r in actions] == ["open", "filter"]
+        assert [r["seq"] for r in actions] == [1, 2]  # no duplicate seq
+
+    def test_garbled_terminated_tail_is_also_truncated(self, toy, tmp_path):
+        manager = _manager(toy, tmp_path)
+        sid = manager.create_session("alice")
+        manager.apply(sid, "open", {"type": "Papers"})
+        path = tmp_path / "journals" / "alice.journal"
+        with path.open("a", encoding="utf-8") as handle:
+            handle.write("!!garbled but newline-terminated!!\n")
+        restarted = _manager(toy, tmp_path)
+        restarted.resume_session("alice")
+        restarted.apply("alice", "sort", {"column": "year"})
+        records = read_records(path)
+        assert [r["type"] for r in records] == ["meta", "action", "action"]
+
+    def test_corruption_before_tail_raises(self, toy, tmp_path):
+        manager = _manager(toy, tmp_path)
+        sid = manager.create_session("alice")
+        manager.apply(sid, "open", {"type": "Papers"})
+        path = tmp_path / "journals" / "alice.journal"
+        lines = path.read_text().splitlines()
+        lines.insert(1, "!!not json!!")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(JournalCorrupt):
+            read_records(path)
+
+    def test_resume_without_journal_raises(self, toy, tmp_path):
+        manager = _manager(toy, tmp_path)
+        with pytest.raises(UnknownSession):
+            manager.resume_session("ghost")
+
+
+class TestRevertCheckpointing:
+    """Satellite: revert must truncate-and-checkpoint, not append forever."""
+
+    def test_revert_truncates_journal(self, toy, tmp_path):
+        manager = _manager(toy, tmp_path)
+        sid = manager.create_session("alice")
+        for action, params in SCRIPT:
+            manager.apply(sid, action, params)
+        path = tmp_path / "journals" / "alice.journal"
+        before = len(read_records(path))
+        manager.apply(sid, "revert", {"index": 1})
+        records = read_records(path)
+        # meta + one checkpoint — strictly smaller than the pre-revert log.
+        assert [r["type"] for r in records] == ["meta", "checkpoint"]
+        assert len(records) < before
+
+    def test_repeated_reverts_do_not_grow_journal(self, toy, tmp_path):
+        manager = _manager(toy, tmp_path)
+        sid = manager.create_session("alice")
+        for action, params in SCRIPT:
+            manager.apply(sid, action, params)
+        path = tmp_path / "journals" / "alice.journal"
+        sizes = []
+        for step in range(6):
+            manager.apply(sid, "revert", {"index": step % 3})
+            sizes.append(len(read_records(path)))
+        # Every revert collapses the journal to meta + checkpoint: the
+        # record count stays flat no matter how many reverts pile up.
+        assert sizes == [2] * 6
+
+    def test_replayed_session_reproduces_identical_history(
+        self, toy, tmp_path
+    ):
+        """Regression (satellite 3): reverts used to be replayed as
+        appended actions; the checkpoint must restore the *identical*
+        history list — revert entries included — plus the same table."""
+        manager = _manager(toy, tmp_path)
+        sid = manager.create_session("alice")
+        for action, params in SCRIPT:
+            manager.apply(sid, action, params)
+        manager.apply(sid, "revert", {"index": 2})
+        manager.apply(sid, "filter", {"condition": {
+            "kind": "like", "attribute": "name", "pattern": "%a%",
+            "negate": False}})
+        manager.apply(sid, "revert", {"index": 4})
+        reference = _signature(manager._sessions[sid].session)
+        assert any("Revert to step" in line for line in reference[2])
+
+        restarted = _manager(toy, tmp_path)
+        restarted.resume_session("alice")
+        assert _signature(restarted._sessions["alice"].session) == reference
+
+    def test_actions_after_revert_append_after_checkpoint(self, toy, tmp_path):
+        manager = _manager(toy, tmp_path)
+        sid = manager.create_session("alice")
+        for action, params in SCRIPT[:3]:
+            manager.apply(sid, action, params)
+        manager.apply(sid, "revert", {"index": 0})
+        manager.apply(sid, "filter", {"condition": {
+            "kind": "compare", "attribute": "year", "op": "<", "value": 2010}})
+        records = read_records(tmp_path / "journals" / "alice.journal")
+        assert [r["type"] for r in records] == ["meta", "checkpoint", "action"]
+        restarted = _manager(toy, tmp_path)
+        restarted.resume_session("alice")
+        assert (_signature(restarted._sessions["alice"].session)
+                == _signature(manager._sessions[sid].session))
+
+
+class TestJournalPrimitives:
+    def test_journal_reopen_continues_sequence(self, tmp_path):
+        path = tmp_path / "x.journal"
+        journal = ActionJournal(path, "x")
+        journal.record_action("open", {"type": "Papers"})
+        journal.close()
+        reopened = ActionJournal(path, "x")
+        reopened.record_action("sort", {"column": "year"})
+        reopened.close()
+        actions = [r for r in read_records(path) if r["type"] == "action"]
+        assert [r["seq"] for r in actions] == [1, 2]
+
+    def test_unknown_record_type_raises_on_replay(self, toy, tmp_path):
+        session = EtableSession(toy.schema, toy.graph)
+        with pytest.raises(JournalCorrupt):
+            replay_records(session, [{"type": "mystery"}])
+
+    def test_records_are_single_json_lines(self, tmp_path):
+        path = tmp_path / "x.journal"
+        journal = ActionJournal(path, "x")
+        journal.record_action("open", {"type": "Papers"})
+        journal.close()
+        for line in path.read_text().splitlines():
+            json.loads(line)  # every line parses on its own
