@@ -93,7 +93,9 @@ def self_test(args: argparse.Namespace) -> int:
     journal_dir = args.journal_dir or tempfile.mkdtemp(prefix="etable-journals-")
 
     manager = SessionManager(tgdb.schema, tgdb.graph, row_limit=args.row_limit,
-                             journal_dir=journal_dir)
+                             journal_dir=journal_dir,
+                             engine=args.engine, workers=args.workers,
+                             compact_every=args.compact_every or None)
     server = NavigationServer(manager, port=0).start()
     base = server.url
     print(f"self-test: serving {args.dataset} at {base}")
@@ -129,7 +131,9 @@ def self_test(args: argparse.Namespace) -> int:
     server.shutdown()
     manager2 = SessionManager(tgdb.schema, tgdb.graph,
                               row_limit=args.row_limit,
-                              journal_dir=journal_dir)
+                              journal_dir=journal_dir,
+                              engine=args.engine, workers=args.workers,
+                              compact_every=args.compact_every or None)
     resumed = manager2.recover_all()
     assert session_id in resumed, (session_id, resumed)
     server2 = NavigationServer(manager2, port=0).start()
@@ -165,6 +169,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-sessions", type=int, default=256)
     parser.add_argument("--ttl", type=float, default=1800.0,
                         help="idle session TTL in seconds")
+    parser.add_argument("--engine", default="planned",
+                        choices=["planned", "parallel"],
+                        help="execution engine behind the shared cache "
+                             "(parallel shards big delta joins across "
+                             "worker processes)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for --engine parallel "
+                             "(default: auto)")
+    parser.add_argument("--compact-every", type=int, default=64,
+                        help="checkpoint each session journal every N "
+                             "actions (0 disables compaction)")
     parser.add_argument("--verbose", action="store_true",
                         help="log every HTTP request")
     parser.add_argument("--self-test", action="store_true",
@@ -182,6 +197,8 @@ def main(argv: list[str] | None = None) -> int:
         tgdb.schema, tgdb.graph, row_limit=args.row_limit,
         max_sessions=args.max_sessions, ttl_seconds=args.ttl,
         journal_dir=args.journal_dir,
+        engine=args.engine, workers=args.workers,
+        compact_every=args.compact_every or None,
     )
     if args.journal_dir:
         resumed = manager.recover_all()

@@ -39,8 +39,10 @@ from repro.tgm.instance_graph import InstanceGraph
 from repro.core.etable import ETable
 from repro.core.planner import (
     ExecutionReport,
+    ParallelContext,
     PrefixStore,
     build_plan,
+    parallel_context,
     restore_reference_order,
     execute_plan,
 )
@@ -108,9 +110,19 @@ class CachingExecutor:
         max_prefix_entries: int = 512,
         max_cells: int | None = 4_000_000,
         max_prefix_cells: int | None = 4_000_000,
+        parallel: ParallelContext | None = None,
+        workers: int | None = None,
     ) -> None:
         self.graph = graph
         self.max_entries = max_entries
+        # Partitioned delta joins compose with prefix reuse: the executor
+        # merges each sharded join back into one ordinary GraphRelation
+        # before it is cached, so cached intermediates are identical whether
+        # they were computed serially or across worker processes. ``workers``
+        # is sugar for the process-wide shared context of that size.
+        if parallel is None and workers is not None:
+            parallel = parallel_context(workers)
+        self.parallel = parallel
         self.stats = CacheStats()
         self.memo = ConditionMemo()
         self.prefixes = PrefixStore(max_entries=max_prefix_entries,
@@ -140,6 +152,7 @@ class CachingExecutor:
                 memo=self.memo,
                 store=self.prefixes,
                 report=report,
+                parallel=self.parallel,
             )
             if report.reused_nodes:
                 self.stats.prefix_hits += 1
@@ -164,15 +177,25 @@ class CachingExecutor:
         expensive in-flight ``match()``. Numbers may be a step stale while
         a query executes — fine for introspection.
         """
+        # Every ratio below is guarded against a cold cache (zero lookups /
+        # zero misses): health probes hit /v1/stats before the first query.
+        misses = self.stats.misses
         return {
             "hits": self.stats.hits,
-            "misses": self.stats.misses,
+            "misses": misses,
             "hit_rate": self.stats.hit_rate,
             "prefix_hits": self.stats.prefix_hits,
+            "prefix_hit_rate": (
+                self.stats.prefix_hits / misses if misses else 0.0
+            ),
             "reused_nodes": self.stats.reused_nodes,
             "delta_joins": self.stats.delta_joins,
             "results": self._store.stats(),
             "prefixes": self.prefixes.stats(),
+            "parallel": (
+                self.parallel.stats_payload()
+                if self.parallel is not None else None
+            ),
         }
 
     def invalidate(self) -> None:

@@ -16,6 +16,10 @@ Two evaluators implement the same function:
   selectivity-ordered joins over index-probed candidate sets with semi-join
   pruning, re-sorted afterwards into the reference order so the output is
   identical attribute-for-attribute and tuple-for-tuple.
+* :func:`match_parallel` — the planned engine with partitioned delta joins:
+  prefix relations above a size threshold are sharded by prefix-tuple
+  partition across worker processes and merged in partition order, still
+  bit-identical to :func:`match`.
 
 The pattern is a tree, so a BFS order from the primary node guarantees each
 join connects the new node to the already-joined prefix. Selections are
@@ -54,6 +58,40 @@ def match_planned(
     pattern.validate(graph.schema)
     plan = build_plan(pattern, graph, stats=stats)
     relation = execute_plan(plan, graph, memo=memo)
+    return restore_reference_order(pattern, relation, graph)
+
+
+def match_parallel(
+    pattern: QueryPattern,
+    graph: InstanceGraph,
+    stats: GraphStatistics | None = None,
+    memo: ConditionMemo | None = None,
+    context: "ParallelContext | None" = None,
+    workers: int | None = None,
+) -> GraphRelation:
+    """Evaluate ``m(Q)`` with partitioned delta joins; output equals
+    :func:`match`.
+
+    ``context`` supplies the worker pool (and serial-fallback threshold);
+    without one, the process-wide shared context for ``workers`` is used.
+    Small prefixes fall back to serial joins inside the context's policy,
+    so interactive steps on small tables never pay process overhead.
+    """
+    from repro.core.planner import (
+        build_plan,
+        execute_plan,
+        parallel_context,
+        restore_reference_order,
+    )
+
+    pattern.validate(graph.schema)
+    plan = build_plan(pattern, graph, stats=stats, semijoin=False)
+    relation = execute_plan(
+        plan,
+        graph,
+        memo=memo,
+        parallel=context or parallel_context(workers),
+    )
     return restore_reference_order(pattern, relation, graph)
 
 

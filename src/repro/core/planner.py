@@ -34,9 +34,14 @@ equivalence tests, figures) sees the same ETable.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import threading
+import time
 from collections import OrderedDict, deque
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Iterable
+from typing import Iterable, Sequence
 from weakref import WeakKeyDictionary
 
 from repro.errors import InvalidQueryPattern, TgmError
@@ -431,6 +436,8 @@ class PrefixStore:
         self.evictions = 0
         self.evicted_cells = 0
         self.rejected = 0
+        self.lookups = 0
+        self.hits = 0
 
     def __len__(self) -> int:
         return len(self._store)
@@ -438,9 +445,16 @@ class PrefixStore:
     def __contains__(self, key: tuple) -> bool:
         return key in self._store
 
+    @property
+    def hit_rate(self) -> float:
+        """Lookup hit rate; 0.0 on a cold store (never a ZeroDivisionError)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
     def get(self, key: tuple) -> GraphRelation | None:
+        self.lookups += 1
         relation = self._store.get(key)
         if relation is not None:
+            self.hits += 1
             self._store.move_to_end(key)
         return relation
 
@@ -472,14 +486,21 @@ class PrefixStore:
             self.evictions += 1
             self.evicted_cells += evicted_weight
 
-    def stats(self) -> dict[str, int | None]:
-        """Bytes-weighted occupancy and eviction counters."""
+    def stats(self) -> dict[str, int | float | None]:
+        """Bytes-weighted occupancy, lookup, and eviction counters.
+
+        Safe to call on a cold store: the hit rate is guarded, so a health
+        probe hitting a just-booted service never trips a division by zero.
+        """
         return {
             "entries": len(self._store),
             "cells": self.total_cells,
             "approx_bytes": self.total_cells * _BYTES_PER_CELL,
             "max_entries": self.max_entries,
             "max_cells": self.max_cells,
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "hit_rate": self.hit_rate,
             "evictions": self.evictions,
             "evicted_cells": self.evicted_cells,
             "rejected": self.rejected,
@@ -541,6 +562,268 @@ class ExecutionReport:
     reused_nodes: int = 0
     delta_joins: int = 0
     semijoin_pruned: int = 0
+    parallel_joins: int = 0
+    serial_fallbacks: int = 0
+
+
+# ----------------------------------------------------------------------
+# Parallel partition execution (ROADMAP: "parallel partition execution")
+# ----------------------------------------------------------------------
+# Below this many prefix tuples a delta join runs serially: shipping the
+# partitions to worker processes costs more than the join itself, and small
+# interactive steps must never pay process overhead.
+DEFAULT_MIN_PARTITION_ROWS = 2048
+
+
+@dataclass(frozen=True)
+class PartitionJoinTask:
+    """The picklable worker payload: one partition of one delta join.
+
+    Workers are pure functions of this payload — no graph, no globals, no
+    start-method assumptions. ``columns`` is the partition's slice of the
+    prefix relation; ``adjacency`` is the slice of the graph's adjacency
+    index covering exactly the distinct source ids that appear in the
+    partition's probe column; ``candidates`` is the (shared) candidate set
+    of the pattern node being joined on.
+    """
+
+    columns: tuple[tuple[int, ...], ...]
+    left_position: int
+    adjacency: dict[int, Sequence[int]]
+    candidates: frozenset[int]
+
+
+def execute_partition_join(
+    task: PartitionJoinTask,
+) -> tuple[float, list[list[int]]]:
+    """Run one partition's delta join; returns (seconds, output columns).
+
+    The loop is the exact serial :func:`_delta_join` kernel over the
+    shipped slices, so concatenating partition outputs in partition order
+    reproduces the serial result row-for-row.
+    """
+    start = time.perf_counter()
+    columns = task.columns
+    source_column = columns[task.left_position]
+    adjacency = task.adjacency
+    candidates = task.candidates
+    selected: list[int] = []
+    new_column: list[int] = []
+    for index in range(len(source_column)):
+        neighbors = adjacency.get(source_column[index])
+        if not neighbors:
+            continue
+        for neighbor_id in neighbors:
+            if neighbor_id in candidates:
+                selected.append(index)
+                new_column.append(neighbor_id)
+    out = [[column[index] for index in selected] for column in columns]
+    out.append(new_column)
+    return time.perf_counter() - start, out
+
+
+def resolve_workers(workers: int | None) -> int:
+    """``None`` means auto: ``REPRO_PARALLEL_WORKERS`` or the CPU count."""
+    if workers is None:
+        env = os.environ.get("REPRO_PARALLEL_WORKERS")
+        workers = int(env) if env else (os.cpu_count() or 1)
+    return max(1, int(workers))
+
+
+class ParallelContext:
+    """A persistent worker pool for partitioned delta joins.
+
+    One context owns one lazily-created ``ProcessPoolExecutor`` plus the
+    partitioning policy (worker count, serial-fallback threshold) and the
+    observability counters the service's ``stats_payload`` exposes. The
+    pool is created on the first join that clears the threshold and reused
+    for every later one, so process startup is paid once per context, not
+    once per action. Contexts are thread-safe: many sessions may submit
+    through one context concurrently (``ProcessPoolExecutor`` queues are
+    thread-safe; the counters are guarded by the context lock).
+    """
+
+    def __init__(
+        self,
+        workers: int | None = None,
+        min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
+    ) -> None:
+        self.workers = resolve_workers(workers)
+        self.min_partition_rows = max(0, int(min_partition_rows))
+        self._pool: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self.parallel_joins = 0
+        self.serial_fallbacks = 0
+        self.partitions_executed = 0
+        # Per-partition timings of the most recent parallel joins (bounded;
+        # exposed through CachingExecutor.stats_payload / the REPL's plan).
+        self.last_timings: list[dict] = []
+        self._max_timings = 32
+
+    # ------------------------------------------------------------------
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        with self._lock:
+            if self._pool is None:
+                # Never bare-fork: the pool is created lazily, typically
+                # from a request thread of the multi-threaded service, and
+                # forking a multi-threaded process can deadlock children on
+                # locks held mid-fork. forkserver forks from a clean
+                # single-threaded helper; tasks are pure picklable
+                # payloads, so any start method works.
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context(
+                    "forkserver" if "forkserver" in methods else "spawn"
+                )
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers, mp_context=context
+                )
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; the context stays usable —
+        the next parallel join starts a fresh pool)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelContext":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def should_parallelize(self, rows: int) -> bool:
+        """Serial below the partition-size threshold: a process round-trip
+        on a small prefix costs more than the join it would offload."""
+        return self.workers > 1 and rows >= self.min_partition_rows
+
+    def record(self, timing: dict, partitions: int) -> None:
+        with self._lock:
+            self.parallel_joins += 1
+            self.partitions_executed += partitions
+            self.last_timings.append(timing)
+            if len(self.last_timings) > self._max_timings:
+                del self.last_timings[: -self._max_timings]
+
+    def record_fallback(self) -> None:
+        with self._lock:
+            self.serial_fallbacks += 1
+
+    def stats_payload(self) -> dict:
+        """JSON-able counters + recent per-partition timings."""
+        with self._lock:
+            return {
+                "workers": self.workers,
+                "min_partition_rows": self.min_partition_rows,
+                "parallel_joins": self.parallel_joins,
+                "serial_fallbacks": self.serial_fallbacks,
+                "partitions_executed": self.partitions_executed,
+                "pool_live": self._pool is not None,
+                "last_timings": [dict(t) for t in self.last_timings],
+            }
+
+
+# Process-wide shared contexts, one per configuration: sessions and
+# executors asking for the same worker count share one pool instead of
+# forking a fresh pool (and leaking it) per session.
+_CONTEXTS: dict[tuple[int, int], ParallelContext] = {}
+_CONTEXTS_LOCK = threading.Lock()
+
+
+def parallel_context(
+    workers: int | None = None,
+    min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
+) -> ParallelContext:
+    """The shared :class:`ParallelContext` for one configuration.
+
+    ``workers=None`` means "auto" (``REPRO_PARALLEL_WORKERS`` or the CPU
+    count) and is resolved *before* the registry lookup, so "auto" and an
+    explicit matching count share one pool. Contexts returned here live
+    for the process; callers that need a private, closeable pool
+    (benchmarks sweeping worker counts) should construct
+    :class:`ParallelContext` directly.
+    """
+    key = (resolve_workers(workers), min_partition_rows)
+    with _CONTEXTS_LOCK:
+        context = _CONTEXTS.get(key)
+        if context is None:
+            context = ParallelContext(
+                workers=workers, min_partition_rows=min_partition_rows
+            )
+            _CONTEXTS[key] = context
+        return context
+
+
+def _delta_join_parallel(
+    relation: GraphRelation,
+    graph: InstanceGraph,
+    left_key: str,
+    traversal_edge: str,
+    new_key: str,
+    new_type: str,
+    candidate_set: dict[int, None],
+    context: ParallelContext,
+) -> GraphRelation:
+    """Shard the prefix relation and run the delta join across workers.
+
+    The prefix is split into contiguous row partitions (one per worker);
+    each worker gets the partition's columns, the adjacency slice for the
+    source ids it will probe, and the candidate set, and runs the exact
+    serial join kernel. Partial relations are concatenated in partition
+    order, so the merged output is bit-identical to the serial join — the
+    reference-order restoration downstream never knows the difference.
+    """
+    partitions = relation.split(context.workers)
+    left_position = relation.position(left_key)
+    adjacency = graph._adjacency
+    candidates = frozenset(candidate_set)
+    tasks = []
+    for part in partitions:
+        part_columns = part.columns_view()
+        slice_: dict[int, Sequence[int]] = {}
+        for source_id in part_columns[left_position]:
+            if source_id not in slice_:
+                neighbors = adjacency.get((source_id, traversal_edge))
+                if neighbors:
+                    slice_[source_id] = neighbors
+        tasks.append(
+            PartitionJoinTask(
+                columns=tuple(tuple(column) for column in part_columns),
+                left_position=left_position,
+                adjacency=slice_,
+                candidates=candidates,
+            )
+        )
+    try:
+        outputs = list(context._ensure_pool().map(execute_partition_join, tasks))
+    except RuntimeError:
+        # A concurrent close() can shut the pool down between _ensure_pool
+        # and map ("cannot schedule new futures after shutdown"); close()
+        # promises the context stays usable, so start a fresh pool once.
+        outputs = list(context._ensure_pool().map(execute_partition_join, tasks))
+    attributes = list(relation.attributes) + [GraphAttribute(new_key, new_type)]
+    merged = GraphRelation.concat(
+        [
+            GraphRelation.from_columns(attributes, columns)
+            for _, columns in outputs
+        ]
+    )
+    context.record(
+        {
+            "edge": traversal_edge,
+            "new_key": new_key,
+            "rows_in": len(relation),
+            "rows_out": len(merged),
+            "partitions": len(tasks),
+            "partition_ms": [
+                round(elapsed * 1000, 3) for elapsed, _ in outputs
+            ],
+        },
+        partitions=len(tasks),
+    )
+    return merged
 
 
 def execute_plan(
@@ -549,6 +832,7 @@ def execute_plan(
     memo: ConditionMemo | None = None,
     store: PrefixStore | None = None,
     report: ExecutionReport | None = None,
+    parallel: ParallelContext | None = None,
 ) -> GraphRelation:
     """Run a plan; result tuples are in *engine order* (see
     :func:`restore_reference_order` for the reference ordering).
@@ -562,6 +846,13 @@ def execute_plan(
     intermediate under its canonical subpattern key. Cross-subpattern
     semi-join reduction is skipped so every cached intermediate stays exact
     for its own subpattern (reusable by *any* extension).
+
+    With a ``parallel`` context: each delta join over a prefix at least
+    ``min_partition_rows`` tall is sharded by contiguous prefix-tuple
+    partitions across the context's worker processes and merged back in
+    partition order — bit-identical output, including under a ``store``
+    (the merged relation is what gets cached, so partitioned results
+    compose with prefix reuse transparently).
     """
     pattern = plan.pattern
     report = report if report is not None else ExecutionReport()
@@ -628,15 +919,31 @@ def execute_plan(
             continue
         stuck_guard = 0
         left_key, traversal = join_info
-        relation = _delta_join(
-            relation,
-            graph,
-            left_key,
-            traversal,
-            step.key,
-            types[step.key],
-            candidate_set(step.key),
-        )
+        if parallel is not None and parallel.should_parallelize(len(relation)):
+            relation = _delta_join_parallel(
+                relation,
+                graph,
+                left_key,
+                traversal,
+                step.key,
+                types[step.key],
+                candidate_set(step.key),
+                parallel,
+            )
+            report.parallel_joins += 1
+        else:
+            if parallel is not None:
+                parallel.record_fallback()
+                report.serial_fallbacks += 1
+            relation = _delta_join(
+                relation,
+                graph,
+                left_key,
+                traversal,
+                step.key,
+                types[step.key],
+                candidate_set(step.key),
+            )
         report.delta_joins += 1
         covered = covered | {step.key}
         if store is not None:

@@ -108,8 +108,13 @@ class Repl:
         mapping=None,
         use_cache: bool = True,
         max_rows: int = 10,
+        engine: str = "planned",
+        workers: int | None = None,
     ) -> None:
-        self.session = EtableSession(schema, graph, use_cache=use_cache)
+        # engine="parallel" shards big delta joins across worker processes
+        # (the `plan` command then shows per-partition timings).
+        self.session = EtableSession(schema, graph, use_cache=use_cache,
+                                     engine=engine, workers=workers)
         self.mapping = mapping  # TranslationMap, enables the 'sql' command
         self.max_rows = max_rows
         self.done = False

@@ -49,11 +49,13 @@ class EtableSession:
         use_cache: bool = False,
         engine: str = "planned",
         executor: "CachingExecutor | None" = None,
+        workers: int | None = None,
     ) -> None:
         self.schema = schema
         self.graph = graph
         self.row_limit = row_limit
         self.engine = engine
+        self.workers = workers
         self.current: ETable | None = None
         self.history: list[HistoryEntry] = []
         self._sort: tuple[str, bool] | None = None
@@ -64,7 +66,7 @@ class EtableSession:
         # multi-user service hosts many sessions over one executor so one
         # user's prefix work speeds up another's).
         if executor is not None or use_cache:
-            if engine != "planned":
+            if engine not in ("planned", "parallel"):
                 # The caching executor always plans; silently serving the
                 # planner to someone who asked for the naive oracle would
                 # mask exactly the discrepancies the oracle exists to find.
@@ -82,7 +84,17 @@ class EtableSession:
         elif use_cache:
             from repro.core.cache import CachingExecutor
 
-            self._executor = CachingExecutor(graph)
+            # engine="parallel" + cache: the executor runs partitioned delta
+            # joins and caches the merged relations — prefix reuse and
+            # parallel partitions compose.
+            if engine == "parallel":
+                from repro.core.planner import parallel_context
+
+                self._executor = CachingExecutor(
+                    graph, parallel=parallel_context(workers)
+                )
+            else:
+                self._executor = CachingExecutor(graph)
         else:
             self._executor = None
 
@@ -90,7 +102,7 @@ class EtableSession:
         if self._executor is not None:
             return self._executor.execute(pattern, self.row_limit)
         return execute_pattern(pattern, self.graph, self.row_limit,
-                               engine=self.engine)
+                               engine=self.engine, workers=self.workers)
 
     def explain_plan(self) -> str:
         """The current pattern's execution plan (and cache stats, if any).
@@ -126,7 +138,36 @@ class EtableSession:
                 f"reusing {stats.reused_nodes} joined nodes, "
                 f"{stats.delta_joins} delta joins"
             )
+        context = self._parallel_context()
+        if context is not None:
+            payload = context.stats_payload()
+            lines.append(
+                f"parallel: {payload['workers']} workers, serial below "
+                f"{payload['min_partition_rows']} rows; "
+                f"{payload['parallel_joins']} partitioned joins, "
+                f"{payload['serial_fallbacks']} serial fallbacks"
+            )
+            for timing in payload["last_timings"][-3:]:
+                per_partition = ", ".join(
+                    f"{ms:.1f}" for ms in timing["partition_ms"]
+                )
+                lines.append(
+                    f"  join -[{timing['edge']}]-> {timing['new_key']}: "
+                    f"{timing['rows_in']} -> {timing['rows_out']} rows over "
+                    f"{timing['partitions']} partitions "
+                    f"[{per_partition} ms]"
+                )
         return "\n".join(lines)
+
+    def _parallel_context(self):
+        """The parallel context this session executes through, if any."""
+        if self._executor is not None:
+            return self._executor.parallel
+        if self.engine == "parallel":
+            from repro.core.planner import parallel_context
+
+            return parallel_context(self.workers)
+        return None
 
     # ------------------------------------------------------------------
     # The default table list (Figure 9, component 1)

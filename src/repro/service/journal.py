@@ -26,6 +26,16 @@ Replaying a checkpoint restores that exact history list and re-executes
 only the final pattern, so a replayed session is bit-identical to the one
 that crashed.
 
+**Long sessions compact too.** A session that never reverts would still
+grow its journal (and replay cost) without bound, so the manager
+checkpoints append-only journals every N mutating actions
+(``SessionManager(compact_every=64)``); :attr:`ActionJournal.
+actions_since_checkpoint` tracks the trigger across restarts. Compaction
+reuses the same atomic write-tmp-then-replace path as reverts: a crash
+mid-checkpoint leaves either the complete old journal (plus a stale
+``.tmp`` that the next open removes) or the complete new one — never a
+half-written state — so recovery is bit-identical either way.
+
 Torn tails are expected: a crash can cut the last line mid-write. Readers
 keep every record up to the first undecodable line and ignore the tail, so
 a killed session restarts from its last durable action.
@@ -56,6 +66,17 @@ class ActionJournal:
         self.fsync = fsync
         self.seq = 0
         self._handle = None
+        # Mutating actions appended since the last checkpoint (or journal
+        # creation): the manager's compaction trigger. Restored on resume by
+        # counting action records after the last checkpoint, so the policy
+        # holds across restarts.
+        self.actions_since_checkpoint = 0
+        # A crash between writing the checkpoint tmp file and the atomic
+        # replace leaves a stale sibling; the journal itself is still the
+        # complete pre-checkpoint state, so drop the leftover.
+        stale_tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        if stale_tmp.exists():
+            stale_tmp.unlink()
         # Records recovered from an existing file, for the resume path to
         # replay without re-reading the file.
         self.recovered_records: list[dict[str, Any]] = []
@@ -63,6 +84,11 @@ class ActionJournal:
             records, durable_length, max_seq = scan_journal(self.path)
             self.recovered_records = records
             self.seq = max_seq
+            for record in records:
+                if record.get("type") == "action":
+                    self.actions_since_checkpoint += 1
+                elif record.get("type") == "checkpoint":
+                    self.actions_since_checkpoint = 0
             # A crash can leave a torn (or garbled) tail after the last
             # durable record. Appending onto it would weld the next record
             # to the partial line and silently lose it on the following
@@ -81,15 +107,17 @@ class ActionJournal:
     def record_action(self, action: str, params: dict[str, Any]) -> None:
         """Append one accepted action (call only after it succeeded)."""
         self.seq += 1
+        self.actions_since_checkpoint += 1
         self._write({"type": "action", "seq": self.seq, "action": action,
                      "params": params})
 
     def checkpoint(self, history_payload: list[dict[str, Any]]) -> None:
         """Atomically replace the journal with one checkpoint record.
 
-        Called after a successful revert: the serialized history (which
-        includes the revert entry itself) *is* the session state, so the
-        journal shrinks to meta + checkpoint instead of growing forever.
+        Called after a successful revert — and periodically by the
+        manager's compaction policy: the serialized history (which includes
+        any revert entries) *is* the session state, so the journal shrinks
+        to meta + checkpoint instead of growing forever.
         """
         self.seq += 1
         tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
@@ -102,8 +130,17 @@ class ActionJournal:
             os.fsync(handle.fileno())
         if self._handle is not None:
             self._handle.close()
-        os.replace(tmp_path, self.path)
-        self._handle = self.path.open("a", encoding="utf-8")
+            self._handle = None
+        try:
+            os.replace(tmp_path, self.path)
+            # Only a *durable* checkpoint resets the compaction trigger; a
+            # failed replace leaves the old records on disk, so they must
+            # still count toward the next attempt.
+            self.actions_since_checkpoint = 0
+        finally:
+            # Reopen even when the replace failed: the journal file is then
+            # still the old one, and later appends must keep working.
+            self._handle = self.path.open("a", encoding="utf-8")
 
     def close(self) -> None:
         if self._handle is not None:

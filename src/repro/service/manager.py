@@ -69,7 +69,19 @@ class SessionManager:
         journal_dir: str | Path | None = None,
         executor: CachingExecutor | None = None,
         fsync_journal: bool = False,
+        engine: str = "planned",
+        workers: int | None = None,
+        compact_every: int | None = 64,
     ) -> None:
+        if engine not in ("planned", "parallel"):
+            raise ServiceError(
+                f"the service executes through the caching planner; "
+                f"engine must be 'planned' or 'parallel', not {engine!r}"
+            )
+        if compact_every is not None and compact_every < 1:
+            raise ServiceError(
+                f"compact_every must be >= 1 (or None), got {compact_every}"
+            )
         self.schema = schema
         self.graph = graph
         self.row_limit = row_limit
@@ -77,15 +89,33 @@ class SessionManager:
         self.ttl_seconds = ttl_seconds
         self.journal_dir = Path(journal_dir) if journal_dir else None
         self.fsync_journal = fsync_journal
+        self.engine = engine
+        self.workers = workers
+        # Journal compaction policy (ROADMAP follow-up): checkpoint long
+        # append-only journals every N mutating actions so replay cost
+        # stays bounded even for sessions that never revert. None disables.
+        self.compact_every = compact_every
         # One executor for everyone: cross-session prefix reuse is the
-        # service's whole performance story.
-        self.executor = executor or CachingExecutor(graph)
+        # service's whole performance story. With engine="parallel" the
+        # executor shards big delta joins across a shared worker pool;
+        # results (and therefore cache contents) are bit-identical.
+        if executor is None:
+            if engine == "parallel":
+                from repro.core.planner import parallel_context
+
+                executor = CachingExecutor(
+                    graph, parallel=parallel_context(workers)
+                )
+            else:
+                executor = CachingExecutor(graph)
+        self.executor = executor
         self._sessions: dict[str, ManagedSession] = {}
         self._lock = threading.RLock()
         self.created = 0
         self.resumed = 0
         self.evicted = 0
         self.total_actions = 0
+        self.compactions = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -141,6 +171,7 @@ class SessionManager:
         strictly ordered.
         """
         params = params or {}
+        compacted = False
         while True:
             managed = self._checkout(session_id)
             managed.lock.acquire()
@@ -163,12 +194,26 @@ class SessionManager:
                     )
                 else:
                     managed.journal.record_action(action, params)
+                    if (
+                        self.compact_every is not None
+                        and managed.journal.actions_since_checkpoint
+                        >= self.compact_every
+                    ):
+                        # Periodic compaction: same atomic checkpoint as a
+                        # revert, so replay cost stays bounded for sessions
+                        # that never revert.
+                        managed.journal.checkpoint(
+                            protocol.history_to_json(managed.session.history)
+                        )
+                        compacted = True
             managed.actions += 1
             managed.last_used = time.monotonic()
         finally:
             managed.lock.release()
         with self._lock:
             self.total_actions += 1
+            if compacted:
+                self.compactions += 1
         return result
 
     def handle_request(self, request: protocol.Request) -> protocol.Response:
@@ -273,12 +318,15 @@ class SessionManager:
             live = len(self._sessions)
             actions = self.total_actions
             created, resumed, evicted = self.created, self.resumed, self.evicted
+            compactions = self.compactions
         return {
             "live_sessions": live,
             "created": created,
             "resumed": resumed,
             "evicted": evicted,
             "actions": actions,
+            "journal_compactions": compactions,
+            "engine": self.engine,
             "cache": self.executor.stats_payload(),
         }
 

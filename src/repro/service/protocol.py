@@ -31,7 +31,9 @@ action                Figure 9 / Section 6.1 counterpart
 ``rank``              column ranking (Section 9, future work #3)
 ``revert``            component 4, the history panel's revert
 ``history``           component 4, the history panel itself
-``plan``              the execution plan (engine introspection)
+``plan``              the execution plan (engine introspection; under
+                      ``engine="parallel"`` it includes worker counts and
+                      recent per-partition join timings)
 ``etable``/``export`` component 3, the enriched table (paginated)
 ====================  ==================================================
 

@@ -6,6 +6,8 @@ and the condition memo. Integration-level equivalence against the reference
 matcher lives in tests/integration/test_planner_equivalence.py.
 """
 
+import pickle
+
 import pytest
 
 from repro.errors import TgmError
@@ -21,15 +23,20 @@ from repro.tgm.conditions import (
 )
 from repro.tgm.graph_relation import GraphAttribute, GraphRelation
 from repro.core.cache import CachingExecutor
-from repro.core.matching import match, match_planned
+from repro.core.matching import match, match_parallel, match_planned
 from repro.core.operators import add, initiate, select, shift
 from repro.core.planner import (
+    ExecutionReport,
+    ParallelContext,
+    PartitionJoinTask,
     PrefixStore,
     build_plan,
     candidate_ids,
     estimate_selectivity,
+    execute_partition_join,
     execute_plan,
     find_cached_base,
+    parallel_context,
     restore_reference_order,
     subpattern_key,
 )
@@ -469,3 +476,154 @@ class TestGraphRelationConstruction:
         )
         assert len(relation) == 2
         assert relation.distinct_column("A") == [1, 2]
+
+
+# ----------------------------------------------------------------------
+# Parallel partition execution
+# ----------------------------------------------------------------------
+class TestParallelExecution:
+    def _pattern(self, toy):
+        pattern = initiate(toy.schema, "Conferences")
+        pattern = add(pattern, toy.schema, "Conferences->Papers")
+        pattern = add(pattern, toy.schema, "Papers->Authors")
+        return pattern
+
+    def test_parallel_equals_reference(self, toy):
+        pattern = self._pattern(toy)
+        reference = match(pattern, toy.graph)
+        with ParallelContext(workers=2, min_partition_rows=0) as context:
+            parallel = match_parallel(pattern, toy.graph, context=context)
+            payload = context.stats_payload()
+        assert parallel.keys == reference.keys
+        assert parallel.tuples == reference.tuples
+        assert payload["parallel_joins"] > 0
+        assert payload["last_timings"], "per-partition timings were recorded"
+        timing = payload["last_timings"][-1]
+        assert timing["partitions"] >= 1
+        assert len(timing["partition_ms"]) == timing["partitions"]
+
+    def test_parallel_composes_with_prefix_store(self, toy):
+        pattern = self._pattern(toy)
+        reference = match(pattern, toy.graph)
+        with ParallelContext(workers=2, min_partition_rows=0) as context:
+            store = PrefixStore()
+            plan = build_plan(pattern, toy.graph, semijoin=False)
+            relation = execute_plan(
+                plan, toy.graph, store=store, parallel=context
+            )
+            restored = restore_reference_order(pattern, relation, toy.graph)
+            assert restored.tuples == reference.tuples
+            # Every covered prefix landed in the store as a merged relation.
+            all_keys = frozenset(node.key for node in pattern.nodes)
+            assert store.get(subpattern_key(pattern, all_keys)) is not None
+
+    def test_small_prefixes_fall_back_to_serial(self, toy):
+        pattern = self._pattern(toy)
+        # Threshold far above the toy corpus: the context must never fork.
+        with ParallelContext(workers=4, min_partition_rows=10**6) as context:
+            parallel = match_parallel(pattern, toy.graph, context=context)
+            payload = context.stats_payload()
+        assert parallel.tuples == match(pattern, toy.graph).tuples
+        assert payload["parallel_joins"] == 0
+        assert payload["serial_fallbacks"] > 0
+        assert payload["pool_live"] is False, "no pool for serial-only work"
+
+    def test_single_worker_context_never_parallelizes(self, toy):
+        context = ParallelContext(workers=1, min_partition_rows=0)
+        assert not context.should_parallelize(10**9)
+
+    def test_worker_payload_is_picklable_and_pure(self):
+        task = PartitionJoinTask(
+            columns=((1, 2, 3), (4, 5, 6)),
+            left_position=0,
+            adjacency={1: (10, 11), 3: (12,)},
+            candidates=frozenset({10, 12}),
+        )
+        revived = pickle.loads(pickle.dumps(task))
+        elapsed, columns = execute_partition_join(revived)
+        # Row 0 matches neighbor 10, row 2 matches neighbor 12; row 1 has
+        # no adjacency entry and drops out.
+        assert columns == [[1, 3], [4, 6], [10, 12]]
+        assert elapsed >= 0.0
+
+    def test_worker_kernel_matches_serial_join_shape(self):
+        # Dangling prefix rows (neighbors outside the candidate set) drop.
+        task = PartitionJoinTask(
+            columns=((7, 8),),
+            left_position=0,
+            adjacency={7: (1,), 8: (2,)},
+            candidates=frozenset({2}),
+        )
+        _, columns = execute_partition_join(task)
+        assert columns == [[8], [2]]
+
+    def test_context_registry_shares_instances(self):
+        first = parallel_context(workers=3, min_partition_rows=123)
+        second = parallel_context(workers=3, min_partition_rows=123)
+        other = parallel_context(workers=2, min_partition_rows=123)
+        assert first is second
+        assert first is not other
+
+    def test_execution_report_counts_parallel_joins(self, toy):
+        pattern = self._pattern(toy)
+        with ParallelContext(workers=2, min_partition_rows=0) as context:
+            plan = build_plan(pattern, toy.graph, semijoin=False)
+            report = ExecutionReport()
+            execute_plan(plan, toy.graph, report=report, parallel=context)
+        assert report.parallel_joins == report.delta_joins > 0
+        assert report.serial_fallbacks == 0
+
+    def test_explain_plan_shows_partition_timings(self, toy):
+        from repro.core.session import EtableSession
+
+        context = parallel_context(workers=2, min_partition_rows=0)
+        executor = CachingExecutor(toy.graph, parallel=context)
+        session = EtableSession(toy.schema, toy.graph, engine="parallel",
+                                executor=executor)
+        session.open("Conferences")
+        session.pivot("Papers")
+        text = session.explain_plan()
+        assert "parallel:" in text
+        assert "partitioned joins" in text
+
+
+class TestParallelStatsPayloads:
+    def test_cold_prefix_store_hit_rate_is_guarded(self):
+        store = PrefixStore()
+        stats = store.stats()
+        assert stats["lookups"] == 0
+        assert stats["hit_rate"] == 0.0  # no ZeroDivisionError on cold store
+
+    def test_prefix_store_hit_rate_counts(self, toy):
+        store = PrefixStore()
+        relation = GraphRelation([GraphAttribute("A", "T")], [(1,)])
+        store.put(("k",), relation)
+        assert store.get(("k",)) is relation
+        assert store.get(("missing",)) is None
+        stats = store.stats()
+        assert stats["lookups"] == 2 and stats["hits"] == 1
+        assert stats["hit_rate"] == 0.5
+
+    def test_cold_executor_stats_payload_is_guarded(self, toy):
+        executor = CachingExecutor(toy.graph)
+        payload = executor.stats_payload()  # cold: zero lookups everywhere
+        assert payload["hit_rate"] == 0.0
+        assert payload["prefix_hit_rate"] == 0.0
+        assert payload["results"]["hit_rate"] == 0.0
+        assert payload["prefixes"]["hit_rate"] == 0.0
+        assert payload["parallel"] is None
+
+    def test_executor_stats_payload_exposes_parallel_section(self, toy):
+        context = parallel_context(workers=2, min_partition_rows=0)
+        executor = CachingExecutor(toy.graph, parallel=context)
+        pattern = initiate(toy.schema, "Conferences")
+        pattern = add(pattern, toy.schema, "Conferences->Papers")
+        executor.match(pattern)
+        payload = executor.stats_payload()
+        assert payload["parallel"]["workers"] == 2
+        assert payload["parallel"]["parallel_joins"] >= 1
+        assert payload["parallel"]["last_timings"]
+
+    def test_executor_workers_shorthand(self, toy):
+        executor = CachingExecutor(toy.graph, workers=2)
+        assert executor.parallel is parallel_context(2)

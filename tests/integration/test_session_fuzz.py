@@ -1,0 +1,354 @@
+"""Differential session fuzzing across all three execution engines.
+
+The PR 2 equivalence suite proved the planner matches the naive oracle on
+hand-picked patterns; this harness proves it — plus the parallel partition
+engine and the prefix-reuse cache — on *hundreds of machine-generated
+browsing sessions* per dataset. A seeded generator produces random but
+valid-by-construction action sequences (params are drawn from the live
+schema and the current table state), and every sequence is replayed
+step-in-lockstep through three sessions:
+
+* ``naive``    — the reference BFS matcher, no cache;
+* ``planned``  — the cost-based planner behind a shared ``CachingExecutor``
+                 (prefix reuse accumulates *across* sequences, like the
+                 multi-user service);
+* ``parallel`` — the planner with partitioned delta joins behind its own
+                 shared executor, with the serial-fallback threshold forced
+                 to zero so every join really crosses process boundaries.
+
+After every action the harness asserts
+
+1. the three ETables are identical cell-for-cell (full protocol
+   serialization, hidden columns and reference lists included);
+2. the wire protocol is a fixpoint: ``serialize -> deserialize ->
+   serialize`` reproduces the exact payload, for the ETable and for the
+   session history;
+3. the three histories stay in lockstep.
+
+Failures print the dataset, the master seed, the per-sequence seed, and
+the full action script as JSON — paste it into
+:func:`replay_script` (or re-run with ``REPRO_FUZZ_SEED``) to reproduce.
+
+Env knobs: ``REPRO_FUZZ_SEQUENCES`` (sequences per dataset, default 200),
+``REPRO_FUZZ_SEED`` (master seed, default 0), ``REPRO_FUZZ_MAX_ACTIONS``
+(actions per sequence, default 5).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.core.cache import CachingExecutor
+from repro.core.etable import ColumnKind
+from repro.core.planner import ParallelContext
+from repro.core.session import EtableSession
+from repro.service import protocol
+
+SEQUENCES = int(os.environ.get("REPRO_FUZZ_SEQUENCES", "200"))
+MASTER_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
+MAX_ACTIONS = int(os.environ.get("REPRO_FUZZ_MAX_ACTIONS", "5"))
+
+ENGINES = ("naive", "planned", "parallel")
+
+
+# ----------------------------------------------------------------------
+# Corpora (small on purpose: breadth over depth — the fuzzer's power is
+# the number of sequences, not the corpus size)
+# ----------------------------------------------------------------------
+def _academic_tgdb():
+    from repro.datasets.academic import (
+        AcademicConfig,
+        default_categorical_attributes,
+        default_label_overrides,
+        generate_academic,
+    )
+    from repro.translate import translate_database
+
+    db, _ = generate_academic(AcademicConfig(papers=48, seed=13))
+    return translate_database(
+        db,
+        categorical_attributes=default_categorical_attributes(),
+        label_overrides=default_label_overrides(),
+    )
+
+
+def _movies_tgdb():
+    from repro.datasets.movies import (
+        MoviesConfig,
+        generate_movies,
+        movies_categorical_attributes,
+        movies_label_overrides,
+    )
+    from repro.translate import translate_database
+
+    db = generate_movies(MoviesConfig(movies=40, people=30, seed=13))
+    return translate_database(
+        db,
+        categorical_attributes=movies_categorical_attributes(),
+        label_overrides=movies_label_overrides(),
+    )
+
+
+def _toy_tgdb():
+    from repro.datasets.academic import default_label_overrides
+    from repro.datasets.toy import generate_toy
+    from repro.translate import translate_database
+
+    return translate_database(
+        generate_toy(),
+        categorical_attributes={"Institutions": ["country"],
+                                "Papers": ["year"]},
+        label_overrides=default_label_overrides(),
+    )
+
+
+_BUILDERS = {
+    "academic": _academic_tgdb,
+    "movies": _movies_tgdb,
+    "toy": _toy_tgdb,
+}
+
+
+@pytest.fixture(scope="module")
+def parallel_ctx():
+    # min_partition_rows=0 forces every delta join across real worker
+    # processes — the fuzzer must exercise the partition/merge path, not
+    # the small-table serial fallback.
+    with ParallelContext(workers=2, min_partition_rows=0) as context:
+        yield context
+
+
+@pytest.fixture(scope="module", params=sorted(_BUILDERS))
+def corpus(request, parallel_ctx):
+    tgdb = _BUILDERS[request.param]()
+    # Shared executors accumulate reuse across sequences, mirroring the
+    # multi-user service (one user's prefix is the next one's cache hit).
+    executors = {
+        "planned": CachingExecutor(tgdb.graph),
+        "parallel": CachingExecutor(tgdb.graph, parallel=parallel_ctx),
+    }
+    return request.param, tgdb, executors
+
+
+# ----------------------------------------------------------------------
+# Valid-by-construction action generation
+# ----------------------------------------------------------------------
+_LIKE_SAFE = set("abcdefghijklmnopqrstuvwxyz"
+                 "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789 ")
+
+
+def _attribute_pool(graph, type_name, rng):
+    """(attribute, value) pairs drawn from live nodes of one type."""
+    nodes = graph.nodes_of_type(type_name)
+    pool = []
+    for node in rng.sample(nodes, min(len(nodes), 8)):
+        for attribute, value in node.attributes.items():
+            if value is not None:
+                pool.append((attribute, value))
+    return pool
+
+
+def _condition_json(graph, type_name, rng):
+    """A random serialized condition satisfied by at least one live node."""
+    pool = _attribute_pool(graph, type_name, rng)
+    if not pool:
+        return None
+    attribute, value = rng.choice(pool)
+    if isinstance(value, str):
+        kinds = ["=", "!=", "like", "in"]
+    elif isinstance(value, (int, float)) and not isinstance(value, bool):
+        kinds = ["=", "!=", "<", "<=", ">", ">=", "in"]
+    else:
+        kinds = ["=", "!="]
+    kind = rng.choice(kinds)
+    if kind == "like":
+        safe = "".join(c for c in value if c in _LIKE_SAFE)
+        if len(safe) >= 2:
+            start = rng.randrange(0, max(1, len(safe) - 1))
+            fragment = safe[start:start + rng.randint(1, 4)]
+        else:
+            fragment = safe or "%"
+        return {"kind": "like", "attribute": attribute,
+                "pattern": f"%{fragment}%", "negate": rng.random() < 0.2}
+    if kind == "in":
+        values = [v for a, v in pool if a == attribute][:3]
+        return {"kind": "in", "attribute": attribute, "values": values}
+    return {"kind": "compare", "attribute": attribute, "op": kind,
+            "value": value}
+
+
+def _reference_columns(etable):
+    return [c for c in etable.columns if c.kind is not ColumnKind.BASE]
+
+
+def _next_action(graph, driver, rng):
+    """One random valid action (name, params) given the driver's state."""
+    etable = driver.current
+    table_names = driver.default_table_list()
+    if etable is None:
+        return "open", {"type": rng.choice(table_names)}
+    choices = ["filter", "sort", "hide", "show", "pivot"]
+    ref_columns = _reference_columns(etable)
+    rows = etable.rows
+    if rows:
+        choices += ["single", "seeall", "rank"]
+    if driver.history:
+        choices += ["revert", "revert"]
+    choices += ["open"]
+    for _ in range(8):  # a few draws: some actions need state we may lack
+        action = rng.choice(choices)
+        if action == "open":
+            return action, {"type": rng.choice(table_names)}
+        if action == "filter":
+            condition = _condition_json(
+                graph, etable.pattern.primary.type_name, rng
+            )
+            if condition is not None:
+                return action, {"condition": condition}
+        if action == "pivot":  # also the draw that can become an nfilter
+            if ref_columns:
+                column = rng.choice(ref_columns)
+                if rng.random() < 0.35 and column.type_name:
+                    condition = _condition_json(graph, column.type_name, rng)
+                    if condition is not None:
+                        neighbor = [
+                            c for c in etable.neighbor_columns()
+                            if c.key == column.key
+                        ]
+                        if neighbor:
+                            return "nfilter", {"column": column.key,
+                                               "condition": condition}
+                return action, {"column": column.key}
+        if action == "sort":
+            return action, {"column": rng.choice(etable.columns).key,
+                            "descending": rng.random() < 0.5}
+        if action == "hide":
+            return action, {"column": rng.choice(etable.columns).key}
+        if action == "show":
+            return action, {"column": rng.choice(etable.columns).key}
+        if action == "single":
+            row = rng.choice(rows)
+            return action, {"node_id": row.node_id}
+        if action == "seeall":
+            row_index = rng.randrange(len(rows))
+            cells = [
+                c for c in ref_columns if rows[row_index].refs(c.key)
+            ]
+            if cells:
+                return action, {"row": row_index,
+                                "column": rng.choice(cells).key}
+        if action == "rank":
+            return action, {"keep": rng.randint(1, 6)}
+        if action == "revert":
+            return action, {"index": rng.randrange(len(driver.history))}
+    return "open", {"type": rng.choice(table_names)}
+
+
+# ----------------------------------------------------------------------
+# Lockstep replay + differential checks
+# ----------------------------------------------------------------------
+def _etable_payload(session):
+    etable = session.current
+    if etable is None:
+        return None
+    return protocol.etable_to_json(etable)
+
+
+def _assert_fixpoint(payload, graph, context):
+    rebuilt = protocol.etable_from_json(payload, graph)
+    again = protocol.etable_to_json(rebuilt)
+    assert again == payload, f"{context}: serialize/deserialize not a fixpoint"
+
+
+def _fail(dataset, seed, script, step, message):
+    pytest.fail(
+        f"fuzz failure on {dataset!r} at step {step} ({message})\n"
+        f"master seed: {MASTER_SEED}, sequence seed: {seed}\n"
+        f"replayable action script:\n"
+        f"{json.dumps(script, indent=2, default=str)}",
+        pytrace=True,
+    )
+
+
+def replay_script(tgdb, script, engine="naive", executor=None):
+    """Re-run one failing action script against a fresh session.
+
+    The debugging entry point the failure message refers to: paste the
+    printed JSON and step through the divergence.
+    """
+    session = EtableSession(tgdb.schema, tgdb.graph, engine=engine,
+                            executor=executor)
+    for action, params in script:
+        protocol.apply_action(session, action, params)
+    return session
+
+
+def _run_sequence(dataset, tgdb, executors, seed):
+    rng = random.Random(seed)
+    graph = tgdb.graph
+    sessions = {
+        "naive": EtableSession(tgdb.schema, graph, engine="naive"),
+        "planned": EtableSession(tgdb.schema, graph,
+                                 executor=executors["planned"]),
+        "parallel": EtableSession(tgdb.schema, graph, engine="parallel",
+                                  executor=executors["parallel"]),
+    }
+    driver = sessions["naive"]
+    script: list = []
+    for step in range(rng.randint(2, MAX_ACTIONS)):
+        action, params = _next_action(graph, driver, rng)
+        script.append((action, params))
+        results = {}
+        for engine in ENGINES:
+            try:
+                results[engine] = protocol.apply_action(
+                    sessions[engine], action, params
+                )
+            except Exception as error:  # noqa: BLE001 - reported with script
+                _fail(dataset, seed, script, step,
+                      f"{engine} raised {type(error).__name__}: {error}")
+        if not (results["naive"] == results["planned"] == results["parallel"]):
+            _fail(dataset, seed, script, step, "action results diverged")
+        payloads = {
+            engine: _etable_payload(sessions[engine]) for engine in ENGINES
+        }
+        if not (payloads["naive"] == payloads["planned"]
+                == payloads["parallel"]):
+            _fail(dataset, seed, script, step, "ETables diverged")
+        histories = {
+            engine: protocol.history_to_json(sessions[engine].history)
+            for engine in ENGINES
+        }
+        if not (histories["naive"] == histories["planned"]
+                == histories["parallel"]):
+            _fail(dataset, seed, script, step, "histories diverged")
+        if payloads["naive"] is not None:
+            _assert_fixpoint(payloads["naive"], graph,
+                             f"{dataset} seed {seed} step {step}")
+        # History payloads must round-trip exactly too (the journal's
+        # checkpoint records depend on it).
+        rebuilt = protocol.history_to_json(
+            protocol.history_from_json(histories["naive"])
+        )
+        assert rebuilt == histories["naive"], (
+            f"{dataset} seed {seed} step {step}: history not a fixpoint"
+        )
+    return len(script)
+
+
+def test_fuzz_engines_bit_identical(corpus):
+    dataset, tgdb, executors = corpus
+    master = random.Random(MASTER_SEED)
+    sequence_seeds = [master.randrange(2**31) for _ in range(SEQUENCES)]
+    total_actions = 0
+    for seed in sequence_seeds:
+        total_actions += _run_sequence(dataset, tgdb, executors, seed)
+    assert total_actions >= SEQUENCES * 2, "sequences were unexpectedly short"
+    # The shared parallel executor must have really crossed process
+    # boundaries (the whole point of fuzzing the parallel engine).
+    parallel_stats = executors["parallel"].stats_payload()["parallel"]
+    assert parallel_stats["parallel_joins"] > 0

@@ -270,3 +270,172 @@ class TestJournalPrimitives:
         journal.close()
         for line in path.read_text().splitlines():
             json.loads(line)  # every line parses on its own
+
+
+class TestCompaction:
+    """Journal compaction after N actions (ROADMAP follow-up): long
+    append-only sessions checkpoint periodically so replay stays bounded."""
+
+    def test_journal_compacts_every_n_actions(self, toy, tmp_path):
+        manager = _manager(toy, tmp_path, compact_every=4)
+        sid = manager.create_session("walker")
+        manager.apply(sid, "open", {"type": "Papers"})
+        manager.apply(sid, "sort", {"column": "year"})
+        manager.apply(sid, "hide", {"column": "title"})
+        records = read_records(tmp_path / "journals" / "walker.journal")
+        assert [r["type"] for r in records] == ["meta"] + ["action"] * 3
+        manager.apply(sid, "show", {"column": "title"})  # 4th: compacts
+        records = read_records(tmp_path / "journals" / "walker.journal")
+        assert [r["type"] for r in records] == ["meta", "checkpoint"]
+        assert manager.stats()["journal_compactions"] == 1
+
+    def test_long_session_journal_stays_bounded(self, toy, tmp_path):
+        manager = _manager(toy, tmp_path, compact_every=8)
+        sid = manager.create_session("marathon")
+        manager.apply(sid, "open", {"type": "Papers"})
+        for step in range(40):  # no revert ever — compaction alone bounds it
+            manager.apply(sid, "sort", {"column": "year",
+                                        "descending": step % 2 == 0})
+        records = read_records(tmp_path / "journals" / "marathon.journal")
+        actions = [r for r in records if r["type"] == "action"]
+        assert len(actions) < 8, "append-only journal grew past the policy"
+
+    def test_compacted_journal_replays_bit_identically(self, toy, tmp_path):
+        manager = _manager(toy, tmp_path, compact_every=3)
+        sid = manager.create_session("carol")
+        for action, params in SCRIPT:
+            manager.apply(sid, action, params)
+        live = _signature(manager._sessions[sid].session)
+        manager.close_session(sid)
+        restarted = _manager(toy, tmp_path, compact_every=3)
+        restarted.resume_session(sid)
+        assert _signature(restarted._sessions[sid].session) == live
+
+    def test_counter_restored_across_restart(self, toy, tmp_path):
+        manager = _manager(toy, tmp_path, compact_every=100)
+        sid = manager.create_session("dave")
+        for action, params in SCRIPT:
+            manager.apply(sid, action, params)
+        manager.close_session(sid)
+        restarted = _manager(toy, tmp_path, compact_every=100)
+        restarted.resume_session(sid)
+        journal = restarted._sessions[sid].journal
+        assert journal.actions_since_checkpoint == len(SCRIPT)
+
+    def test_compaction_disabled_with_none(self, toy, tmp_path):
+        manager = _manager(toy, tmp_path, compact_every=None)
+        sid = manager.create_session("erin")
+        manager.apply(sid, "open", {"type": "Papers"})
+        for _ in range(70):
+            manager.apply(sid, "sort", {"column": "year"})
+        records = read_records(tmp_path / "journals" / "erin.journal")
+        assert sum(1 for r in records if r["type"] == "action") == 71
+
+    def test_invalid_compact_every_rejected(self, toy, tmp_path):
+        from repro.errors import ServiceError
+
+        with pytest.raises(ServiceError):
+            _manager(toy, tmp_path, compact_every=0)
+
+
+class TestCompactionCrashInjection:
+    """A crash mid-checkpoint must never lose durable state: the atomic
+    write-tmp-then-replace either completes or leaves the old journal."""
+
+    def _run_script(self, manager, sid):
+        for action, params in SCRIPT:
+            manager.apply(sid, action, params)
+
+    def test_crash_between_tmp_write_and_replace(self, toy, tmp_path,
+                                                 monkeypatch):
+        import os as os_module
+
+        manager = _manager(toy, tmp_path, compact_every=len(SCRIPT))
+        sid = manager.create_session("frank")
+
+        def exploding_replace(src, dst):
+            raise OSError("injected crash before the atomic replace")
+
+        monkeypatch.setattr("repro.service.journal.os.replace",
+                            exploding_replace)
+        with pytest.raises(OSError):
+            self._run_script(manager, sid)
+        monkeypatch.undo()
+        # The journal survives the failed checkpoint: the append handle is
+        # reopened onto the (intact) old file, the compaction counter was
+        # not reset, and the next action retries the checkpoint — which now
+        # succeeds and compacts everything.
+        journal = manager._sessions[sid].journal
+        assert journal.actions_since_checkpoint == len(SCRIPT)
+        manager.apply(sid, "sort", {"column": "name"})
+        path = tmp_path / "journals" / "frank.journal"
+        records = read_records(path)
+        assert [r["type"] for r in records] == ["meta", "checkpoint"]
+        manager.close_session(sid)
+        # Re-inject for the recovery half of the test: crash again with the
+        # tmp sibling left behind.
+        manager = _manager(toy, tmp_path, compact_every=1)
+        manager.resume_session(sid)
+        monkeypatch.setattr("repro.service.journal.os.replace",
+                            exploding_replace)
+        with pytest.raises(OSError):
+            manager.apply(sid, "show", {"column": "name"})
+        monkeypatch.undo()
+        assert path.with_suffix(path.suffix + ".tmp").exists()
+        # Recovery from the crash: the journal carries the last durable
+        # checkpoint (SCRIPT + sort) plus the appended "show" action whose
+        # own checkpoint attempt failed — the session state is intact.
+        oracle = EtableSession(toy.schema, toy.graph)
+        for action, params in SCRIPT + [("sort", {"column": "name"}),
+                                        ("show", {"column": "name"})]:
+            protocol.apply_action(oracle, action, params)
+        restarted = _manager(toy, tmp_path, compact_every=len(SCRIPT))
+        restarted.resume_session(sid)
+        assert _signature(restarted._sessions[sid].session) == \
+            _signature(oracle)
+        # The stale tmp was swept on reopen.
+        assert not path.with_suffix(path.suffix + ".tmp").exists()
+
+    def test_truncated_checkpoint_line_is_torn_tail(self, toy, tmp_path):
+        # Simulate a filesystem-level torn write of the checkpoint record
+        # itself: everything after the last durable line must be dropped
+        # and the remaining prefix must still replay.
+        manager = _manager(toy, tmp_path, compact_every=None)
+        sid = manager.create_session("grace")
+        self._run_script(manager, sid)
+        manager.close_session(sid)
+        path = tmp_path / "journals" / "grace.journal"
+        raw = path.read_bytes()
+        lines = raw.split(b"\n")
+        # Truncate mid-way through the final action record.
+        torn = b"\n".join(lines[:-2]) + b"\n" + lines[-2][: len(lines[-2]) // 2]
+        path.write_bytes(torn)
+        restarted = _manager(toy, tmp_path)
+        restarted.resume_session(sid)
+        oracle = EtableSession(toy.schema, toy.graph)
+        for action, params in SCRIPT[:-1]:
+            protocol.apply_action(oracle, action, params)
+        assert _signature(restarted._sessions[sid].session) == \
+            _signature(oracle)
+
+    def test_compaction_then_more_actions_then_crash(self, toy, tmp_path):
+        # checkpoint -> two more actions -> torn tail: recovery lands on
+        # checkpoint + first post-checkpoint action, bit-identically.
+        manager = _manager(toy, tmp_path, compact_every=len(SCRIPT))
+        sid = manager.create_session("heidi")
+        self._run_script(manager, sid)  # exactly one compaction
+        manager.apply(sid, "sort", {"column": "name"})
+        manager.apply(sid, "hide", {"column": "name"})
+        manager.close_session(sid)
+        path = tmp_path / "journals" / "heidi.journal"
+        raw = path.read_bytes()
+        lines = raw.split(b"\n")
+        torn = b"\n".join(lines[:-2]) + b"\n" + lines[-2][:10]
+        path.write_bytes(torn)
+        restarted = _manager(toy, tmp_path, compact_every=len(SCRIPT))
+        restarted.resume_session(sid)
+        oracle = EtableSession(toy.schema, toy.graph)
+        for action, params in SCRIPT + [("sort", {"column": "name"})]:
+            protocol.apply_action(oracle, action, params)
+        assert _signature(restarted._sessions[sid].session) == \
+            _signature(oracle)

@@ -46,6 +46,48 @@ class TestSaveResult:
         path = save_result("demo", {"value": {1, 2}})
         assert path.exists()
 
+    def test_missing_results_dir_is_created(self, tmp_path, monkeypatch):
+        # Regression: a fresh checkout (or `git clean`) has no results/
+        # directory at all; benchmarks must create it rather than crash —
+        # including deeply missing parents.
+        target = tmp_path / "not" / "yet" / "results"
+        monkeypatch.setattr("repro.bench.reporting.RESULTS_DIR", target)
+        assert not target.exists()
+        path = save_result("demo", {"value": 1})
+        assert path.exists() and path.parent == target
+
+    def test_results_dir_deleted_between_saves(self, tmp_path, monkeypatch):
+        import shutil
+
+        target = tmp_path / "results"
+        monkeypatch.setattr("repro.bench.reporting.RESULTS_DIR", target)
+        save_result("first", {"value": 1})
+        shutil.rmtree(target)  # deleted mid-run (e.g. by a cleanup step)
+        path = save_result("second", {"value": 2})
+        assert path.exists()
+
+    def test_throughput_bench_module_ensures_results_dir(self):
+        # The bench module itself guarantees the directory on import, so
+        # even artifact writes that bypass save_result cannot crash.
+        import importlib.util
+        import sys
+        from pathlib import Path
+
+        from repro.bench.reporting import RESULTS_DIR
+
+        bench_dir = Path(__file__).resolve().parents[1] / "benchmarks"
+        spec = importlib.util.spec_from_file_location(
+            "bench_service_throughput_import_check",
+            bench_dir / "bench_service_throughput.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        sys.path.insert(0, str(bench_dir))
+        try:
+            spec.loader.exec_module(module)
+        finally:
+            sys.path.remove(str(bench_dir))
+        assert RESULTS_DIR.is_dir()
+
 
 class TestBanner:
     def test_contains_text(self):
