@@ -95,7 +95,8 @@ def self_test(args: argparse.Namespace) -> int:
     manager = SessionManager(tgdb.schema, tgdb.graph, row_limit=args.row_limit,
                              journal_dir=journal_dir,
                              engine=args.engine, workers=args.workers,
-                             compact_every=args.compact_every or None)
+                             compact_every=args.compact_every or None,
+                             adaptive_threshold=args.adaptive_threshold)
     server = NavigationServer(manager, port=0).start()
     base = server.url
     print(f"self-test: serving {args.dataset} at {base}")
@@ -133,7 +134,8 @@ def self_test(args: argparse.Namespace) -> int:
                               row_limit=args.row_limit,
                               journal_dir=journal_dir,
                               engine=args.engine, workers=args.workers,
-                              compact_every=args.compact_every or None)
+                              compact_every=args.compact_every or None,
+                              adaptive_threshold=args.adaptive_threshold)
     resumed = manager2.recover_all()
     assert session_id in resumed, (session_id, resumed)
     server2 = NavigationServer(manager2, port=0).start()
@@ -170,13 +172,20 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ttl", type=float, default=1800.0,
                         help="idle session TTL in seconds")
     parser.add_argument("--engine", default="planned",
-                        choices=["planned", "parallel"],
+                        choices=["planned", "parallel", "incremental"],
                         help="execution engine behind the shared cache "
                              "(parallel shards big delta joins across "
-                             "worker processes)")
+                             "worker processes; incremental answers "
+                             "refinement actions from each session's "
+                             "previous ETable instead of re-matching)")
     parser.add_argument("--workers", type=int, default=None,
-                        help="worker processes for --engine parallel "
-                             "(default: auto)")
+                        help="worker processes for --engine parallel, or "
+                             "to layer incremental over parallel "
+                             "(default: auto for parallel)")
+    parser.add_argument("--adaptive-threshold", action="store_true",
+                        help="adapt the parallel serial-fallback threshold "
+                             "from the observed per-join process "
+                             "round-trip latency")
     parser.add_argument("--compact-every", type=int, default=64,
                         help="checkpoint each session journal every N "
                              "actions (0 disables compaction)")
@@ -199,6 +208,7 @@ def main(argv: list[str] | None = None) -> int:
         journal_dir=args.journal_dir,
         engine=args.engine, workers=args.workers,
         compact_every=args.compact_every or None,
+        adaptive_threshold=args.adaptive_threshold,
     )
     if args.journal_dir:
         resumed = manager.recover_all()

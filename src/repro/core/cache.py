@@ -38,6 +38,8 @@ from repro.tgm.graph_relation import GraphRelation
 from repro.tgm.instance_graph import InstanceGraph
 from repro.core.etable import ETable
 from repro.core.planner import (
+    DeltaPlan,
+    DeltaPlanner,
     ExecutionReport,
     ParallelContext,
     PrefixStore,
@@ -86,6 +88,86 @@ class CacheStats:
         return self.hits / total if total else 0.0
 
 
+class ResultLineage(PrefixStore):
+    """Per-session store of the reference-ordered relation chain a session's
+    history panel implies.
+
+    Every executed action's full relation is retained under its canonical
+    pattern key, so revert-heavy browsing is O(1): the history entry's
+    pattern looks its relation straight back up instead of re-matching.
+    Shares :class:`~repro.core.planner.PrefixStore`'s size-weighted LRU
+    eviction accounting (cells = rows × attributes, admission cap) and its
+    mutation-version invalidation — a lineage must never serve a relation
+    computed over a graph snapshot that no longer exists.
+    """
+
+    def __init__(self, graph: InstanceGraph, max_entries: int = 64,
+                 max_cells: int | None = 2_000_000) -> None:
+        super().__init__(max_entries=max_entries, max_cells=max_cells,
+                         graph=graph)
+
+
+class IncrementalStats:
+    """Counters for the incremental engine (thread-safe; JSON-able).
+
+    ``delta_actions`` answered from the previous relation (by kind),
+    ``replays`` answered straight from the lineage, ``replans`` that fell
+    back to the full planner (and why), plus the rows the delta kernels
+    actually touched — the number that should scale with |current ETable|,
+    not |database|.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.delta_actions = 0
+        self.replays = 0
+        self.replans = 0
+        self.cost_replans = 0
+        self.rows_touched = 0
+        self.by_kind: dict[str, int] = {}
+
+    def note_delta(self, kind: str, rows_touched: int) -> None:
+        with self._lock:
+            self.delta_actions += 1
+            self.rows_touched += rows_touched
+            self.by_kind[kind] = self.by_kind.get(kind, 0) + 1
+
+    def note_replay(self) -> None:
+        with self._lock:
+            self.replays += 1
+            self.by_kind["replay"] = self.by_kind.get("replay", 0) + 1
+
+    def note_replan(self, cost_gated: bool) -> None:
+        with self._lock:
+            self.replans += 1
+            if cost_gated:
+                self.cost_replans += 1
+
+    @property
+    def actions(self) -> int:
+        return self.delta_actions + self.replays + self.replans
+
+    @property
+    def delta_hit_rate(self) -> float:
+        """Fraction of executed actions answered without replanning."""
+        total = self.actions
+        return (self.delta_actions + self.replays) / total if total else 0.0
+
+    def payload(self) -> dict:
+        with self._lock:
+            total = self.delta_actions + self.replays + self.replans
+            answered = self.delta_actions + self.replays
+            return {
+                "delta_actions": self.delta_actions,
+                "replays": self.replays,
+                "replans": self.replans,
+                "cost_replans": self.cost_replans,
+                "rows_touched": self.rows_touched,
+                "delta_hit_rate": answered / total if total else 0.0,
+                "by_kind": dict(self.by_kind),
+            }
+
+
 class CachingExecutor:
     """Memoizes ``match()`` per pattern — and per pattern *prefix* — over
     one instance graph.
@@ -125,18 +207,37 @@ class CachingExecutor:
         self.parallel = parallel
         self.stats = CacheStats()
         self.memo = ConditionMemo()
+        # Aggregated counters of every IncrementalExecutor layered over this
+        # executor (the service shares one base across all sessions, so this
+        # is the fleet-wide incremental picture).
+        self.incremental = IncrementalStats()
+        # Both stores are graph-bound: a mutation-version bump drops them on
+        # the next lookup, so a mutated graph can never serve stale tuples.
         self.prefixes = PrefixStore(max_entries=max_prefix_entries,
-                                    max_cells=max_prefix_cells)
+                                    max_cells=max_prefix_cells,
+                                    graph=graph)
         # Whole-pattern results share the PrefixStore LRU mechanics (a hit
         # refreshes the entry so hot patterns survive eviction pressure) but
         # live in their own store: their keys include the primary node and
         # their relations are reference-ordered.
         self._store = PrefixStore(max_entries=max_entries,
-                                  max_cells=max_cells)
+                                  max_cells=max_cells,
+                                  graph=graph)
+        self._graph_version = graph.version
         self._lock = threading.RLock()
+
+    def _check_graph_version(self) -> None:
+        """Drop the condition memo after a graph mutation (caller holds the
+        lock). The relation stores self-invalidate; the memo holds
+        per-(condition, node) verdicts that mutation can flip (e.g. a
+        ``NeighborSatisfies`` after an edge was added)."""
+        if self._graph_version != self.graph.version:
+            self.memo.clear()
+            self._graph_version = self.graph.version
 
     def match(self, pattern: QueryPattern) -> GraphRelation:
         with self._lock:
+            self._check_graph_version()
             key = pattern_cache_key(pattern)
             cached = self._store.get(key)
             if cached is not None:
@@ -169,6 +270,22 @@ class CachingExecutor:
         matched = self.match(pattern)
         return transform(pattern, matched, self.graph, row_limit=row_limit)
 
+    def adopt_result(self, pattern: QueryPattern,
+                     relation: GraphRelation,
+                     key: tuple | None = None) -> None:
+        """Insert an externally-computed exact result (reference-ordered full
+        match of ``pattern``) into the whole-pattern cache.
+
+        This is how the incremental engine feeds its delta-derived relations
+        back to the shared executor: one session's delta becomes every other
+        session's whole-pattern hit. Thread-safe; the caller vouches for
+        exactness (the session fuzzer replays shared-executor sessions in
+        lockstep, so a wrong adoption diverges immediately).
+        """
+        with self._lock:
+            self._check_graph_version()
+            self._store.put(key or pattern_cache_key(pattern), relation)
+
     def stats_payload(self) -> dict:
         """All cache counters as one JSON-able dict (service ``/v1/stats``).
 
@@ -192,6 +309,7 @@ class CachingExecutor:
             "delta_joins": self.stats.delta_joins,
             "results": self._store.stats(),
             "prefixes": self.prefixes.stats(),
+            "incremental": self.incremental.payload(),
             "parallel": (
                 self.parallel.stats_payload()
                 if self.parallel is not None else None
@@ -204,3 +322,130 @@ class CachingExecutor:
             self._store.clear()
             self.prefixes.clear()
             self.memo.clear()
+
+
+class IncrementalExecutor:
+    """Per-session incremental engine: ``engine="incremental"``.
+
+    Layers the :class:`~repro.core.planner.DeltaPlanner` over a (shareable)
+    :class:`CachingExecutor`. Each ``match`` first consults the session's
+    :class:`ResultLineage` (reverts and exact repeats are O(1) lookups),
+    then tries to classify the pattern as a monotone delta of the *previous
+    action's* relation — a filter becomes a row-selection, a pivot one
+    delta join, a shift a re-rank — and only falls back to the base
+    executor's full planner for non-monotone actions or when the cost model
+    says replanning is cheaper. Every result (delta or replan) is recorded
+    in the lineage and adopted into the base's whole-pattern cache, so
+    cross-session reuse still compounds.
+
+    The instance is **per-session** (the lineage and previous-relation
+    pointer are a session's private chain); the base executor may be shared
+    by many sessions, exactly like the multi-user service shares one
+    ``CachingExecutor``. Delta joins ride the base's parallel context when
+    one is attached, so ``incremental`` layers over ``planned`` *or*
+    ``parallel`` transparently.
+    """
+
+    def __init__(
+        self,
+        base: CachingExecutor,
+        max_lineage_entries: int = 64,
+        max_lineage_cells: int | None = 2_000_000,
+    ) -> None:
+        self.base = base
+        self.graph = base.graph
+        self.planner = DeltaPlanner(base.graph)
+        self.lineage = ResultLineage(base.graph,
+                                     max_entries=max_lineage_entries,
+                                     max_cells=max_lineage_cells)
+        self.stats = IncrementalStats()
+        self.last_delta: DeltaPlan | None = None
+        self.last_outcome: str = ""
+        self._previous: tuple[QueryPattern, GraphRelation] | None = None
+        self._previous_version = base.graph.version
+
+    @property
+    def parallel(self) -> ParallelContext | None:
+        return self.base.parallel
+
+    def _remember(self, pattern: QueryPattern, relation: GraphRelation,
+                  key: tuple) -> None:
+        self._previous = (pattern, relation)
+        self._previous_version = self.graph.version
+        self.lineage.put(key, relation)
+
+    def match(self, pattern: QueryPattern) -> GraphRelation:
+        if self._previous is not None and (
+            self._previous_version != self.graph.version
+        ):
+            # The graph mutated under the session: the previous relation
+            # describes a snapshot that no longer exists (the lineage
+            # version guard clears itself on the next lookup).
+            self._previous = None
+        key = pattern_cache_key(pattern)
+        cached = self.lineage.get(key)
+        if cached is not None:
+            self.stats.note_replay()
+            self.base.incremental.note_replay()
+            self.last_delta = None
+            self.last_outcome = "replay: lineage hit (retained history relation)"
+            self._remember(pattern, cached, key)
+            return cached
+        previous = self._previous
+        delta, reason = self.planner.plan(
+            previous[0] if previous is not None else None,
+            len(previous[1]) if previous is not None else 0,
+            pattern,
+        )
+        if delta is None:
+            relation = self.base.match(pattern)
+            cost_gated = reason is not None and reason.startswith("cost model")
+            self.stats.note_replan(cost_gated)
+            self.base.incremental.note_replan(cost_gated)
+            self.last_delta = None
+            self.last_outcome = f"replan: {reason}"
+        else:
+            pattern.validate(self.graph.schema)
+            assert previous is not None
+            relation, report = self.planner.execute(
+                delta, previous[1], pattern,
+                memo=self.base.memo, parallel=self.base.parallel,
+            )
+            if not delta.order_preserved:
+                relation = restore_reference_order(
+                    pattern, relation, self.graph
+                )
+            self.stats.note_delta(delta.kind, report.rows_touched)
+            self.base.incremental.note_delta(delta.kind, report.rows_touched)
+            self.last_delta = delta
+            self.last_outcome = (
+                f"{delta.describe()} "
+                f"[{report.rows_in} -> {report.rows_out} rows, "
+                f"{report.rows_touched} touched"
+                + (", partitioned" if report.parallel_join else "")
+                + "]"
+            )
+            # Feed the exact result back to the shared whole-pattern cache.
+            self.base.adopt_result(pattern, relation, key=key)
+        self._remember(pattern, relation, key)
+        return relation
+
+    def execute(
+        self, pattern: QueryPattern, row_limit: int | None = None
+    ) -> ETable:
+        """Incremental counterpart of :meth:`CachingExecutor.execute`."""
+        matched = self.match(pattern)
+        return transform(pattern, matched, self.graph, row_limit=row_limit)
+
+    def stats_payload(self) -> dict:
+        """The base executor's payload plus this session's delta counters."""
+        payload = self.base.stats_payload()
+        payload["incremental_session"] = self.stats.payload()
+        payload["lineage"] = self.lineage.stats()
+        return payload
+
+    def invalidate(self) -> None:
+        """Drop the session chain (the base executor is invalidated by its
+        owner — it may be shared)."""
+        self.lineage.clear()
+        self._previous = None

@@ -99,15 +99,26 @@ def estimate_selectivity(
     if isinstance(condition, NodeIn):
         return min(1.0, len(condition.node_ids) / cardinality)
     if isinstance(condition, AttributeCompare):
-        distinct = max(1, stats.distinct_count(type_name, condition.attribute))
+        # Per-bucket refinement: equality selectivity comes from the exact
+        # attribute-index bucket size, not the 1/distinct uniform average —
+        # skewed categorical values (one country holding half the nodes)
+        # estimate exactly instead of optimistically.
         if condition.op == "=":
-            return 1.0 / distinct
+            return stats.equality_fraction(
+                type_name, condition.attribute, condition.value
+            )
         if condition.op == "!=":
-            return 1.0 - 1.0 / distinct
+            return 1.0 - stats.equality_fraction(
+                type_name, condition.attribute, condition.value
+            )
         return _RANGE_SELECTIVITY
     if isinstance(condition, AttributeIn):
-        distinct = max(1, stats.distinct_count(type_name, condition.attribute))
-        return min(1.0, len(condition.values) / distinct)
+        fraction = 0.0
+        for value in set(condition.values):
+            fraction += stats.equality_fraction(
+                type_name, condition.attribute, value
+            )
+        return min(1.0, fraction)
     if isinstance(condition, AttributeLike):
         return 1.0 - _LIKE_SELECTIVITY if condition.negate else _LIKE_SELECTIVITY
     if isinstance(condition, LabelLike):
@@ -123,8 +134,12 @@ def estimate_selectivity(
             )
         else:
             inner_selectivity = _DEFAULT_SELECTIVITY
-        expected_matches = edge_stats.avg_degree * inner_selectivity
-        return participation * min(1.0, expected_matches)
+        # Histogram refinement: P(≥1 matching neighbor) over the exact
+        # degree histogram, not min(1, avg_degree × s) — the average form
+        # overstates matches for the many low-degree nodes of skewed edges.
+        return participation * stats.neighbor_match_probability(
+            condition.edge_type, inner_selectivity
+        )
     return _DEFAULT_SELECTIVITY
 
 
@@ -424,12 +439,20 @@ class PrefixStore:
     budget is respected, and a single relation larger than the whole budget
     is refused outright — one huge intermediate can neither pin the cache
     nor wipe it.
+
+    With a ``graph``, every lookup checks the graph's mutation-version
+    counter and drops the whole store when it changed: cached relations are
+    only valid for the graph snapshot they were computed over, and a store
+    that outlives a mutation must never serve stale tuples.
     """
 
     def __init__(self, max_entries: int = 512,
-                 max_cells: int | None = None) -> None:
+                 max_cells: int | None = None,
+                 graph: InstanceGraph | None = None) -> None:
         self.max_entries = max_entries
         self.max_cells = max_cells
+        self._graph = graph
+        self._graph_version = graph.version if graph is not None else None
         self._store: OrderedDict[tuple, GraphRelation] = OrderedDict()
         self._weights: dict[tuple, int] = {}
         self.total_cells = 0
@@ -438,11 +461,22 @@ class PrefixStore:
         self.rejected = 0
         self.lookups = 0
         self.hits = 0
+        self.invalidations = 0
+
+    def check_version(self) -> bool:
+        """Drop everything if the bound graph mutated; True when dropped."""
+        if self._graph is None or self._graph.version == self._graph_version:
+            return False
+        self.clear()
+        self._graph_version = self._graph.version
+        self.invalidations += 1
+        return True
 
     def __len__(self) -> int:
         return len(self._store)
 
     def __contains__(self, key: tuple) -> bool:
+        self.check_version()
         return key in self._store
 
     @property
@@ -451,6 +485,7 @@ class PrefixStore:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def get(self, key: tuple) -> GraphRelation | None:
+        self.check_version()
         self.lookups += 1
         relation = self._store.get(key)
         if relation is not None:
@@ -459,6 +494,7 @@ class PrefixStore:
         return relation
 
     def put(self, key: tuple, relation: GraphRelation) -> None:
+        self.check_version()
         weight = relation_cells(relation)
         if self.max_cells is not None and weight > self.max_cells:
             # Admission policy: a relation larger than the entire budget
@@ -504,6 +540,7 @@ class PrefixStore:
             "evictions": self.evictions,
             "evicted_cells": self.evicted_cells,
             "rejected": self.rejected,
+            "invalidations": self.invalidations,
         }
 
     def clear(self) -> None:
@@ -590,7 +627,7 @@ class PartitionJoinTask:
     columns: tuple[tuple[int, ...], ...]
     left_position: int
     adjacency: dict[int, Sequence[int]]
-    candidates: frozenset[int]
+    candidates: frozenset[int] | None
 
 
 def execute_partition_join(
@@ -600,7 +637,9 @@ def execute_partition_join(
 
     The loop is the exact serial :func:`_delta_join` kernel over the
     shipped slices, so concatenating partition outputs in partition order
-    reproduces the serial result row-for-row.
+    reproduces the serial result row-for-row. ``candidates=None`` means
+    the joined pattern node is unconditioned: every adjacency neighbor
+    qualifies (adjacency lists are type-homogeneous by construction).
     """
     start = time.perf_counter()
     columns = task.columns
@@ -614,7 +653,7 @@ def execute_partition_join(
         if not neighbors:
             continue
         for neighbor_id in neighbors:
-            if neighbor_id in candidates:
+            if candidates is None or neighbor_id in candidates:
                 selected.append(index)
                 new_column.append(neighbor_id)
     out = [[column[index] for index in selected] for column in columns]
@@ -641,20 +680,39 @@ class ParallelContext:
     once per action. Contexts are thread-safe: many sessions may submit
     through one context concurrently (``ProcessPoolExecutor`` queues are
     thread-safe; the counters are guarded by the context lock).
+
+    With ``adaptive=True`` the serial-fallback threshold is re-derived from
+    *observed* latencies instead of the static default: every parallel join
+    records its process round-trip overhead (wall time minus the slowest
+    worker kernel), every serial fallback records its rows/second, and the
+    effective threshold becomes the row count where the serial join would
+    cost twice the round-trip — so a 1-core container (round-trip ≈ 2-3 ms)
+    raises the bar and stops shipping joins that parallelism cannot repay,
+    while a fast multicore pool lowers it. Cold-pool joins (worker startup
+    in the window) are excluded from the overhead observations, and one in
+    every ``_PROBE_EVERY`` joins that clear the static threshold still runs
+    parallel so the estimate keeps tracking reality.
     """
 
     def __init__(
         self,
         workers: int | None = None,
         min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
+        adaptive: bool = False,
     ) -> None:
         self.workers = resolve_workers(workers)
         self.min_partition_rows = max(0, int(min_partition_rows))
+        self.adaptive = bool(adaptive)
         self._pool: ProcessPoolExecutor | None = None
         self._lock = threading.Lock()
         self.parallel_joins = 0
         self.serial_fallbacks = 0
         self.partitions_executed = 0
+        # Adaptive-threshold observations (EMA-smoothed; seconds and rows/s).
+        self._overhead_ema: float | None = None
+        self._serial_rate_ema: float | None = None
+        self._adaptive_rows = self.min_partition_rows
+        self._probe_countdown = self._PROBE_EVERY
         # Per-partition timings of the most recent parallel joins (bounded;
         # exposed through CachingExecutor.stats_payload / the REPL's plan).
         self.last_timings: list[dict] = []
@@ -693,23 +751,99 @@ class ParallelContext:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
+    # Under an adaptive threshold, every Nth join that clears the *static*
+    # threshold but not the adaptive one still goes parallel as a probe:
+    # overhead is only observable on parallel joins, so without probing a
+    # once-inflated estimate could disable parallelism permanently.
+    _PROBE_EVERY = 32
+
     # ------------------------------------------------------------------
+    def effective_min_partition_rows(self) -> int:
+        """The live serial-fallback threshold (adaptive or static)."""
+        return self._adaptive_rows if self.adaptive else self.min_partition_rows
+
     def should_parallelize(self, rows: int) -> bool:
         """Serial below the partition-size threshold: a process round-trip
         on a small prefix costs more than the join it would offload."""
-        return self.workers > 1 and rows >= self.min_partition_rows
+        if self.workers <= 1:
+            return False
+        if not self.adaptive:
+            return rows >= self.min_partition_rows
+        if rows >= self._adaptive_rows:
+            return True
+        if rows >= self.min_partition_rows:
+            # Static policy would have parallelized this join; run one in
+            # every _PROBE_EVERY such joins parallel anyway so the overhead
+            # estimate keeps tracking reality (pools get faster after
+            # warm-up, machines get quieter) instead of freezing at its
+            # worst observation.
+            with self._lock:
+                self._probe_countdown -= 1
+                if self._probe_countdown <= 0:
+                    self._probe_countdown = self._PROBE_EVERY
+                    return True
+        return False
 
-    def record(self, timing: dict, partitions: int) -> None:
+    def record(self, timing: dict, partitions: int,
+               wall_seconds: float | None = None) -> None:
         with self._lock:
             self.parallel_joins += 1
             self.partitions_executed += partitions
             self.last_timings.append(timing)
             if len(self.last_timings) > self._max_timings:
                 del self.last_timings[: -self._max_timings]
+            if wall_seconds is not None and timing.get("partition_ms"):
+                # Round-trip overhead = everything the workers did not do:
+                # pickling, queueing, and pool latency beyond the slowest
+                # kernel. This is the fixed per-join tax parallelism must
+                # repay before it helps.
+                kernel = max(timing["partition_ms"]) / 1000.0
+                overhead = max(0.0, wall_seconds - kernel)
+                self._overhead_ema = (
+                    overhead if self._overhead_ema is None
+                    else 0.7 * self._overhead_ema + 0.3 * overhead
+                )
+                self._update_adaptive_threshold()
 
     def record_fallback(self) -> None:
         with self._lock:
             self.serial_fallbacks += 1
+
+    def record_serial(self, rows: int, seconds: float) -> None:
+        """Feed one serial delta join's throughput into the adaptive model."""
+        if rows <= 0 or seconds <= 0.0:
+            return
+        rate = rows / seconds
+        with self._lock:
+            self._serial_rate_ema = (
+                rate if self._serial_rate_ema is None
+                else 0.7 * self._serial_rate_ema + 0.3 * rate
+            )
+            self._update_adaptive_threshold()
+
+    # Adaptive threshold bounds: never drop below a few cache lines of rows
+    # (the round-trip can only be *under*-observed), never climb past 2^20
+    # (at that point the measurement itself is suspect).
+    _ADAPTIVE_FLOOR = 64
+    _ADAPTIVE_CEILING = 1 << 20
+
+    def _update_adaptive_threshold(self) -> None:
+        """Re-derive the threshold from observations (caller holds lock).
+
+        Break-even: a serial join of ``rows`` costs ``rows / serial_rate``
+        seconds; parallelism pays a fixed ``overhead`` round-trip. The
+        threshold is set at 2× the break-even row count, so joins only go
+        parallel when the offloaded work clearly dominates the shipping.
+        """
+        if not self.adaptive:
+            return
+        if self._overhead_ema is None or self._serial_rate_ema is None:
+            return
+        breakeven = self._overhead_ema * self._serial_rate_ema
+        self._adaptive_rows = int(
+            min(self._ADAPTIVE_CEILING,
+                max(self._ADAPTIVE_FLOOR, 2.0 * breakeven))
+        )
 
     def stats_payload(self) -> dict:
         """JSON-able counters + recent per-partition timings."""
@@ -717,6 +851,17 @@ class ParallelContext:
             return {
                 "workers": self.workers,
                 "min_partition_rows": self.min_partition_rows,
+                "adaptive": self.adaptive,
+                "effective_min_partition_rows":
+                    self.effective_min_partition_rows(),
+                "observed_overhead_ms": (
+                    round(self._overhead_ema * 1000, 3)
+                    if self._overhead_ema is not None else None
+                ),
+                "observed_serial_rows_per_s": (
+                    round(self._serial_rate_ema, 1)
+                    if self._serial_rate_ema is not None else None
+                ),
                 "parallel_joins": self.parallel_joins,
                 "serial_fallbacks": self.serial_fallbacks,
                 "partitions_executed": self.partitions_executed,
@@ -728,13 +873,14 @@ class ParallelContext:
 # Process-wide shared contexts, one per configuration: sessions and
 # executors asking for the same worker count share one pool instead of
 # forking a fresh pool (and leaking it) per session.
-_CONTEXTS: dict[tuple[int, int], ParallelContext] = {}
+_CONTEXTS: dict[tuple[int, int, bool], ParallelContext] = {}
 _CONTEXTS_LOCK = threading.Lock()
 
 
 def parallel_context(
     workers: int | None = None,
     min_partition_rows: int = DEFAULT_MIN_PARTITION_ROWS,
+    adaptive: bool = False,
 ) -> ParallelContext:
     """The shared :class:`ParallelContext` for one configuration.
 
@@ -745,12 +891,13 @@ def parallel_context(
     (benchmarks sweeping worker counts) should construct
     :class:`ParallelContext` directly.
     """
-    key = (resolve_workers(workers), min_partition_rows)
+    key = (resolve_workers(workers), min_partition_rows, bool(adaptive))
     with _CONTEXTS_LOCK:
         context = _CONTEXTS.get(key)
         if context is None:
             context = ParallelContext(
-                workers=workers, min_partition_rows=min_partition_rows
+                workers=workers, min_partition_rows=min_partition_rows,
+                adaptive=adaptive,
             )
             _CONTEXTS[key] = context
         return context
@@ -763,7 +910,7 @@ def _delta_join_parallel(
     traversal_edge: str,
     new_key: str,
     new_type: str,
-    candidate_set: dict[int, None],
+    candidate_set: dict[int, None] | frozenset[int] | None,
     context: ParallelContext,
 ) -> GraphRelation:
     """Shard the prefix relation and run the delta join across workers.
@@ -775,10 +922,20 @@ def _delta_join_parallel(
     order, so the merged output is bit-identical to the serial join — the
     reference-order restoration downstream never knows the difference.
     """
+    # Pool startup is a one-time cost, not per-join overhead: create it
+    # outside the timed window, and skip the overhead observation entirely
+    # on a cold pool (workers may still fork lazily inside the first map,
+    # and seeding the EMA with fork latency would inflate the adaptive
+    # threshold by orders of magnitude).
+    pool_was_cold = context._pool is None
+    context._ensure_pool()
+    wall_start = time.perf_counter()
     partitions = relation.split(context.workers)
     left_position = relation.position(left_key)
     adjacency = graph._adjacency
-    candidates = frozenset(candidate_set)
+    candidates = (
+        frozenset(candidate_set) if candidate_set is not None else None
+    )
     tasks = []
     for part in partitions:
         part_columns = part.columns_view()
@@ -822,6 +979,8 @@ def _delta_join_parallel(
             ],
         },
         partitions=len(tasks),
+        wall_seconds=(None if pool_was_cold
+                      else time.perf_counter() - wall_start),
     )
     return merged
 
@@ -935,15 +1094,35 @@ def execute_plan(
             if parallel is not None:
                 parallel.record_fallback()
                 report.serial_fallbacks += 1
-            relation = _delta_join(
-                relation,
-                graph,
-                left_key,
-                traversal,
-                step.key,
-                types[step.key],
-                candidate_set(step.key),
-            )
+            if parallel is not None and parallel.adaptive:
+                # Time serial joins only for an adaptive context: the
+                # threshold needs the observed serial rows/second to know
+                # where parallelism starts paying off. Static contexts
+                # skip the timing (and the extra lock) entirely.
+                serial_start = time.perf_counter()
+                rows_in = len(relation)
+                relation = _delta_join(
+                    relation,
+                    graph,
+                    left_key,
+                    traversal,
+                    step.key,
+                    types[step.key],
+                    candidate_set(step.key),
+                )
+                parallel.record_serial(
+                    rows_in, time.perf_counter() - serial_start
+                )
+            else:
+                relation = _delta_join(
+                    relation,
+                    graph,
+                    left_key,
+                    traversal,
+                    step.key,
+                    types[step.key],
+                    candidate_set(step.key),
+                )
         report.delta_joins += 1
         covered = covered | {step.key}
         if store is not None:
@@ -977,13 +1156,17 @@ def _delta_join(
     traversal_edge: str,
     new_key: str,
     new_type: str,
-    candidate_set: dict[int, None],
+    candidate_set: dict[int, None] | frozenset[int] | None,
 ) -> GraphRelation:
     """Join one new pattern node onto the prefix by probing adjacency.
 
     Dangling prefix tuples (no neighbor inside the candidate set) are
     dropped without materializing anything — the semi-join check and the
-    join share one pass.
+    join share one pass. ``candidate_set=None`` means the new node is
+    unconditioned: every adjacency neighbor qualifies (adjacency lists are
+    type-homogeneous), so no candidate enumeration is needed at all —
+    this keeps the incremental engine's pivot deltas O(|prefix| × fanout)
+    instead of O(|node type|).
     """
     left_position = relation.position(left_key)
     columns = relation.columns_view()
@@ -994,14 +1177,23 @@ def _delta_join(
     # per-output-row appends across every column.
     selected: list[int] = []
     new_column: list[int] = []
-    for index in range(len(relation)):
-        neighbors = adjacency.get((source_column[index], traversal_edge))
-        if not neighbors:
-            continue
-        for neighbor_id in neighbors:
-            if neighbor_id in candidate_set:
+    if candidate_set is None:
+        for index in range(len(relation)):
+            neighbors = adjacency.get((source_column[index], traversal_edge))
+            if not neighbors:
+                continue
+            for neighbor_id in neighbors:
                 selected.append(index)
                 new_column.append(neighbor_id)
+    else:
+        for index in range(len(relation)):
+            neighbors = adjacency.get((source_column[index], traversal_edge))
+            if not neighbors:
+                continue
+            for neighbor_id in neighbors:
+                if neighbor_id in candidate_set:
+                    selected.append(index)
+                    new_column.append(neighbor_id)
     out = [[column[index] for index in selected] for column in columns]
     out.append(new_column)
     attributes = list(relation.attributes) + [GraphAttribute(new_key, new_type)]
@@ -1185,3 +1377,402 @@ def restore_reference_order(
         for position in positions
     ]
     return GraphRelation.from_columns(attributes, out)
+
+
+# ----------------------------------------------------------------------
+# Incremental action-delta planning (the session refinement fast path)
+# ----------------------------------------------------------------------
+# A browsing session is a chain of small refinements: almost every action
+# produces a pattern that is a *monotone delta* of the previous one — the
+# same tree with one more condition (filter / nfilter), one more node and
+# edge (pivot / see-all), or just another primary (shift). The DeltaPlanner
+# recognizes those shapes and answers them from the previous materialized
+# relation, so per-action cost scales with |current ETable| instead of
+# |database|. Only non-monotone actions (condition relaxation or removal,
+# a different table, a rewired edge) fall back to the full planner.
+
+
+@dataclass(frozen=True)
+class DeltaPlan:
+    """One classified refinement delta between two consecutive patterns.
+
+    ``kind`` is the delta taxonomy:
+
+    * ``replay``        — identical pattern (e.g. a revert re-executing the
+                          current step): the previous relation *is* the
+                          answer, untouched;
+    * ``reorder``       — same tree, different primary (a ``shift`` pivot):
+                          same tuple set, re-ranked into the new reference
+                          order — zero joins, zero selections;
+    * ``select``        — conditions were appended to already-bound nodes
+                          (filter / nfilter): a pure row-selection over the
+                          previous relation, no joins at all;
+    * ``extend``        — exactly one new node + connecting edge (a
+                          neighbor pivot): one delta join using the previous
+                          relation as the prefix;
+    * ``select+extend`` — both at once (see-all: select the clicked row,
+                          then add/shift the column's edge).
+    """
+
+    kind: str
+    selections: tuple[tuple[str, Condition], ...] = ()
+    extension: tuple[str, str, str] | None = None  # (left key, traversal, new key)
+    order_preserved: bool = False
+
+    def describe(self) -> str:
+        if self.kind == "replay":
+            return "replay (previous relation returned unchanged)"
+        if self.kind == "reorder":
+            return "reorder (primary shifted; previous relation re-ranked)"
+        parts = []
+        if self.selections:
+            keys = sorted({key for key, _ in self.selections})
+            parts.append(
+                f"row-select {len(self.selections)} new condition(s) "
+                f"on {', '.join(keys)}"
+            )
+        if self.extension is not None:
+            left_key, traversal, new_key = self.extension
+            parts.append(f"delta join {left_key} -[{traversal}]-> {new_key}")
+        return f"{self.kind}: " + "; ".join(parts)
+
+
+def classify_delta(
+    previous: QueryPattern,
+    pattern: QueryPattern,
+    graph: InstanceGraph,
+) -> DeltaPlan | None:
+    """Classify ``pattern`` as a monotone delta of ``previous`` (or None).
+
+    Monotone means the new pattern's matches are derivable from the old
+    pattern's full relation without re-matching: every old node keeps its
+    type and its exact condition list as a prefix (new conditions may only
+    be *appended* — that is how ``operators.select`` accretes filters), no
+    node or edge disappears, and at most one new node arrives, connected to
+    the old tree by exactly one traversable edge. Anything else — condition
+    relaxation, a different table, a rewired edge — returns None and the
+    caller replans from scratch.
+    """
+    prev_nodes = {node.key: node for node in previous.nodes}
+    new_keys = {node.key for node in pattern.nodes}
+    if any(key not in new_keys for key in prev_nodes):
+        return None  # a node was removed: shrinking is not monotone
+    added = [node for node in pattern.nodes if node.key not in prev_nodes]
+    if len(added) > 1:
+        return None  # more than one action's worth of growth
+    prev_edges = {
+        (edge.edge_type, edge.source_key, edge.target_key)
+        for edge in previous.edges
+    }
+    added_edges = [
+        edge
+        for edge in pattern.edges
+        if (edge.edge_type, edge.source_key, edge.target_key) not in prev_edges
+    ]
+    if len(pattern.edges) - len(added_edges) != len(previous.edges):
+        return None  # an edge was removed or rewired
+    selections: list[tuple[str, Condition]] = []
+    for node in pattern.nodes:
+        old = prev_nodes.get(node.key)
+        if old is None:
+            continue
+        if node.type_name != old.type_name:
+            return None
+        old_tokens = [c.cache_token() for c in old.conditions]
+        new_tokens = [c.cache_token() for c in node.conditions]
+        if new_tokens[: len(old_tokens)] != old_tokens:
+            return None  # a condition changed or was relaxed
+        selections.extend(
+            (node.key, condition)
+            for condition in node.conditions[len(old.conditions):]
+        )
+    extension: tuple[str, str, str] | None = None
+    if added:
+        if len(added_edges) != 1:
+            return None
+        node = added[0]
+        edge = added_edges[0]
+        if edge.source_key == node.key and edge.target_key in prev_nodes:
+            left_key = edge.target_key
+        elif edge.target_key == node.key and edge.source_key in prev_nodes:
+            left_key = edge.source_key
+        else:
+            return None
+        traversal = _traversal_edge_name(graph, edge, toward_key=node.key)
+        if traversal is None:
+            return None  # direction not adjacency-indexed
+        extension = (left_key, traversal, node.key)
+    elif added_edges:
+        return None  # a new edge between existing nodes would cycle the tree
+    if extension is None and not selections:
+        kind = (
+            "replay"
+            if pattern.primary_key == previous.primary_key
+            else "reorder"
+        )
+    elif extension is None:
+        kind = "select"
+    elif not selections:
+        kind = "extend"
+    else:
+        kind = "select+extend"
+    # A pure selection over a reference-ordered relation stays reference-
+    # ordered (filtering preserves relative order, and the rank key is a
+    # function of primary + edges, which did not change); everything else
+    # needs a restore_reference_order pass.
+    order_preserved = (
+        kind in ("replay", "select")
+        and pattern.primary_key == previous.primary_key
+    )
+    return DeltaPlan(
+        kind=kind,
+        selections=tuple(selections),
+        extension=extension,
+        order_preserved=order_preserved,
+    )
+
+
+def _enumeration_cost(node, stats: GraphStatistics) -> float:
+    """Estimated rows the full planner must touch to enumerate one node's
+    candidate set: identity probes are O(probes), index probes O(bucket),
+    everything else is a full type scan."""
+    condition = conjoin_conditions(node.conditions)
+    cardinality = float(stats.cardinality(node.type_name))
+    if condition is None:
+        return cardinality
+    node_probes = condition.node_probes()
+    if node_probes is not None:
+        return float(len(node_probes))
+    if condition.index_probes():
+        return max(
+            1.0,
+            cardinality
+            * estimate_selectivity(condition, node.type_name, stats),
+        )
+    return cardinality
+
+
+def estimate_replan_cost(
+    pattern: QueryPattern,
+    graph: InstanceGraph,
+    stats: GraphStatistics | None = None,
+) -> float:
+    """Estimated rows the full planner touches executing ``pattern``:
+    candidate enumeration per node plus the per-step join growth. Uses the
+    per-bucket equality selectivities, so a super-selective new filter (an
+    identity click, an indexed equality) is priced exactly."""
+    stats = stats or graph.statistics()
+    cost = sum(_enumeration_cost(node, stats) for node in pattern.nodes)
+    if len(pattern.nodes) > 1:
+        plan = build_plan(pattern, graph, stats=stats, semijoin=False)
+        cost += sum(
+            step.est_rows for step in plan.steps if step.kind == "join"
+        )
+    return max(1.0, cost)
+
+
+def estimate_delta_cost(
+    delta: DeltaPlan,
+    prev_rows: int,
+    pattern: QueryPattern,
+    graph: InstanceGraph,
+    stats: GraphStatistics | None = None,
+) -> float:
+    """Estimated rows the delta path touches: each appended selection scans
+    the (shrinking, but conservatively: full) previous relation; an
+    extension probes each prefix row's adjacency; a lost reference order
+    costs one more pass for the restoration sort."""
+    stats = stats or graph.statistics()
+    cost = 0.0
+    if delta.selections:
+        cost += float(prev_rows) * len(delta.selections)
+    if delta.extension is not None:
+        _, traversal, new_key = delta.extension
+        fanout = max(1.0, stats.edge_type_stats(traversal).avg_degree)
+        cost += prev_rows * fanout
+        node = pattern.node(new_key)
+        if node.conditions:
+            cost += _enumeration_cost(node, stats)
+    if not delta.order_preserved:
+        cost += float(prev_rows)
+    return max(1.0, cost)
+
+
+# Condition types whose per-node evaluation is expensive enough to be worth
+# the memo's (condition, node) bookkeeping: semijoins scan neighbor lists,
+# and combinators recurse. Plain attribute predicates are a dict get plus a
+# comparison — cheaper to just evaluate than to hash into the memo.
+_MEMO_WORTHY = (NeighborSatisfies, AndCondition, OrCondition, NotCondition)
+
+
+def _delta_select(
+    relation: GraphRelation,
+    key: str,
+    condition: Condition,
+    graph: InstanceGraph,
+    memo: ConditionMemo | None = None,
+) -> GraphRelation:
+    """``σ`` over one attribute of a materialized relation, delta-tuned.
+
+    Unlike the generic :func:`repro.tgm.graph_relation.selection` (which
+    evaluates per *row*), the condition is evaluated once per **distinct**
+    node id of the column and rows are then kept by set membership — on a
+    joined relation the same primary node appears once per join partner,
+    and re-evaluating a LIKE regex per duplicate is pure waste. Expensive
+    conditions (semijoins, combinators) go through the shared memo;
+    plain attribute predicates are evaluated directly.
+    """
+    position = relation.position(key)
+    columns = relation.columns_view()
+    column = columns[position]
+    node_of = graph.node
+    matching: set[int] = set()
+    if memo is not None and isinstance(condition, _MEMO_WORTHY):
+        for node_id in dict.fromkeys(column):
+            if memo.matches(condition, node_of(node_id), graph):
+                matching.add(node_id)
+    else:
+        for node_id in dict.fromkeys(column):
+            if condition.matches(node_of(node_id), graph):
+                matching.add(node_id)
+    kept = [
+        index for index, node_id in enumerate(column) if node_id in matching
+    ]
+    if len(kept) == len(column):
+        return relation
+    out = [[col[index] for index in kept] for col in columns]
+    return GraphRelation.from_columns(list(relation.attributes), out)
+
+
+@dataclass
+class DeltaReport:
+    """What one delta execution actually did (for incremental stats)."""
+
+    kind: str = ""
+    rows_in: int = 0
+    rows_out: int = 0
+    rows_touched: int = 0
+    parallel_join: bool = False
+
+
+def execute_delta(
+    delta: DeltaPlan,
+    prev_relation: GraphRelation,
+    pattern: QueryPattern,
+    graph: InstanceGraph,
+    memo: ConditionMemo | None = None,
+    parallel: ParallelContext | None = None,
+) -> tuple[GraphRelation, DeltaReport]:
+    """Derive ``m(pattern)`` from the previous pattern's full relation.
+
+    Selections filter the relation row-wise (sharing the executor's
+    condition memo); an extension runs exactly one delta join — through the
+    parallel partition path when a context is attached and the prefix
+    clears its threshold, so ``engine="incremental"`` composes with
+    ``engine="parallel"``. The output is in engine order unless
+    ``delta.order_preserved``; callers restore the reference order exactly
+    as the full planner does.
+    """
+    report = DeltaReport(kind=delta.kind, rows_in=len(prev_relation))
+    relation = prev_relation
+    for key, condition in delta.selections:
+        report.rows_touched += len(relation)
+        relation = _delta_select(relation, key, condition, graph, memo)
+    if delta.extension is not None:
+        left_key, traversal, new_key = delta.extension
+        node = pattern.node(new_key)
+        condition = conjoin_conditions(node.conditions)
+        candidate_set: dict[int, None] | None = None
+        if condition is not None:
+            candidate_set = dict.fromkeys(
+                candidate_ids(graph, node.type_name, condition, memo)
+            )
+        report.rows_touched += len(relation)
+        if parallel is not None and parallel.should_parallelize(len(relation)):
+            relation = _delta_join_parallel(
+                relation, graph, left_key, traversal, new_key,
+                node.type_name, candidate_set, parallel,
+            )
+            report.parallel_join = True
+        else:
+            if parallel is not None:
+                parallel.record_fallback()
+            if parallel is not None and parallel.adaptive:
+                serial_start = time.perf_counter()
+                rows_in = len(relation)
+                relation = _delta_join(
+                    relation, graph, left_key, traversal, new_key,
+                    node.type_name, candidate_set,
+                )
+                parallel.record_serial(
+                    rows_in, time.perf_counter() - serial_start
+                )
+            else:
+                relation = _delta_join(
+                    relation, graph, left_key, traversal, new_key,
+                    node.type_name, candidate_set,
+                )
+    report.rows_out = len(relation)
+    return relation, report
+
+
+class DeltaPlanner:
+    """Plans refinement actions as deltas over the previous result.
+
+    ``plan`` classifies the new pattern against the previous one and gates
+    the delta behind the cost model: when the full planner is estimated
+    strictly cheaper (e.g. the previous relation is huge and the new filter
+    is an indexed identity probe), it returns ``(None, reason)`` and the
+    caller replans — both paths are exact, so the gate is purely a
+    performance decision. ``execute`` runs the chosen delta.
+    """
+
+    # The replan estimate must undercut the delta estimate by this factor
+    # before the planner abandons the delta: both estimates count *rows*,
+    # but a replanned row is much more expensive than a delta row (fresh
+    # candidate enumeration with per-node condition evaluation, full joins,
+    # and the restoration sort, versus memoized dict probes over an
+    # already-materialized relation). The gate exists for the pathological
+    # order-of-magnitude cases — a huge previous relation against an
+    # indexed identity probe — not for coin-flip margins.
+    REPLAN_BIAS = 4.0
+
+    def __init__(self, graph: InstanceGraph) -> None:
+        self.graph = graph
+
+    def plan(
+        self,
+        previous: QueryPattern | None,
+        prev_rows: int,
+        pattern: QueryPattern,
+    ) -> tuple[DeltaPlan | None, str | None]:
+        """(delta, fallback reason) — ``delta is None`` means replan."""
+        if previous is None:
+            return None, "no previous result to delta from"
+        delta = classify_delta(previous, pattern, self.graph)
+        if delta is None:
+            return None, "non-monotone action (condition relaxed, node/edge removed, or new table)"
+        stats = self.graph.statistics()
+        delta_cost = estimate_delta_cost(
+            delta, prev_rows, pattern, self.graph, stats
+        )
+        replan_cost = estimate_replan_cost(pattern, self.graph, stats)
+        if replan_cost * self.REPLAN_BIAS < delta_cost:
+            return None, (
+                f"cost model preferred replan "
+                f"(est {replan_cost:.0f} rows vs delta {delta_cost:.0f})"
+            )
+        return delta, None
+
+    def execute(
+        self,
+        delta: DeltaPlan,
+        prev_relation: GraphRelation,
+        pattern: QueryPattern,
+        memo: ConditionMemo | None = None,
+        parallel: ParallelContext | None = None,
+    ) -> tuple[GraphRelation, DeltaReport]:
+        return execute_delta(
+            delta, prev_relation, pattern, self.graph,
+            memo=memo, parallel=parallel,
+        )

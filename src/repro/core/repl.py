@@ -112,7 +112,10 @@ class Repl:
         workers: int | None = None,
     ) -> None:
         # engine="parallel" shards big delta joins across worker processes
-        # (the `plan` command then shows per-partition timings).
+        # (the `plan` command then shows per-partition timings);
+        # engine="incremental" answers refinement actions from the previous
+        # ETable's relation (the `plan` command then shows the chosen delta
+        # kind and the session's delta-hit rate).
         self.session = EtableSession(schema, graph, use_cache=use_cache,
                                      engine=engine, workers=workers)
         self.mapping = mapping  # TranslationMap, enables the 'sql' command

@@ -65,8 +65,15 @@ class EtableSession:
         # explicit ``executor`` may be *shared between sessions* (the
         # multi-user service hosts many sessions over one executor so one
         # user's prefix work speeds up another's).
-        if executor is not None or use_cache:
-            if engine not in ("planned", "parallel"):
+        #
+        # ``engine="incremental"`` layers the per-session action-delta
+        # engine (``repro.core.cache.IncrementalExecutor``) over a caching
+        # executor: refinement actions are answered from the previous
+        # relation instead of re-matching the pattern. It composes with
+        # ``workers``/a parallel-context executor (delta joins shard when
+        # big enough) and implies the cache.
+        if executor is not None or use_cache or engine == "incremental":
+            if engine not in ("planned", "parallel", "incremental"):
                 # The caching executor always plans; silently serving the
                 # planner to someone who asked for the naive oracle would
                 # mask exactly the discrepancies the oracle exists to find.
@@ -79,8 +86,22 @@ class EtableSession:
                     "the shared executor was built over a different "
                     "instance graph"
                 )
-        if executor is not None:
-            self._executor: "CachingExecutor | None" = executor
+        if engine == "incremental":
+            from repro.core.cache import CachingExecutor, IncrementalExecutor
+            from repro.core.planner import parallel_context
+
+            base = executor
+            if base is None:
+                base = CachingExecutor(
+                    graph,
+                    parallel=(parallel_context(workers)
+                              if workers is not None else None),
+                )
+            # The wrapper is per-session (it owns this session's result
+            # lineage); the base may be shared across sessions.
+            self._executor: "CachingExecutor | None" = IncrementalExecutor(base)
+        elif executor is not None:
+            self._executor = executor
         elif use_cache:
             from repro.core.cache import CachingExecutor
 
@@ -127,7 +148,14 @@ class EtableSession:
                 "the plan above shows what the planner would do"
             )
         if self._executor is not None:
-            stats = self._executor.stats
+            from repro.core.cache import IncrementalExecutor
+
+            incremental = (
+                self._executor
+                if isinstance(self._executor, IncrementalExecutor) else None
+            )
+            base = incremental.base if incremental is not None else self._executor
+            stats = base.stats
             lines.append(
                 "reuse: intermediates cached per subpattern; extensions "
                 "re-execute only their delta joins"
@@ -138,6 +166,19 @@ class EtableSession:
                 f"reusing {stats.reused_nodes} joined nodes, "
                 f"{stats.delta_joins} delta joins"
             )
+            if incremental is not None:
+                istats = incremental.stats
+                lines.append(
+                    f"incremental: {istats.delta_actions} delta-answered, "
+                    f"{istats.replays} lineage replays, "
+                    f"{istats.replans} replans "
+                    f"(hit rate {istats.delta_hit_rate:.0%}), "
+                    f"{istats.rows_touched} rows touched"
+                )
+                if incremental.last_outcome:
+                    lines.append(
+                        f"  last action: {incremental.last_outcome}"
+                    )
         context = self._parallel_context()
         if context is not None:
             payload = context.stats_payload()

@@ -72,11 +72,13 @@ class SessionManager:
         engine: str = "planned",
         workers: int | None = None,
         compact_every: int | None = 64,
+        adaptive_threshold: bool = False,
     ) -> None:
-        if engine not in ("planned", "parallel"):
+        if engine not in ("planned", "parallel", "incremental"):
             raise ServiceError(
                 f"the service executes through the caching planner; "
-                f"engine must be 'planned' or 'parallel', not {engine!r}"
+                f"engine must be 'planned', 'parallel', or 'incremental', "
+                f"not {engine!r}"
             )
         if compact_every is not None and compact_every < 1:
             raise ServiceError(
@@ -98,13 +100,21 @@ class SessionManager:
         # One executor for everyone: cross-session prefix reuse is the
         # service's whole performance story. With engine="parallel" the
         # executor shards big delta joins across a shared worker pool;
-        # results (and therefore cache contents) are bit-identical.
+        # results (and therefore cache contents) are bit-identical. With
+        # engine="incremental" each hosted session additionally wraps this
+        # shared executor in its own per-session IncrementalExecutor (the
+        # lineage chain is private; the fallback planner and its caches are
+        # shared), optionally over the same worker pool.
         if executor is None:
-            if engine == "parallel":
+            if engine == "parallel" or (engine == "incremental"
+                                        and workers is not None):
                 from repro.core.planner import parallel_context
 
                 executor = CachingExecutor(
-                    graph, parallel=parallel_context(workers)
+                    graph,
+                    parallel=parallel_context(
+                        workers, adaptive=adaptive_threshold
+                    ),
                 )
             else:
                 executor = CachingExecutor(graph)
@@ -338,6 +348,8 @@ class SessionManager:
         session = EtableSession(
             self.schema, self.graph, row_limit=self.row_limit,
             executor=self.executor,
+            engine=("incremental" if self.engine == "incremental"
+                    else "planned"),
         )
         journal = None
         if self.journal_dir is not None:

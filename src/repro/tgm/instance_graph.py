@@ -139,6 +139,57 @@ class GraphStatistics:
         return cached
 
     # ------------------------------------------------------------------
+    # Per-bucket refinements (ROADMAP: cost model refinement)
+    # ------------------------------------------------------------------
+    def equality_count(self, type_name: str, attribute: str,
+                       value: Any) -> int | None:
+        """Exact number of nodes with ``attribute == value``.
+
+        The attribute hash indexes already hold every equality bucket, so
+        an equality selectivity can be *exact* instead of the uniform
+        ``1/distinct`` average — the difference between estimating 1 row
+        and 500 for a skewed categorical value. Returns ``None`` for
+        unhashable probe values (callers fall back to the average).
+        """
+        index = self.graph.attribute_index(type_name, attribute)
+        try:
+            return len(index.get(value, ()))
+        except TypeError:  # unhashable probe value
+            return None
+
+    def equality_fraction(self, type_name: str, attribute: str,
+                          value: Any) -> float:
+        """Exact fraction of ``type_name`` nodes with ``attribute == value``
+        (falls back to the ``1/distinct`` average for unhashable values)."""
+        cardinality = max(1, self.cardinality(type_name))
+        count = self.equality_count(type_name, attribute, value)
+        if count is None:
+            return 1.0 / max(1, self.distinct_count(type_name, attribute))
+        return count / cardinality
+
+    def neighbor_match_probability(
+        self, edge_type_name: str, inner_selectivity: float
+    ) -> float:
+        """P(a participating source node has ≥ 1 neighbor matching a
+        predicate of selectivity ``inner_selectivity``).
+
+        Uses the per-edge degree *histogram* instead of the average degree:
+        ``1 - Σ_d hist(d)/sources · (1-s)^d``. For skewed edges (a few hubs,
+        many degree-1 nodes) the average-degree estimate badly overstates
+        how many low-degree nodes match; the histogram form is exact under
+        the independence assumption.
+        """
+        stats = self.edge_type_stats(edge_type_name)
+        if stats.sources == 0:
+            return 0.0
+        survive = max(0.0, min(1.0, 1.0 - inner_selectivity))
+        p_no_match = sum(
+            count * survive ** degree
+            for degree, count in stats.histogram.items()
+        ) / stats.sources
+        return 1.0 - p_no_match
+
+    # ------------------------------------------------------------------
     # Persistence (ROADMAP: cross-session statistics persistence)
     # ------------------------------------------------------------------
     def to_payload(self) -> dict:

@@ -26,13 +26,18 @@ from repro.core.cache import CachingExecutor
 from repro.core.matching import match, match_parallel, match_planned
 from repro.core.operators import add, initiate, select, shift
 from repro.core.planner import (
+    DeltaPlanner,
     ExecutionReport,
     ParallelContext,
     PartitionJoinTask,
     PrefixStore,
     build_plan,
     candidate_ids,
+    classify_delta,
+    estimate_delta_cost,
+    estimate_replan_cost,
     estimate_selectivity,
+    execute_delta,
     execute_partition_join,
     execute_plan,
     find_cached_base,
@@ -150,14 +155,84 @@ class TestSecondaryIndexes:
 # Selectivity estimation and candidate enumeration
 # ----------------------------------------------------------------------
 class TestEstimation:
-    def test_equality_uses_distinct_counts(self, toy):
+    def test_equality_uses_exact_bucket_sizes(self, toy):
+        """Per-bucket refinement: equality selectivity is the exact
+        attribute-index bucket fraction, not the 1/distinct average."""
         stats = toy.graph.statistics()
+        graph = toy.graph
+        bucket = len(graph.attribute_index("Papers", "year").get(2012, ()))
         selectivity = estimate_selectivity(
             AttributeCompare("year", "=", 2012), "Papers", stats
         )
         assert selectivity == pytest.approx(
-            1.0 / stats.distinct_count("Papers", "year")
+            bucket / stats.cardinality("Papers")
         )
+
+    def test_equality_is_exact_under_skew(self):
+        """A 90/10 skewed categorical estimates each value exactly."""
+        from repro.tgm.instance_graph import InstanceGraph
+        from repro.tgm.schema_graph import NodeType, SchemaGraph
+
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType("T", ("kind",), "kind"))
+        graph = InstanceGraph(schema)
+        for index in range(100):
+            graph.add_node("T", {"kind": "common" if index < 90 else "rare"})
+        stats = graph.statistics()
+        common = estimate_selectivity(
+            AttributeCompare("kind", "=", "common"), "T", stats
+        )
+        rare = estimate_selectivity(
+            AttributeCompare("kind", "=", "rare"), "T", stats
+        )
+        missing = estimate_selectivity(
+            AttributeCompare("kind", "=", "nope"), "T", stats
+        )
+        assert common == pytest.approx(0.9)
+        assert rare == pytest.approx(0.1)
+        assert missing == 0.0
+        # The old uniform average would have said 0.5 for both.
+        assert stats.distinct_count("T", "kind") == 2
+
+    def test_attribute_in_sums_exact_buckets(self, toy):
+        stats = toy.graph.statistics()
+        graph = toy.graph
+        index = graph.attribute_index("Papers", "year")
+        expected = (
+            len(index.get(2011, ())) + len(index.get(2012, ()))
+        ) / stats.cardinality("Papers")
+        selectivity = estimate_selectivity(
+            AttributeIn("year", (2011, 2012)), "Papers", stats
+        )
+        assert selectivity == pytest.approx(min(1.0, expected))
+
+    def test_neighbor_selectivity_uses_degree_histogram(self, toy):
+        """NeighborSatisfies estimates P(≥1 matching neighbor) over the
+        exact degree histogram instead of min(1, avg_degree × s)."""
+        stats = toy.graph.statistics()
+        edge_stats = stats.edge_type_stats("Papers->Authors")
+        inner = AttributeLike("name", "%a%")
+        inner_selectivity = estimate_selectivity(inner, "Authors", stats)
+        expected_match = 1.0 - sum(
+            count * (1.0 - inner_selectivity) ** degree
+            for degree, count in edge_stats.histogram.items()
+        ) / edge_stats.sources
+        participation = min(
+            1.0, edge_stats.sources / stats.cardinality("Papers")
+        )
+        selectivity = estimate_selectivity(
+            NeighborSatisfies("Papers->Authors", inner), "Papers", stats
+        )
+        assert selectivity == pytest.approx(participation * expected_match)
+        assert 0.0 <= selectivity <= 1.0
+
+    def test_neighbor_match_probability_bounds(self, toy):
+        stats = toy.graph.statistics()
+        assert stats.neighbor_match_probability("Papers->Authors", 0.0) == 0.0
+        assert stats.neighbor_match_probability(
+            "Papers->Authors", 1.0
+        ) == pytest.approx(1.0)
+        assert stats.neighbor_match_probability("NoSuchEdge", 0.5) == 0.0
 
     def test_identity_is_sharpest(self, toy):
         stats = toy.graph.statistics()
@@ -627,3 +702,352 @@ class TestParallelStatsPayloads:
     def test_executor_workers_shorthand(self, toy):
         executor = CachingExecutor(toy.graph, workers=2)
         assert executor.parallel is parallel_context(2)
+
+
+# ----------------------------------------------------------------------
+# Incremental action-delta planning
+# ----------------------------------------------------------------------
+class TestDeltaClassification:
+    """Each user action's pattern transition maps to the right delta kind."""
+
+    def _base(self, toy):
+        pattern = initiate(toy.schema, "Papers")
+        return select(pattern, AttributeCompare("year", ">", 2005))
+
+    def test_filter_is_pure_select(self, toy):
+        previous = self._base(toy)
+        pattern = select(previous, AttributeLike("title", "%a%"))
+        delta = classify_delta(previous, pattern, toy.graph)
+        assert delta is not None
+        assert delta.kind == "select"
+        assert delta.extension is None
+        assert [key for key, _ in delta.selections] == ["Papers"]
+        assert delta.order_preserved  # same tree, same primary
+
+    def test_nfilter_is_pure_select(self, toy):
+        previous = self._base(toy)
+        pattern = select(
+            previous,
+            NeighborSatisfies("Papers->Authors", AttributeLike("name", "%a%")),
+        )
+        delta = classify_delta(previous, pattern, toy.graph)
+        assert delta is not None and delta.kind == "select"
+        assert delta.order_preserved
+
+    def test_pivot_is_single_extend(self, toy):
+        previous = self._base(toy)
+        pattern = add(previous, toy.schema, "Papers->Authors")
+        delta = classify_delta(previous, pattern, toy.graph)
+        assert delta is not None
+        assert delta.kind == "extend"
+        assert delta.selections == ()
+        assert delta.extension == ("Papers", "Papers->Authors", "Authors")
+        assert not delta.order_preserved  # primary moved to Authors
+
+    def test_seeall_is_select_plus_extend(self, toy):
+        previous = self._base(toy)
+        node = toy.graph.nodes_of_type("Papers")[0]
+        selected = select(previous, NodeIs(node.node_id))
+        pattern = add(selected, toy.schema, "Papers->Authors")
+        delta = classify_delta(previous, pattern, toy.graph)
+        assert delta is not None
+        assert delta.kind == "select+extend"
+        assert len(delta.selections) == 1
+        assert delta.extension is not None
+
+    def test_shift_is_reorder(self, toy):
+        previous = add(self._base(toy), toy.schema, "Papers->Authors")
+        pattern = shift(previous, "Papers")
+        delta = classify_delta(previous, pattern, toy.graph)
+        assert delta is not None
+        assert delta.kind == "reorder"
+        assert not delta.order_preserved
+
+    def test_identical_pattern_is_replay(self, toy):
+        previous = self._base(toy)
+        delta = classify_delta(previous, previous, toy.graph)
+        assert delta is not None
+        assert delta.kind == "replay"
+        assert delta.order_preserved
+
+    def test_condition_relaxation_falls_back(self, toy):
+        """Removing or changing a condition is not monotone: replan."""
+        loose = initiate(toy.schema, "Papers")
+        previous = select(loose, AttributeCompare("year", ">", 2005))
+        assert classify_delta(previous, loose, toy.graph) is None
+        changed = select(loose, AttributeCompare("year", ">", 2010))
+        assert classify_delta(previous, changed, toy.graph) is None
+
+    def test_different_table_falls_back(self, toy):
+        previous = self._base(toy)
+        pattern = initiate(toy.schema, "Authors")
+        assert classify_delta(previous, pattern, toy.graph) is None
+
+    def test_node_removal_falls_back(self, toy):
+        previous = add(self._base(toy), toy.schema, "Papers->Authors")
+        assert classify_delta(previous, self._base(toy), toy.graph) is None
+
+    def test_describe_names_the_delta(self, toy):
+        previous = self._base(toy)
+        pattern = add(previous, toy.schema, "Papers->Authors")
+        delta = classify_delta(previous, pattern, toy.graph)
+        text = delta.describe()
+        assert "extend" in text and "Papers->Authors" in text
+
+
+class TestDeltaExecution:
+    """Every delta kind reproduces the reference matcher bit-for-bit."""
+
+    def _assert_delta_equals_oracle(self, toy, previous, pattern,
+                                    parallel=None):
+        delta = classify_delta(previous, pattern, toy.graph)
+        assert delta is not None
+        prev_relation = match_planned(previous, toy.graph)
+        relation, report = execute_delta(
+            delta, prev_relation, pattern, toy.graph, parallel=parallel
+        )
+        if not delta.order_preserved:
+            relation = restore_reference_order(pattern, relation, toy.graph)
+        reference = match(pattern, toy.graph)
+        assert relation.keys == reference.keys
+        assert relation.tuples == reference.tuples
+        return report
+
+    def test_select_delta(self, toy):
+        previous = select(initiate(toy.schema, "Papers"),
+                          AttributeCompare("year", ">", 2005))
+        pattern = select(previous, AttributeLike("title", "%a%"))
+        report = self._assert_delta_equals_oracle(toy, previous, pattern)
+        assert report.rows_touched == report.rows_in
+
+    def test_select_delta_on_joined_pattern(self, toy):
+        previous = add(initiate(toy.schema, "Conferences"),
+                       toy.schema, "Conferences->Papers")
+        pattern = select(previous, AttributeCompare("year", ">", 2005))
+        self._assert_delta_equals_oracle(toy, previous, pattern)
+
+    def test_extend_delta(self, toy):
+        previous = select(initiate(toy.schema, "Papers"),
+                          AttributeCompare("year", ">", 2005))
+        pattern = add(previous, toy.schema, "Papers->Authors")
+        self._assert_delta_equals_oracle(toy, previous, pattern)
+
+    def test_select_plus_extend_delta(self, toy):
+        previous = initiate(toy.schema, "Papers")
+        node = toy.graph.nodes_of_type("Papers")[1]
+        pattern = add(select(previous, NodeIs(node.node_id)),
+                      toy.schema, "Papers->Authors")
+        self._assert_delta_equals_oracle(toy, previous, pattern)
+
+    def test_reorder_delta(self, toy):
+        previous = add(initiate(toy.schema, "Conferences"),
+                       toy.schema, "Conferences->Papers")
+        pattern = shift(previous, "Conferences")
+        report = self._assert_delta_equals_oracle(toy, previous, pattern)
+        assert report.rows_touched == 0  # no selection, no join: a re-rank
+
+    def test_extend_delta_parallel_partitions(self, toy):
+        previous = initiate(toy.schema, "Papers")
+        pattern = add(previous, toy.schema, "Papers->Authors")
+        with ParallelContext(workers=2, min_partition_rows=0) as context:
+            report = self._assert_delta_equals_oracle(
+                toy, previous, pattern, parallel=context
+            )
+            assert report.parallel_join
+            assert context.stats_payload()["parallel_joins"] > 0
+
+    def test_nfilter_delta(self, toy):
+        previous = initiate(toy.schema, "Papers")
+        pattern = select(
+            previous,
+            NeighborSatisfies("Papers->Authors", AttributeLike("name", "%a%")),
+        )
+        self._assert_delta_equals_oracle(toy, previous, pattern)
+
+
+class TestDeltaPlanner:
+    def test_plan_prefers_delta_for_filters(self, toy):
+        planner = DeltaPlanner(toy.graph)
+        previous = select(initiate(toy.schema, "Papers"),
+                          AttributeLike("title", "%a%"))
+        pattern = select(previous, AttributeLike("title", "%e%"))
+        prev_rows = len(match_planned(previous, toy.graph))
+        delta, reason = planner.plan(previous, prev_rows, pattern)
+        assert delta is not None and reason is None
+
+    def test_plan_without_previous_replans(self, toy):
+        planner = DeltaPlanner(toy.graph)
+        pattern = initiate(toy.schema, "Papers")
+        delta, reason = planner.plan(None, 0, pattern)
+        assert delta is None and "no previous" in reason
+
+    def test_cost_gate_prefers_indexed_replan(self):
+        """A huge previous relation + a super-selective indexed filter:
+        the cost model chooses the full planner's index probe over
+        scanning the whole cached relation."""
+        from repro.tgm.instance_graph import InstanceGraph
+        from repro.tgm.schema_graph import NodeType, SchemaGraph
+
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType("T", ("kind", "flag"), "kind"))
+        graph = InstanceGraph(schema)
+        for index in range(500):
+            graph.add_node("T", {"kind": f"k{index}",
+                                 "flag": "rare" if index == 0 else "common"})
+        planner = DeltaPlanner(graph)
+        previous = initiate(schema, "T")
+        pattern = select(previous, AttributeCompare("flag", "=", "rare"))
+        delta, reason = planner.plan(previous, 500, pattern)
+        assert delta is None
+        assert reason.startswith("cost model")
+
+    def test_cost_estimates_are_positive(self, toy):
+        previous = initiate(toy.schema, "Papers")
+        pattern = add(previous, toy.schema, "Papers->Authors")
+        delta = classify_delta(previous, pattern, toy.graph)
+        stats = toy.graph.statistics()
+        assert estimate_delta_cost(delta, 10, pattern, toy.graph, stats) >= 1.0
+        assert estimate_replan_cost(pattern, toy.graph, stats) >= 1.0
+
+
+# ----------------------------------------------------------------------
+# Adaptive serial-fallback threshold
+# ----------------------------------------------------------------------
+class TestAdaptiveThreshold:
+    def test_static_context_ignores_observations(self):
+        context = ParallelContext(workers=4, min_partition_rows=2048)
+        context.record_serial(10_000, 0.001)
+        context.record({"partition_ms": [0.1]}, partitions=1,
+                       wall_seconds=0.050)
+        assert context.effective_min_partition_rows() == 2048
+
+    def test_high_overhead_raises_threshold(self):
+        """A 1-core-container profile (big round-trip, fast serial joins)
+        pushes the threshold far above the static default."""
+        context = ParallelContext(workers=4, min_partition_rows=2048,
+                                  adaptive=True)
+        # Serial joins run at 2M rows/s; the pool round-trip costs 3 ms.
+        context.record_serial(100_000, 0.05)
+        context.record({"partition_ms": [1.0]}, partitions=4,
+                       wall_seconds=0.004)
+        threshold = context.effective_min_partition_rows()
+        assert threshold > 2048
+        # 2x the break-even of 3ms x 2M rows/s = 12000 rows.
+        assert threshold == pytest.approx(12_000, rel=0.05)
+        assert not context.should_parallelize(4096)
+        assert context.should_parallelize(threshold)
+
+    def test_low_overhead_lowers_threshold(self):
+        """A fast pool (sub-ms round-trip) lowers the bar below the static
+        default so mid-size joins start parallelizing."""
+        context = ParallelContext(workers=4, min_partition_rows=2048,
+                                  adaptive=True)
+        context.record_serial(100_000, 0.1)  # 1M rows/s serial
+        context.record({"partition_ms": [1.0]}, partitions=4,
+                       wall_seconds=0.0012)  # 0.2 ms overhead
+        threshold = context.effective_min_partition_rows()
+        assert threshold < 2048
+        assert context.should_parallelize(1024)
+
+    def test_threshold_is_clamped(self):
+        context = ParallelContext(workers=4, adaptive=True)
+        context.record_serial(10, 10.0)  # pathologically slow serial joins
+        context.record({"partition_ms": [1.0]}, partitions=1,
+                       wall_seconds=0.0011)
+        assert (context.effective_min_partition_rows()
+                >= ParallelContext._ADAPTIVE_FLOOR)
+        context.record_serial(10**9, 0.0001)  # impossibly fast serial joins
+        context.record({"partition_ms": [1.0]}, partitions=1,
+                       wall_seconds=10.0)
+        assert (context.effective_min_partition_rows()
+                <= ParallelContext._ADAPTIVE_CEILING)
+
+    def test_stats_payload_exposes_adaptive_fields(self):
+        context = ParallelContext(workers=2, adaptive=True)
+        payload = context.stats_payload()
+        assert payload["adaptive"] is True
+        assert payload["observed_overhead_ms"] is None  # cold context
+        context.record_serial(1000, 0.001)
+        context.record({"partition_ms": [0.5]}, partitions=2,
+                       wall_seconds=0.002)
+        payload = context.stats_payload()
+        assert payload["observed_overhead_ms"] is not None
+        assert payload["observed_serial_rows_per_s"] is not None
+        assert payload["effective_min_partition_rows"] > 0
+
+    def test_cold_pool_join_does_not_seed_overhead(self, toy):
+        """The first parallel join forks the worker pool; that one-time
+        latency must not poison the overhead EMA (it would inflate the
+        threshold by orders of magnitude and switch parallelism off)."""
+        pattern = initiate(toy.schema, "Conferences")
+        pattern = add(pattern, toy.schema, "Conferences->Papers")
+        with ParallelContext(workers=2, min_partition_rows=0,
+                             adaptive=True) as context:
+            match_parallel(pattern, toy.graph, context=context)
+            first = context.stats_payload()
+            match_parallel(pattern, toy.graph, context=context)
+            second = context.stats_payload()
+        assert first["parallel_joins"] >= 1
+        # Only warm-pool joins contribute overhead observations.
+        assert second["parallel_joins"] > first["parallel_joins"]
+        assert second["observed_overhead_ms"] is not None
+
+    def test_probe_joins_keep_estimate_alive(self):
+        """With the adaptive threshold inflated above every real join, one
+        in every _PROBE_EVERY joins that clear the *static* threshold
+        still parallelizes, so the estimate can correct itself."""
+        context = ParallelContext(workers=4, min_partition_rows=1024,
+                                  adaptive=True)
+        context._adaptive_rows = 10**9  # simulate a poisoned estimate
+        decisions = [context.should_parallelize(4096) for _ in range(96)]
+        assert sum(decisions) == 96 // ParallelContext._PROBE_EVERY
+        # Below the static threshold nothing probes.
+        assert not any(context.should_parallelize(512) for _ in range(64))
+
+    def test_static_context_never_times_serial_joins(self, toy):
+        """record_serial only feeds the adaptive model; a static context's
+        serial fallbacks must not maintain the EMA."""
+        pattern = initiate(toy.schema, "Conferences")
+        pattern = add(pattern, toy.schema, "Conferences->Papers")
+        with ParallelContext(workers=4, min_partition_rows=10**6) as context:
+            match_parallel(pattern, toy.graph, context=context)
+            payload = context.stats_payload()
+        assert payload["serial_fallbacks"] > 0
+        assert payload["observed_serial_rows_per_s"] is None
+
+    def test_adaptive_context_registry_is_distinct(self):
+        static = parallel_context(workers=3, min_partition_rows=777)
+        adaptive = parallel_context(workers=3, min_partition_rows=777,
+                                    adaptive=True)
+        assert static is not adaptive
+        assert parallel_context(workers=3, min_partition_rows=777,
+                                adaptive=True) is adaptive
+
+
+class TestPrefixStoreVersionGuard:
+    def test_mutation_drops_entries(self):
+        from repro.tgm.instance_graph import InstanceGraph
+        from repro.tgm.schema_graph import NodeType, SchemaGraph
+
+        schema = SchemaGraph()
+        schema.add_node_type(NodeType("T", ("name",), "name"))
+        graph = InstanceGraph(schema)
+        graph.add_node("T", {"name": "a"})
+        store = PrefixStore(graph=graph)
+        relation = GraphRelation([GraphAttribute("T", "T")], [(1,)])
+        store.put(("k",), relation)
+        assert store.get(("k",)) is relation
+        graph.add_node("T", {"name": "b"})  # version bump
+        assert store.get(("k",)) is None
+        assert store.invalidations == 1
+        assert store.stats()["invalidations"] == 1
+        # The store keeps working against the new version.
+        store.put(("k",), relation)
+        assert store.get(("k",)) is relation
+
+    def test_unbound_store_never_invalidates(self):
+        store = PrefixStore()
+        relation = GraphRelation([GraphAttribute("T", "T")], [(1,)])
+        store.put(("k",), relation)
+        assert not store.check_version()
+        assert store.get(("k",)) is relation

@@ -1,4 +1,4 @@
-"""Differential session fuzzing across all three execution engines.
+"""Differential session fuzzing across all five execution engines.
 
 The PR 2 equivalence suite proved the planner matches the naive oracle on
 hand-picked patterns; this harness proves it — plus the parallel partition
@@ -6,24 +6,37 @@ engine and the prefix-reuse cache — on *hundreds of machine-generated
 browsing sessions* per dataset. A seeded generator produces random but
 valid-by-construction action sequences (params are drawn from the live
 schema and the current table state), and every sequence is replayed
-step-in-lockstep through three sessions:
+step-in-lockstep through five sessions:
 
-* ``naive``    — the reference BFS matcher, no cache;
-* ``planned``  — the cost-based planner behind a shared ``CachingExecutor``
-                 (prefix reuse accumulates *across* sequences, like the
-                 multi-user service);
-* ``parallel`` — the planner with partitioned delta joins behind its own
-                 shared executor, with the serial-fallback threshold forced
-                 to zero so every join really crosses process boundaries.
+* ``naive``       — the reference BFS matcher, no cache;
+* ``planned``     — the cost-based planner behind a shared
+                    ``CachingExecutor`` (prefix reuse accumulates *across*
+                    sequences, like the multi-user service);
+* ``parallel``    — the planner with partitioned delta joins behind its own
+                    shared executor, with the serial-fallback threshold
+                    forced to zero so every join really crosses process
+                    boundaries;
+* ``incremental`` — the action-delta engine (``engine="incremental"``)
+                    layered over the shared planned executor: filters
+                    become row-selections over the previous relation,
+                    pivots one delta join, reverts lineage lookups;
+* ``incremental_parallel`` — the same delta engine layered over the shared
+                    parallel executor (threshold still zero), so delta
+                    joins cross process boundaries too.
+
+The two incremental sessions also *adopt* their delta-derived relations
+into the shared executors' whole-pattern caches, so a wrong delta would
+poison the planned/parallel sessions of later sequences — the lockstep
+comparison is sensitive to that immediately.
 
 After every action the harness asserts
 
-1. the three ETables are identical cell-for-cell (full protocol
+1. the five ETables are identical cell-for-cell (full protocol
    serialization, hidden columns and reference lists included);
 2. the wire protocol is a fixpoint: ``serialize -> deserialize ->
    serialize`` reproduces the exact payload, for the ETable and for the
    session history;
-3. the three histories stay in lockstep.
+3. the five histories stay in lockstep.
 
 Failures print the dataset, the master seed, the per-sequence seed, and
 the full action script as JSON — paste it into
@@ -52,7 +65,8 @@ SEQUENCES = int(os.environ.get("REPRO_FUZZ_SEQUENCES", "200"))
 MASTER_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
 MAX_ACTIONS = int(os.environ.get("REPRO_FUZZ_MAX_ACTIONS", "5"))
 
-ENGINES = ("naive", "planned", "parallel")
+ENGINES = ("naive", "planned", "parallel", "incremental",
+           "incremental_parallel")
 
 
 # ----------------------------------------------------------------------
@@ -296,6 +310,14 @@ def _run_sequence(dataset, tgdb, executors, seed):
                                  executor=executors["planned"]),
         "parallel": EtableSession(tgdb.schema, graph, engine="parallel",
                                   executor=executors["parallel"]),
+        # The incremental engine is per-session (its own result lineage)
+        # over the *shared* executors, mirroring the multi-user service.
+        "incremental": EtableSession(tgdb.schema, graph,
+                                     engine="incremental",
+                                     executor=executors["planned"]),
+        "incremental_parallel": EtableSession(tgdb.schema, graph,
+                                              engine="incremental",
+                                              executor=executors["parallel"]),
     }
     driver = sessions["naive"]
     script: list = []
@@ -311,20 +333,18 @@ def _run_sequence(dataset, tgdb, executors, seed):
             except Exception as error:  # noqa: BLE001 - reported with script
                 _fail(dataset, seed, script, step,
                       f"{engine} raised {type(error).__name__}: {error}")
-        if not (results["naive"] == results["planned"] == results["parallel"]):
+        if any(results[engine] != results["naive"] for engine in ENGINES):
             _fail(dataset, seed, script, step, "action results diverged")
         payloads = {
             engine: _etable_payload(sessions[engine]) for engine in ENGINES
         }
-        if not (payloads["naive"] == payloads["planned"]
-                == payloads["parallel"]):
+        if any(payloads[engine] != payloads["naive"] for engine in ENGINES):
             _fail(dataset, seed, script, step, "ETables diverged")
         histories = {
             engine: protocol.history_to_json(sessions[engine].history)
             for engine in ENGINES
         }
-        if not (histories["naive"] == histories["planned"]
-                == histories["parallel"]):
+        if any(histories[engine] != histories["naive"] for engine in ENGINES):
             _fail(dataset, seed, script, step, "histories diverged")
         if payloads["naive"] is not None:
             _assert_fixpoint(payloads["naive"], graph,
@@ -352,3 +372,11 @@ def test_fuzz_engines_bit_identical(corpus):
     # boundaries (the whole point of fuzzing the parallel engine).
     parallel_stats = executors["parallel"].stats_payload()["parallel"]
     assert parallel_stats["parallel_joins"] > 0
+    # The incremental sessions must have really answered actions from the
+    # previous relation (aggregated on the shared base executors) — a
+    # classifier that always falls back would pass lockstep trivially.
+    for name in ("planned", "parallel"):
+        incremental = executors[name].stats_payload()["incremental"]
+        assert incremental["delta_actions"] > 0, (
+            f"{name} base: no fuzz action ever took the delta path"
+        )
