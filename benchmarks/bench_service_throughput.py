@@ -29,13 +29,7 @@ import threading
 import time
 
 from repro.bench import banner, format_table, report, save_result
-from repro.bench.reporting import RESULTS_DIR
 from repro.service.manager import SessionManager
-
-# A fresh checkout (or a `git clean`) has no results/ directory; guarantee
-# it at module load (save_result() also guards — regression tests in
-# tests/test_bench_reporting.py).
-RESULTS_DIR.mkdir(parents=True, exist_ok=True)
 
 PAPERS = int(os.environ.get("REPRO_SERVICE_BENCH_PAPERS", "1200"))
 SESSIONS = int(os.environ.get("REPRO_SERVICE_BENCH_SESSIONS", "32"))

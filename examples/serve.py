@@ -130,6 +130,7 @@ def self_test(args: argparse.Namespace) -> int:
     # replayed session must be identical (the acceptance bar of the
     # durable-journal design).
     server.shutdown()
+    manager.shutdown()
     manager2 = SessionManager(tgdb.schema, tgdb.graph,
                               row_limit=args.row_limit,
                               journal_dir=journal_dir,
@@ -152,6 +153,7 @@ def self_test(args: argparse.Namespace) -> int:
     print(f"  restart  -> replayed {len(after_history)} history steps "
           f"bit-identically (cache hits: {stats['cache']['hits']})")
     server2.shutdown()
+    manager2.shutdown()
     print("self-test: OK")
     return 0
 
@@ -172,7 +174,7 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ttl", type=float, default=1800.0,
                         help="idle session TTL in seconds")
     parser.add_argument("--engine", default="planned",
-                        choices=["planned", "parallel", "incremental"],
+                        choices=["planned", "parallel", "incremental"],  # repro: engine-surface service
                         help="execution engine behind the shared cache "
                              "(parallel shards big delta joins across "
                              "worker processes; incremental answers "
@@ -223,6 +225,7 @@ def main(argv: list[str] | None = None) -> int:
     except KeyboardInterrupt:
         print("\nshutting down")
         server.shutdown()
+        manager.shutdown()
     return 0
 
 

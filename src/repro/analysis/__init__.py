@@ -1,0 +1,93 @@
+"""AST-based invariant checkers for the reproduction's concurrency core.
+
+PRs 3-5 turned the reproduction into a concurrent, multi-engine service
+whose correctness rests on conventions no test can see directly: which
+attributes a lock guards, which functions may cross a process boundary,
+which dataclasses the wire protocol must round-trip, which literal engine
+lists have to stay in sync, and which graph mutations must bump the cache
+version. This package makes those conventions *machine-checked at lint
+time* — the "compile-time contract" discipline server codebases such as
+edgedb apply to their cores — so the next concurrency PRs fail in CI
+instead of in a fuzzer stack trace.
+
+Check catalog
+=============
+
+========  ==========================================================
+code      invariant
+========  ==========================================================
+RPA101    **Lock discipline.** Attributes declared
+          ``# guarded-by: self._lock`` may only be read or written
+          inside a ``with self._lock:`` scope or inside a method
+          annotated ``# requires-lock`` (caller holds the lock).
+RPA102    **Worker purity.** Functions shipped to a
+          ``ProcessPoolExecutor`` must be module-level (picklable by
+          reference, closure-free), must not touch denylisted shared
+          state (``InstanceGraph``, executors, registries), and
+          worker payload dataclasses (``*Task`` / classes marked
+          ``# repro: worker-payload``) may only carry
+          picklable-primitive field types.
+RPA103    **Protocol field coverage.** Every dataclass serialized by
+          a ``X_to_json`` / ``X_from_json`` pair (or ``to_json`` /
+          ``from_json`` methods) must have *every* field read on the
+          serialize side and restored by the constructor call on the
+          deserialize side — adding a field without wire support
+          fails lint instead of fuzz.
+RPA104    **Engine parity.** The engine-name literal sets marked
+          ``# repro: engine-surface <role>`` across the session, the
+          REPL, the service manager, ``examples/serve.py`` and the
+          differential fuzzer must agree with the canonical registry
+          in ``repro.core.engines`` (``# repro: engine-registry``).
+RPA105    **Mutation-version discipline.** Methods of a class that
+          mutate attributes declared ``# versioned-state`` must bump
+          the mutation version (``self._version``) or call an
+          invalidation helper — caches keyed on the version
+          (``PrefixStore``, ``GraphStatistics``, the condition memo)
+          must never outlive the data they summarize.
+========  ==========================================================
+
+Running
+=======
+
+::
+
+    PYTHONPATH=src python -m repro.analysis src examples benchmarks
+    PYTHONPATH=src python -m repro.analysis --list-checks
+    PYTHONPATH=src python -m repro.analysis --select RPA101,RPA105 src
+
+Findings are reported one per line as ``file:line:col: CODE message``;
+the process exits non-zero when any finding survives, so the CI ``lint``
+job gates on a clean run.
+
+Suppressions
+============
+
+``# repro: noqa-RPA101`` on the offending line suppresses that code
+there; ``# repro: noqa`` suppresses every code on the line. A noqa
+comment on a ``def``/``class`` line suppresses inside the whole body —
+used sparingly, with a justification comment, for deliberate exceptions
+such as the lock-free ``CachingExecutor.stats_payload`` health probe.
+
+The runtime twin
+================
+
+:mod:`repro.analysis.runtime` provides ``assert_locked(lock)``, a
+debug-mode *dynamic* counterpart of RPA101: ``# requires-lock`` methods
+call it on entry, and with ``REPRO_DEBUG_LOCKS=1`` (or
+``runtime.enable()``) it raises if the caller does not actually hold the
+lock — so the static annotation and the runtime behaviour cross-validate
+under the service-layer concurrency stress tests.
+"""
+
+from repro.analysis.base import Check, Finding, all_checks, register
+from repro.analysis.runner import Project, analyze_paths, format_finding
+
+__all__ = [
+    "Check",
+    "Finding",
+    "Project",
+    "all_checks",
+    "analyze_paths",
+    "format_finding",
+    "register",
+]

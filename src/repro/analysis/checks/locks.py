@@ -1,0 +1,157 @@
+"""RPA101: lock discipline.
+
+An attribute assigned in ``__init__`` with a ``# guarded-by: self._lock``
+comment may only be read or written
+
+* lexically inside a ``with self._lock:`` statement, or
+* inside a method annotated ``# requires-lock`` (every caller holds the
+  lock — the runtime twin :func:`repro.analysis.runtime.assert_locked`
+  verifies that claim under ``REPRO_DEBUG_LOCKS=1``).
+
+The analysis is lexical and conservative: a nested function or lambda
+does not inherit the enclosing ``with`` scope (it may be called later,
+off-thread), so guarded accesses inside one are flagged unless the inner
+``def`` itself carries ``# requires-lock``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.analysis.base import Check, Finding, ParsedFile, iter_methods, register
+from repro.analysis.base import self_attribute_name
+from repro.analysis.config import (
+    GUARDED_BY_MARKER,
+    LOCK_EXEMPT_METHODS,
+    REQUIRES_LOCK_MARKER,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.runner import Project
+
+
+@register
+class LockDisciplineCheck(Check):
+    code = "RPA101"
+    name = "lock-discipline"
+    description = (
+        "attributes declared '# guarded-by: self._lock' are only touched "
+        "under 'with self._lock:' or in '# requires-lock' methods"
+    )
+
+    def check_file(
+        self, parsed: ParsedFile, project: "Project"
+    ) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, ast.ClassDef):
+                findings.extend(self._check_class(parsed, node))
+        return findings
+
+    # -- guard table --------------------------------------------------
+    def _marker_lock(self, parsed: ParsedFile, statement: ast.stmt) -> str | None:
+        """Lock attr named by a guarded-by comment on/above the statement."""
+        lines = list(range(statement.lineno, (statement.end_lineno or statement.lineno) + 1))
+        if statement.lineno - 1 in parsed.standalone_comments:
+            lines.insert(0, statement.lineno - 1)
+        for line in lines:
+            text = parsed.comment_on(line)
+            if GUARDED_BY_MARKER not in text:
+                continue
+            spec = text.split(GUARDED_BY_MARKER, 1)[1].strip()
+            spec = spec.split()[0] if spec else ""
+            if spec.startswith("self."):
+                return spec[len("self."):]
+        return None
+
+    def _guard_table(
+        self, parsed: ParsedFile, class_node: ast.ClassDef
+    ) -> dict[str, str]:
+        guarded: dict[str, str] = {}
+        for method in iter_methods(class_node):
+            if method.name != "__init__":
+                continue
+            for statement in ast.walk(method):
+                if not isinstance(statement, (ast.Assign, ast.AnnAssign)):
+                    continue
+                lock = self._marker_lock(parsed, statement)
+                if lock is None:
+                    continue
+                targets = (
+                    statement.targets
+                    if isinstance(statement, ast.Assign)
+                    else [statement.target]
+                )
+                for target in targets:
+                    attr = self_attribute_name(target)
+                    if attr is not None:
+                        guarded[attr] = lock
+        return guarded
+
+    def _requires_lock(
+        self, parsed: ParsedFile, function: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> bool:
+        return parsed.has_marker(function.lineno, REQUIRES_LOCK_MARKER)
+
+    # -- scan ---------------------------------------------------------
+    def _check_class(
+        self, parsed: ParsedFile, class_node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        guarded = self._guard_table(parsed, class_node)
+        if not guarded:
+            return
+        for method in iter_methods(class_node):
+            if method.name in LOCK_EXEMPT_METHODS:
+                continue
+            held = set(guarded.values()) if self._requires_lock(parsed, method) else set()
+            for statement in method.body:
+                yield from self._scan(parsed, statement, guarded, held)
+
+    def _acquired_locks(self, node: ast.With | ast.AsyncWith) -> set[str]:
+        acquired: set[str] = set()
+        for item in node.items:
+            attr = self_attribute_name(item.context_expr)
+            if attr is not None:
+                acquired.add(attr)
+        return acquired
+
+    def _scan(
+        self,
+        parsed: ParsedFile,
+        node: ast.AST,
+        guarded: dict[str, str],
+        held: set[str],
+    ) -> Iterator[Finding]:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner = held | self._acquired_locks(node)
+            for item in node.items:
+                yield from self._scan(parsed, item.context_expr, guarded, held)
+                if item.optional_vars is not None:
+                    yield from self._scan(parsed, item.optional_vars, guarded, held)
+            for statement in node.body:
+                yield from self._scan(parsed, statement, guarded, inner)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # A nested def runs later, possibly without the lock.
+            inner = set(guarded.values()) if self._requires_lock(parsed, node) else set()
+            for statement in node.body:
+                yield from self._scan(parsed, statement, guarded, inner)
+            return
+        if isinstance(node, ast.Lambda):
+            yield from self._scan(parsed, node.body, guarded, set())
+            return
+        if isinstance(node, ast.ClassDef):
+            return  # nested class: its own guard table, handled separately
+        if isinstance(node, ast.Attribute):
+            attr = self_attribute_name(node)
+            if attr in guarded and guarded[attr] not in held:
+                lock = guarded[attr]
+                yield self.finding(
+                    parsed, node,
+                    f"'self.{attr}' is guarded by 'self.{lock}' but accessed "
+                    f"without it (wrap in 'with self.{lock}:' or annotate the "
+                    f"method '# {REQUIRES_LOCK_MARKER}')",
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan(parsed, child, guarded, held)

@@ -1,0 +1,264 @@
+"""RPA103: protocol field coverage.
+
+Adding a field to a dataclass that crosses the wire is only half a
+change — both serializer directions must learn it, or sessions resumed
+over the protocol silently lose state. For every serializer module
+(files named ``protocol.py``) this check pairs the directions and
+verifies, per serialized dataclass, that
+
+* the *to* side reads **every** field: inside the ``isinstance`` branch
+  dispatching on that class, or anywhere in the function when the class
+  is named by the parameter annotation (``def x_to_json(v: C)``);
+* the *from* side passes **every** field to the constructor call
+  (keywords, positionals mapped by declaration order, or ``**payload``);
+* every class dispatched on the *to* side is constructed somewhere on
+  the *from* side (deleting a whole deserialize branch fails lint);
+* method-style pairs (``to_json`` / ``from_json`` on an envelope
+  dataclass) satisfy the same two rules via ``self.field`` /
+  ``cls(...)``.
+
+Only ``@dataclass`` classes participate; hand-rolled classes (``ETable``)
+have bespoke wire shapes and are out of scope.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.analysis.base import (
+    Check,
+    ClassInfo,
+    Finding,
+    ParsedFile,
+    iter_methods,
+    register,
+    self_attribute_name,
+)
+from repro.analysis.config import (
+    FROM_METHOD,
+    FROM_SUFFIX,
+    PROTOCOL_FILE_NAMES,
+    TO_METHOD,
+    TO_SUFFIX,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.runner import Project
+
+
+def _attribute_names(nodes: Iterable[ast.AST]) -> set[str]:
+    out: set[str] = set()
+    for root in nodes:
+        for node in ast.walk(root):
+            if isinstance(node, ast.Attribute):
+                out.add(node.attr)
+    return out
+
+
+def _isinstance_classes(test: ast.expr) -> list[str]:
+    """Class names a branch test dispatches on, [] if not isinstance."""
+    if not (
+        isinstance(test, ast.Call)
+        and isinstance(test.func, ast.Name)
+        and test.func.id == "isinstance"
+        and len(test.args) == 2
+    ):
+        return []
+    spec = test.args[1]
+    candidates = spec.elts if isinstance(spec, ast.Tuple) else [spec]
+    return [c.id for c in candidates if isinstance(c, ast.Name)]
+
+
+def _constructed_fields(call: ast.Call, info: ClassInfo) -> set[str]:
+    """Fields a constructor call covers."""
+    covered: set[str] = set()
+    for index, _ in enumerate(call.args):
+        if index < len(info.fields):
+            covered.add(info.fields[index])
+    for keyword in call.keywords:
+        if keyword.arg is None:  # **payload forwards everything
+            return set(info.fields)
+        covered.add(keyword.arg)
+    return covered
+
+
+@register
+class ProtocolCoverageCheck(Check):
+    code = "RPA103"
+    name = "protocol-field-coverage"
+    description = (
+        "every dataclass crossing the wire has all fields read by the "
+        "to-json side and restored by the from-json constructor"
+    )
+
+    def check_file(
+        self, parsed: ParsedFile, project: "Project"
+    ) -> Iterable[Finding]:
+        if parsed.path.name not in PROTOCOL_FILE_NAMES:
+            return ()
+        findings: list[Finding] = []
+        findings.extend(self._check_function_pairs(parsed, project))
+        findings.extend(self._check_method_pairs(parsed, project))
+        return findings
+
+    def _dataclass(self, project: "Project", name: str) -> ClassInfo | None:
+        info = project.classes.get(name)
+        if info is not None and info.is_dataclass and info.fields:
+            return info
+        return None
+
+    # -- module-level x_to_json / x_from_json pairs -------------------
+    def _check_function_pairs(
+        self, parsed: ParsedFile, project: "Project"
+    ) -> Iterator[Finding]:
+        functions = {
+            node.name: node
+            for node in parsed.tree.body
+            if isinstance(node, ast.FunctionDef)
+        }
+        bases = {
+            name[: -len(TO_SUFFIX)] for name in functions if name.endswith(TO_SUFFIX)
+        } | {
+            name[: -len(FROM_SUFFIX)]
+            for name in functions
+            if name.endswith(FROM_SUFFIX)
+        }
+        for base in sorted(bases):
+            to_fn = functions.get(base + TO_SUFFIX)
+            from_fn = functions.get(base + FROM_SUFFIX)
+            if to_fn is None or from_fn is None:
+                present = to_fn or from_fn
+                missing = (base + TO_SUFFIX) if to_fn is None else (base + FROM_SUFFIX)
+                yield self.finding(
+                    parsed, present,
+                    f"serializer '{present.name}' has no matching "
+                    f"'{missing}' — the wire format must round-trip",
+                )
+                continue
+            serialized = yield from self._check_to_side(parsed, project, to_fn)
+            constructed = yield from self._check_from_side(parsed, project, from_fn)
+            for name in sorted(serialized - constructed):
+                yield self.finding(
+                    parsed, from_fn,
+                    f"'{to_fn.name}' serializes '{name}' but "
+                    f"'{from_fn.name}' never constructs it",
+                )
+
+    def _check_to_side(
+        self, parsed: ParsedFile, project: "Project", to_fn: ast.FunctionDef
+    ):
+        """Yield findings; return the set of class names serialized."""
+        serialized: set[str] = set()
+        for node in ast.walk(to_fn):
+            if not isinstance(node, ast.If):
+                continue
+            for name in _isinstance_classes(node.test):
+                info = self._dataclass(project, name)
+                if info is None:
+                    continue
+                serialized.add(name)
+                accessed = _attribute_names(node.body)
+                for missing in sorted(set(info.fields) - accessed):
+                    yield self.finding(
+                        parsed, node,
+                        f"'{to_fn.name}' branch for '{name}' never reads "
+                        f"field '{missing}'",
+                    )
+        if not serialized:
+            annotation = None
+            if to_fn.args.args:
+                annotation = to_fn.args.args[0].annotation
+            if isinstance(annotation, ast.Name):
+                info = self._dataclass(project, annotation.id)
+                if info is not None:
+                    serialized.add(annotation.id)
+                    accessed = _attribute_names(to_fn.body)
+                    for missing in sorted(set(info.fields) - accessed):
+                        yield self.finding(
+                            parsed, to_fn,
+                            f"'{to_fn.name}' never reads field '{missing}' "
+                            f"of '{annotation.id}'",
+                        )
+        return serialized
+
+    def _check_from_side(
+        self, parsed: ParsedFile, project: "Project", from_fn: ast.FunctionDef
+    ):
+        """Yield findings; return the set of class names constructed."""
+        constructed: set[str] = set()
+        for node in ast.walk(from_fn):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)):
+                continue
+            info = self._dataclass(project, node.func.id)
+            if info is None:
+                continue
+            constructed.add(node.func.id)
+            covered = _constructed_fields(node, info)
+            for missing in sorted(set(info.fields) - covered):
+                yield self.finding(
+                    parsed, node,
+                    f"'{from_fn.name}' constructs '{node.func.id}' without "
+                    f"field '{missing}' (it falls back to the in-memory "
+                    "default and drifts from the serialized value)",
+                )
+        return constructed
+
+    # -- method-style to_json/from_json on envelope dataclasses -------
+    def _check_method_pairs(
+        self, parsed: ParsedFile, project: "Project"
+    ) -> Iterator[Finding]:
+        for node in ast.walk(parsed.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            methods = {m.name: m for m in iter_methods(node)}
+            to_fn = methods.get(TO_METHOD)
+            from_fn = methods.get(FROM_METHOD)
+            if to_fn is None and from_fn is None:
+                continue
+            info = self._dataclass(project, node.name)
+            if info is None:
+                continue
+            if to_fn is None or from_fn is None:
+                present = to_fn or from_fn
+                missing = TO_METHOD if to_fn is None else FROM_METHOD
+                yield self.finding(
+                    parsed, present,
+                    f"'{node.name}.{present.name}' has no matching "
+                    f"'{missing}' — the envelope must round-trip",
+                )
+                continue
+            accessed = {
+                self_attribute_name(a)
+                for body_node in ast.walk(to_fn)
+                for a in [body_node]
+                if isinstance(a, ast.Attribute)
+            }
+            for missing_field in sorted(set(info.fields) - accessed):
+                yield self.finding(
+                    parsed, to_fn,
+                    f"'{node.name}.{TO_METHOD}' never reads field "
+                    f"'{missing_field}'",
+                )
+            covered: set[str] = set()
+            saw_constructor = False
+            for call in ast.walk(from_fn):
+                if (
+                    isinstance(call, ast.Call)
+                    and isinstance(call.func, ast.Name)
+                    and call.func.id in ("cls", node.name)
+                ):
+                    saw_constructor = True
+                    covered |= _constructed_fields(call, info)
+            if not saw_constructor:
+                yield self.finding(
+                    parsed, from_fn,
+                    f"'{node.name}.{FROM_METHOD}' never constructs the class",
+                )
+                continue
+            for missing_field in sorted(set(info.fields) - covered):
+                yield self.finding(
+                    parsed, from_fn,
+                    f"'{node.name}.{FROM_METHOD}' constructs the envelope "
+                    f"without field '{missing_field}'",
+                )

@@ -1,0 +1,191 @@
+"""RPA102: worker purity.
+
+Anything shipped to a ``ProcessPoolExecutor`` crosses a pickle boundary:
+
+* the submitted callable must be a *module-level* function (picklable by
+  qualified name) — no lambdas, no bound methods, no nested defs;
+* its body must not reference shared-state types from the denylist
+  (``InstanceGraph``, executors, sessions): a worker that reaches for
+  them either fails to pickle or silently operates on a *copy*;
+* worker payload dataclasses (``*Task`` or ``# repro: worker-payload``)
+  may only declare picklable-primitive field types, so the payload can
+  never smuggle a graph or an executor into a child process.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, Iterator
+
+from repro.analysis.base import (
+    Check,
+    Finding,
+    ParsedFile,
+    register,
+)
+from repro.analysis.config import (
+    PICKLABLE_TYPE_NAMES,
+    POOL_RECEIVER_HINTS,
+    POOL_SUBMIT_ATTRS,
+    WORKER_DENYLIST,
+    WORKER_PAYLOAD_MARKER,
+    WORKER_PAYLOAD_NAME_SUFFIX,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.analysis.runner import Project
+
+
+def _chain_names(node: ast.AST) -> set[str]:
+    """All identifiers along an attribute/call chain."""
+    names: set[str] = set()
+    for child in ast.walk(node):
+        if isinstance(child, ast.Name):
+            names.add(child.id)
+        elif isinstance(child, ast.Attribute):
+            names.add(child.attr)
+    return names
+
+
+def _looks_like_pool(receiver: ast.AST) -> bool:
+    lowered = [name.lower() for name in _chain_names(receiver)]
+    return any(
+        hint in name for name in lowered for hint in POOL_RECEIVER_HINTS
+    )
+
+
+def _annotation_leaf_names(node: ast.AST) -> Iterator[tuple[str, ast.AST]]:
+    """Type names referenced by an annotation expression."""
+    if isinstance(node, ast.Constant):
+        if isinstance(node.value, str):
+            try:
+                parsed = ast.parse(node.value, mode="eval")
+            except SyntaxError:
+                yield node.value, node
+            else:
+                yield from _annotation_leaf_names(parsed.body)
+        return  # None / Ellipsis constants are fine
+    if isinstance(node, ast.Name):
+        yield node.id, node
+        return
+    if isinstance(node, ast.Attribute):
+        yield node.attr, node  # typing.Sequence -> "Sequence"
+        return
+    for child in ast.iter_child_nodes(node):
+        yield from _annotation_leaf_names(child)
+
+
+@register
+class WorkerPurityCheck(Check):
+    code = "RPA102"
+    name = "worker-purity"
+    description = (
+        "process-pool workers are module-level, closure-free, reference no "
+        "shared state; *Task payload fields are picklable primitives"
+    )
+
+    def check_file(
+        self, parsed: ParsedFile, project: "Project"
+    ) -> Iterable[Finding]:
+        findings: list[Finding] = []
+        module_functions = {
+            node.name: node
+            for node in parsed.tree.body
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        nested_functions = {
+            node.name
+            for node in ast.walk(parsed.tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name not in module_functions
+        }
+
+        workers: dict[str, ast.Call] = {}
+        for node in ast.walk(parsed.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in POOL_SUBMIT_ATTRS
+                and _looks_like_pool(node.func.value)
+                and node.args
+            ):
+                continue
+            submitted = node.args[0]
+            if isinstance(submitted, ast.Lambda):
+                findings.append(self.finding(
+                    parsed, submitted,
+                    "lambda submitted to a process pool is not picklable; "
+                    "use a module-level function",
+                ))
+            elif isinstance(submitted, ast.Attribute):
+                findings.append(self.finding(
+                    parsed, submitted,
+                    f"'{ast.unparse(submitted)}' submitted to a process pool; "
+                    "bound methods drag their instance across the pickle "
+                    "boundary — use a module-level function",
+                ))
+            elif isinstance(submitted, ast.Name):
+                if submitted.id in module_functions:
+                    workers.setdefault(submitted.id, node)
+                elif submitted.id in nested_functions:
+                    findings.append(self.finding(
+                        parsed, submitted,
+                        f"function '{submitted.id}' submitted to a process "
+                        "pool is not module-level (nested functions close "
+                        "over their frame and do not pickle)",
+                    ))
+                # Imported names: defined elsewhere, checked in their file.
+
+        for name in workers:
+            findings.extend(self._check_worker_body(parsed, module_functions[name]))
+
+        for node in ast.walk(parsed.tree):
+            if isinstance(node, ast.ClassDef) and self._is_payload(parsed, node):
+                findings.extend(self._check_payload(parsed, node))
+        return findings
+
+    def _check_worker_body(
+        self, parsed: ParsedFile, function: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        for node in ast.walk(function):
+            if isinstance(node, ast.Name) and node.id in WORKER_DENYLIST:
+                yield self.finding(
+                    parsed, node,
+                    f"worker '{function.name}' references '{node.id}' — "
+                    "shared state must not leak into process-pool workers",
+                )
+
+    def _is_payload(self, parsed: ParsedFile, node: ast.ClassDef) -> bool:
+        decorated = any(
+            True
+            for decorator in node.decorator_list
+            for target in [
+                decorator.func if isinstance(decorator, ast.Call) else decorator
+            ]
+            if (isinstance(target, ast.Name) and target.id == "dataclass")
+            or (isinstance(target, ast.Attribute) and target.attr == "dataclass")
+        )
+        if not decorated:
+            return False
+        if node.name.endswith(WORKER_PAYLOAD_NAME_SUFFIX):
+            return True
+        return parsed.has_marker(node.lineno, WORKER_PAYLOAD_MARKER)
+
+    def _check_payload(
+        self, parsed: ParsedFile, node: ast.ClassDef
+    ) -> Iterator[Finding]:
+        for statement in node.body:
+            if not (
+                isinstance(statement, ast.AnnAssign)
+                and isinstance(statement.target, ast.Name)
+            ):
+                continue
+            for type_name, where in _annotation_leaf_names(statement.annotation):
+                if type_name not in PICKLABLE_TYPE_NAMES:
+                    yield self.finding(
+                        parsed, statement,
+                        f"field '{statement.target.id}' of worker payload "
+                        f"'{node.name}' has non-primitive type '{type_name}' "
+                        "— payloads must pickle cheaply and carry no shared "
+                        "state",
+                    )

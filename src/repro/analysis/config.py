@@ -1,0 +1,85 @@
+"""Shared configuration for the invariant checks.
+
+Markers are plain comments, so annotating code costs nothing at runtime;
+this module is the single place their spellings (and the worker-purity
+type policy) live, for both the checks and the docs.
+"""
+
+from __future__ import annotations
+
+# --- RPA101 lock discipline -------------------------------------------
+#: On an attribute assignment in ``__init__``:
+#: ``self._sessions = {}  # guarded-by: self._lock``
+GUARDED_BY_MARKER = "guarded-by:"
+#: On a ``def`` line (or the line above): the caller holds the lock.
+REQUIRES_LOCK_MARKER = "requires-lock"
+#: Methods where unguarded access is allowed: construction happens
+#: before the object is shared, and teardown after.
+LOCK_EXEMPT_METHODS = frozenset({"__init__", "__del__", "__repr__"})
+
+# --- RPA102 worker purity ---------------------------------------------
+#: On a ``@dataclass`` class line: fields must be picklable primitives.
+WORKER_PAYLOAD_MARKER = "repro: worker-payload"
+#: Payload classes are also recognised by this name suffix.
+WORKER_PAYLOAD_NAME_SUFFIX = "Task"
+#: Annotation type names allowed in worker payload fields. Anything
+#: outside this set (``InstanceGraph``, executors, sessions, locks...)
+#: would drag un-picklable or mutable shared state across the process
+#: boundary.
+PICKLABLE_TYPE_NAMES = frozenset({
+    "int", "float", "str", "bool", "bytes", "complex", "None",
+    "tuple", "list", "dict", "set", "frozenset",
+    "Tuple", "List", "Dict", "Set", "FrozenSet", "Optional", "Union",
+    "Sequence", "Mapping", "Iterable", "Any",
+})
+#: Names a worker function must never reference — shared state that
+#: must not leak into (or be reconstructed inside) a worker process.
+WORKER_DENYLIST = frozenset({
+    "InstanceGraph", "ProcessPoolExecutor", "ThreadPoolExecutor",
+    "SessionManager", "EtableSession", "CachingExecutor",
+    "IncrementalExecutor", "ParallelContext",
+})
+#: Attribute names whose access on a call suggests pool submission.
+POOL_SUBMIT_ATTRS = frozenset({"submit", "map"})
+POOL_RECEIVER_HINTS = ("pool",)
+
+# --- RPA103 protocol coverage -----------------------------------------
+#: Only files whose name matches participate (serializer modules).
+PROTOCOL_FILE_NAMES = frozenset({"protocol.py"})
+#: ``X_to_json`` / ``X_from_json`` function-name suffixes.
+TO_SUFFIX = "_to_json"
+FROM_SUFFIX = "_from_json"
+#: Method-style serializer names on dataclasses.
+TO_METHOD = "to_json"
+FROM_METHOD = "from_json"
+
+# --- RPA104 engine parity ---------------------------------------------
+#: On the canonical tuple assignments in ``repro/core/engines.py``.
+ENGINE_REGISTRY_MARKER = "repro: engine-registry"
+#: On each literal surface, this marker followed by a role:
+#: ``all`` | ``service`` | ``fuzzer``.
+ENGINE_SURFACE_MARKER = "repro: engine-surface"
+#: The registry module and the surfaces the repo must declare. The check
+#: only enforces *presence* of these surfaces when it can see the real
+#: registry file (named ``engines.py``), so fixture tests stay
+#: self-contained.
+ENGINE_REGISTRY_FILENAME = "engines.py"
+EXPECTED_SURFACE_ROLES = ("all", "service", "fuzzer")
+#: Repo-root-relative files consulted for surfaces even when they are
+#: outside the analyzed paths (the fuzzer lives under ``tests/``).
+ENGINE_EXTRA_SURFACE_FILES = (
+    "tests/integration/test_session_fuzz.py",
+)
+
+# --- RPA105 mutation-version discipline -------------------------------
+#: On an ``__init__`` assignment of logical graph state.
+VERSIONED_STATE_MARKER = "versioned-state"
+#: Attribute whose increment counts as a version bump.
+VERSION_ATTRIBUTE = "_version"
+#: Calling any of these methods also counts (they bump internally).
+VERSION_BUMP_HELPERS = frozenset({"_invalidate_indexes"})
+#: Method names on an attribute chain that mutate the container.
+MUTATOR_METHOD_NAMES = frozenset({
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "update", "setdefault", "add", "discard", "sort", "reverse",
+})

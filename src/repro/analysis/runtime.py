@@ -1,0 +1,63 @@
+"""Debug-mode runtime twin of the RPA101 static lock check.
+
+``# requires-lock`` is a *static* promise that every caller already
+holds the lock; :func:`assert_locked` turns it into a *dynamic* check.
+Annotated methods call ``assert_locked(self._lock)`` on entry, which is
+a no-op by default (zero production cost beyond one truthiness test) and
+raises :class:`LockDisciplineError` when debugging is enabled via the
+``REPRO_DEBUG_LOCKS=1`` environment variable or :func:`enable` — the
+service-layer concurrency stress tests run with it on, so the static
+annotations and the runtime behaviour cross-validate.
+
+For an ``RLock`` the check is exact (``_is_owned`` knows the owning
+thread). A plain ``Lock`` carries no owner, so the best available check
+is ``locked()`` — it catches "nobody holds the lock at all", the bug the
+static check exists to prevent, but cannot attribute ownership.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Union
+
+LockLike = Union[threading.Lock, threading.RLock]
+
+
+class LockDisciplineError(RuntimeError):
+    """A ``# requires-lock`` method ran without the lock held."""
+
+
+_enabled = os.environ.get("REPRO_DEBUG_LOCKS", "") == "1"
+
+
+def enable() -> None:
+    """Turn on lock assertions for this process (tests call this)."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    return _enabled
+
+
+def assert_locked(lock: LockLike, name: str = "lock") -> None:
+    """Raise unless ``lock`` is held (when debugging is enabled)."""
+    if not _enabled:
+        return
+    is_owned = getattr(lock, "_is_owned", None)
+    if is_owned is not None:  # RLock: exact, thread-attributed
+        if not is_owned():
+            raise LockDisciplineError(
+                f"requires-lock violated: calling thread does not own {name}"
+            )
+        return
+    if not lock.locked():  # plain Lock: owner unknown, held-ness known
+        raise LockDisciplineError(
+            f"requires-lock violated: {name} is not held by anyone"
+        )

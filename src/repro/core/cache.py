@@ -33,6 +33,7 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
+from repro.analysis.runtime import assert_locked
 from repro.tgm.conditions import ConditionMemo
 from repro.tgm.graph_relation import GraphRelation
 from repro.tgm.instance_graph import InstanceGraph
@@ -119,12 +120,12 @@ class IncrementalStats:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self.delta_actions = 0
-        self.replays = 0
-        self.replans = 0
-        self.cost_replans = 0
-        self.rows_touched = 0
-        self.by_kind: dict[str, int] = {}
+        self.delta_actions = 0  # guarded-by: self._lock
+        self.replays = 0  # guarded-by: self._lock
+        self.replans = 0  # guarded-by: self._lock
+        self.cost_replans = 0  # guarded-by: self._lock
+        self.rows_touched = 0  # guarded-by: self._lock
+        self.by_kind: dict[str, int] = {}  # guarded-by: self._lock
 
     def note_delta(self, kind: str, rows_touched: int) -> None:
         with self._lock:
@@ -145,13 +146,19 @@ class IncrementalStats:
 
     @property
     def actions(self) -> int:
-        return self.delta_actions + self.replays + self.replans
+        with self._lock:
+            return self.delta_actions + self.replays + self.replans
 
     @property
     def delta_hit_rate(self) -> float:
         """Fraction of executed actions answered without replanning."""
-        total = self.actions
-        return (self.delta_actions + self.replays) / total if total else 0.0
+        # One lock scope for numerator and denominator: reading them in
+        # two steps can interleave with a note_* increment and report a
+        # rate above 1.0 (the unguarded read RPA101 originally flagged).
+        with self._lock:
+            total = self.delta_actions + self.replays + self.replans
+            answered = self.delta_actions + self.replays
+            return answered / total if total else 0.0
 
     def payload(self) -> dict:
         with self._lock:
@@ -205,32 +212,33 @@ class CachingExecutor:
         if parallel is None and workers is not None:
             parallel = parallel_context(workers)
         self.parallel = parallel
-        self.stats = CacheStats()
-        self.memo = ConditionMemo()
+        self.stats = CacheStats()  # guarded-by: self._lock
+        self.memo = ConditionMemo()  # guarded-by: self._lock
         # Aggregated counters of every IncrementalExecutor layered over this
         # executor (the service shares one base across all sessions, so this
         # is the fleet-wide incremental picture).
         self.incremental = IncrementalStats()
         # Both stores are graph-bound: a mutation-version bump drops them on
         # the next lookup, so a mutated graph can never serve stale tuples.
-        self.prefixes = PrefixStore(max_entries=max_prefix_entries,
+        self.prefixes = PrefixStore(max_entries=max_prefix_entries,  # guarded-by: self._lock
                                     max_cells=max_prefix_cells,
                                     graph=graph)
         # Whole-pattern results share the PrefixStore LRU mechanics (a hit
         # refreshes the entry so hot patterns survive eviction pressure) but
         # live in their own store: their keys include the primary node and
         # their relations are reference-ordered.
-        self._store = PrefixStore(max_entries=max_entries,
+        self._store = PrefixStore(max_entries=max_entries,  # guarded-by: self._lock
                                   max_cells=max_cells,
                                   graph=graph)
-        self._graph_version = graph.version
+        self._graph_version = graph.version  # guarded-by: self._lock
         self._lock = threading.RLock()
 
-    def _check_graph_version(self) -> None:
+    def _check_graph_version(self) -> None:  # requires-lock
         """Drop the condition memo after a graph mutation (caller holds the
         lock). The relation stores self-invalidate; the memo holds
         per-(condition, node) verdicts that mutation can flip (e.g. a
         ``NeighborSatisfies`` after an edge was added)."""
+        assert_locked(self._lock, "CachingExecutor._lock")
         if self._graph_version != self.graph.version:
             self.memo.clear()
             self._graph_version = self.graph.version
@@ -286,7 +294,7 @@ class CachingExecutor:
             self._check_graph_version()
             self._store.put(key or pattern_cache_key(pattern), relation)
 
-    def stats_payload(self) -> dict:
+    def stats_payload(self) -> dict:  # repro: noqa-RPA101 — lock-free by design, see docstring
         """All cache counters as one JSON-able dict (service ``/v1/stats``).
 
         Deliberately lock-free: every value is a monotonic counter or a

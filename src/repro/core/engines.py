@@ -1,0 +1,36 @@
+"""Canonical engine-name registry (the RPA104 ground truth).
+
+Every place that accepts or enumerates engine names by string literal —
+session validation, the REPL, the service manager, the serve CLI, the
+differential fuzzer's lockstep list — is marked
+``# repro: engine-surface <role>`` and checked against these tuples by
+``python -m repro.analysis`` (check RPA104). Adding an engine means
+extending the tuple(s) here *and* every surface of the matching role,
+or lint fails; nothing imports these tuples on hot paths, they exist so
+drift is a lint error instead of a fuzzer escape.
+
+Roles:
+
+* ``all``     — surfaces offering every engine (direct session use).
+* ``service`` — surfaces restricted to the shared-cache service engines
+  (the service always routes through the caching planner, so ``naive``
+  is intentionally absent).
+* ``fuzzer``  — the lockstep list; may also name underscore-composed
+  combinations (``incremental_parallel``) and must exercise every
+  registered engine.
+"""
+
+from __future__ import annotations
+
+ENGINES = (  # repro: engine-registry
+    "naive",
+    "planned",
+    "parallel",
+    "incremental",
+)
+
+SERVICE_ENGINES = (  # repro: engine-registry
+    "planned",
+    "parallel",
+    "incremental",
+)

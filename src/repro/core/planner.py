@@ -44,6 +44,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 from weakref import WeakKeyDictionary
 
+from repro.analysis.runtime import assert_locked
 from repro.errors import InvalidQueryPattern, TgmError
 from repro.tgm.conditions import (
     AndCondition,
@@ -703,19 +704,19 @@ class ParallelContext:
         self.workers = resolve_workers(workers)
         self.min_partition_rows = max(0, int(min_partition_rows))
         self.adaptive = bool(adaptive)
-        self._pool: ProcessPoolExecutor | None = None
+        self._pool: ProcessPoolExecutor | None = None  # guarded-by: self._lock
         self._lock = threading.Lock()
-        self.parallel_joins = 0
-        self.serial_fallbacks = 0
-        self.partitions_executed = 0
+        self.parallel_joins = 0  # guarded-by: self._lock
+        self.serial_fallbacks = 0  # guarded-by: self._lock
+        self.partitions_executed = 0  # guarded-by: self._lock
         # Adaptive-threshold observations (EMA-smoothed; seconds and rows/s).
-        self._overhead_ema: float | None = None
-        self._serial_rate_ema: float | None = None
-        self._adaptive_rows = self.min_partition_rows
-        self._probe_countdown = self._PROBE_EVERY
+        self._overhead_ema: float | None = None  # guarded-by: self._lock
+        self._serial_rate_ema: float | None = None  # guarded-by: self._lock
+        self._adaptive_rows = self.min_partition_rows  # guarded-by: self._lock
+        self._probe_countdown = self._PROBE_EVERY  # guarded-by: self._lock
         # Per-partition timings of the most recent parallel joins (bounded;
         # exposed through CachingExecutor.stats_payload / the REPL's plan).
-        self.last_timings: list[dict] = []
+        self.last_timings: list[dict] = []  # guarded-by: self._lock
         self._max_timings = 32
 
     # ------------------------------------------------------------------
@@ -760,7 +761,11 @@ class ParallelContext:
     # ------------------------------------------------------------------
     def effective_min_partition_rows(self) -> int:
         """The live serial-fallback threshold (adaptive or static)."""
-        return self._adaptive_rows if self.adaptive else self.min_partition_rows
+        with self._lock:
+            return (
+                self._adaptive_rows if self.adaptive
+                else self.min_partition_rows
+            )
 
     def should_parallelize(self, rows: int) -> bool:
         """Serial below the partition-size threshold: a process round-trip
@@ -769,15 +774,19 @@ class ParallelContext:
             return False
         if not self.adaptive:
             return rows >= self.min_partition_rows
-        if rows >= self._adaptive_rows:
-            return True
-        if rows >= self.min_partition_rows:
-            # Static policy would have parallelized this join; run one in
-            # every _PROBE_EVERY such joins parallel anyway so the overhead
-            # estimate keeps tracking reality (pools get faster after
-            # warm-up, machines get quieter) instead of freezing at its
-            # worst observation.
-            with self._lock:
+        # One lock scope for the whole adaptive decision: reading
+        # _adaptive_rows and decrementing _probe_countdown in separate
+        # steps let a concurrent _update_adaptive_threshold interleave
+        # between them (the unguarded read RPA101 originally flagged).
+        with self._lock:
+            if rows >= self._adaptive_rows:
+                return True
+            if rows >= self.min_partition_rows:
+                # Static policy would have parallelized this join; run one
+                # in every _PROBE_EVERY such joins parallel anyway so the
+                # overhead estimate keeps tracking reality (pools get
+                # faster after warm-up, machines get quieter) instead of
+                # freezing at its worst observation.
                 self._probe_countdown -= 1
                 if self._probe_countdown <= 0:
                     self._probe_countdown = self._PROBE_EVERY
@@ -827,7 +836,7 @@ class ParallelContext:
     _ADAPTIVE_FLOOR = 64
     _ADAPTIVE_CEILING = 1 << 20
 
-    def _update_adaptive_threshold(self) -> None:
+    def _update_adaptive_threshold(self) -> None:  # requires-lock
         """Re-derive the threshold from observations (caller holds lock).
 
         Break-even: a serial join of ``rows`` costs ``rows / serial_rate``
@@ -835,6 +844,7 @@ class ParallelContext:
         threshold is set at 2× the break-even row count, so joins only go
         parallel when the offloaded work clearly dominates the shipping.
         """
+        assert_locked(self._lock, "ParallelContext._lock")
         if not self.adaptive:
             return
         if self._overhead_ema is None or self._serial_rate_ema is None:
@@ -852,8 +862,12 @@ class ParallelContext:
                 "workers": self.workers,
                 "min_partition_rows": self.min_partition_rows,
                 "adaptive": self.adaptive,
-                "effective_min_partition_rows":
-                    self.effective_min_partition_rows(),
+                # Inlined rather than calling effective_min_partition_rows():
+                # that method takes this (non-reentrant) lock itself.
+                "effective_min_partition_rows": (
+                    self._adaptive_rows if self.adaptive
+                    else self.min_partition_rows
+                ),
                 "observed_overhead_ms": (
                     round(self._overhead_ema * 1000, 3)
                     if self._overhead_ema is not None else None

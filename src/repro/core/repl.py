@@ -116,6 +116,11 @@ class Repl:
         # engine="incremental" answers refinement actions from the previous
         # ETable's relation (the `plan` command then shows the chosen delta
         # kind and the session's delta-hit rate).
+        if engine not in ("naive", "planned", "parallel", "incremental"):  # repro: engine-surface all
+            raise InvalidAction(
+                f"unknown engine {engine!r}; the REPL speaks 'naive', "
+                f"'planned', 'parallel', and 'incremental'"
+            )
         self.session = EtableSession(schema, graph, use_cache=use_cache,
                                      engine=engine, workers=workers)
         self.mapping = mapping  # TranslationMap, enables the 'sql' command

@@ -51,6 +51,11 @@ class EtableSession:
         executor: "CachingExecutor | None" = None,
         workers: int | None = None,
     ) -> None:
+        if engine not in ("naive", "planned", "parallel", "incremental"):  # repro: engine-surface all
+            raise InvalidAction(
+                f"unknown engine {engine!r}; expected 'naive', 'planned', "
+                f"'parallel', or 'incremental'"
+            )
         self.schema = schema
         self.graph = graph
         self.row_limit = row_limit
@@ -73,7 +78,7 @@ class EtableSession:
         # ``workers``/a parallel-context executor (delta joins shard when
         # big enough) and implies the cache.
         if executor is not None or use_cache or engine == "incremental":
-            if engine not in ("planned", "parallel", "incremental"):
+            if engine not in ("planned", "parallel", "incremental"):  # repro: engine-surface service
                 # The caching executor always plans; silently serving the
                 # planner to someone who asked for the naive oracle would
                 # mask exactly the discrepancies the oracle exists to find.

@@ -147,6 +147,15 @@ class ActionJournal:
             self._handle.close()
             self._handle = None
 
+    def __del__(self) -> None:
+        # Safety net only — the manager closes journals on eviction/close
+        # and shutdown(); this keeps an abandoned journal from leaking its
+        # handle (and raising ResourceWarning under `python -X dev`).
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter shutdown
+            pass
+
     # ------------------------------------------------------------------
     def _write(self, record: dict[str, Any]) -> None:
         assert self._handle is not None

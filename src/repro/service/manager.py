@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
 
+from repro.analysis.runtime import assert_locked
 from repro.errors import ProtocolError, ReproError, ServiceError, UnknownSession
 from repro.tgm.instance_graph import InstanceGraph
 from repro.tgm.schema_graph import SchemaGraph
@@ -74,7 +75,7 @@ class SessionManager:
         compact_every: int | None = 64,
         adaptive_threshold: bool = False,
     ) -> None:
-        if engine not in ("planned", "parallel", "incremental"):
+        if engine not in ("planned", "parallel", "incremental"):  # repro: engine-surface service
             raise ServiceError(
                 f"the service executes through the caching planner; "
                 f"engine must be 'planned', 'parallel', or 'incremental', "
@@ -119,13 +120,13 @@ class SessionManager:
             else:
                 executor = CachingExecutor(graph)
         self.executor = executor
-        self._sessions: dict[str, ManagedSession] = {}
+        self._sessions: dict[str, ManagedSession] = {}  # guarded-by: self._lock
         self._lock = threading.RLock()
-        self.created = 0
-        self.resumed = 0
-        self.evicted = 0
-        self.total_actions = 0
-        self.compactions = 0
+        self.created = 0  # guarded-by: self._lock
+        self.resumed = 0  # guarded-by: self._lock
+        self.evicted = 0  # guarded-by: self._lock
+        self.total_actions = 0  # guarded-by: self._lock
+        self.compactions = 0  # guarded-by: self._lock
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -167,6 +168,22 @@ class SessionManager:
     def session_ids(self) -> list[str]:
         with self._lock:
             return sorted(self._sessions)
+
+    def shutdown(self) -> None:
+        """Flush and close every hosted session's journal (graceful stop).
+
+        Journaled sessions remain resumable: `recover_all` on a new
+        manager over the same journal directory replays them verbatim.
+        """
+        with self._lock:
+            drained = list(self._sessions.values())
+            self._sessions.clear()
+        for managed in drained:
+            if managed.journal is not None:
+                # Wait for any in-flight action before closing its journal
+                # (same contract as close_session).
+                with managed.lock:
+                    managed.journal.close()
 
     # ------------------------------------------------------------------
     # The hot path
@@ -343,8 +360,9 @@ class SessionManager:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _host(self, session_id: str,
+    def _host(self, session_id: str,  # requires-lock
               existing_journal: bool = False) -> ManagedSession:
+        assert_locked(self._lock, "SessionManager._lock")
         session = EtableSession(
             self.schema, self.graph, row_limit=self.row_limit,
             executor=self.executor,
@@ -395,7 +413,8 @@ class SessionManager:
             )
         return self.journal_dir / f"{session_id}{JOURNAL_SUFFIX}"
 
-    def _evict_expired(self) -> None:
+    def _evict_expired(self) -> None:  # requires-lock
+        assert_locked(self._lock, "SessionManager._lock")
         if self.ttl_seconds is None:
             return
         deadline = time.monotonic() - self.ttl_seconds
@@ -403,7 +422,7 @@ class SessionManager:
             if managed.last_used < deadline:
                 self._evict_one(session_id)
 
-    def _evict_over_capacity(self, protect: str | None = None) -> None:
+    def _evict_over_capacity(self, protect: str | None = None) -> None:  # requires-lock
         """Evict LRU sessions past ``max_sessions``.
 
         ``protect`` exempts the session being created/resumed right now:
@@ -411,6 +430,7 @@ class SessionManager:
         otherwise be the only lockable victim, and create_session would
         return an id it just evicted.
         """
+        assert_locked(self._lock, "SessionManager._lock")
         while len(self._sessions) > self.max_sessions:
             victims = sorted(
                 (managed for managed in self._sessions.values()
@@ -423,8 +443,9 @@ class SessionManager:
             else:
                 return  # every other session is mid-action; try again later
 
-    def _evict_one(self, session_id: str) -> bool:
+    def _evict_one(self, session_id: str) -> bool:  # requires-lock
         """Evict one session if it is idle right now (never mid-action)."""
+        assert_locked(self._lock, "SessionManager._lock")
         managed = self._sessions.get(session_id)
         if managed is None:
             return False

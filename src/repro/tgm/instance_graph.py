@@ -255,15 +255,17 @@ class InstanceGraph:
 
     def __init__(self, schema: SchemaGraph) -> None:
         self.schema = schema
-        self._nodes: dict[int, Node] = {}
-        self._nodes_by_type: dict[str, list[int]] = {
+        # Logical graph state: every mutation must bump self._version (or
+        # go through _invalidate_indexes) — checked statically by RPA105.
+        self._nodes: dict[int, Node] = {}  # versioned-state
+        self._nodes_by_type: dict[str, list[int]] = {  # versioned-state
             node_type.name: [] for node_type in schema.node_types
         }
-        self._edges: list[Edge] = []
+        self._edges: list[Edge] = []  # versioned-state
         # (node_id, edge_type_name) -> [neighbor node ids]
-        self._adjacency: dict[tuple[int, str], list[int]] = {}
+        self._adjacency: dict[tuple[int, str], list[int]] = {}  # versioned-state
         # (type_name, source_key) -> node_id, for translation lookups
-        self._by_source_key: dict[tuple[str, Any], int] = {}
+        self._by_source_key: dict[tuple[str, Any], int] = {}  # versioned-state
         self._next_id = 1
         # Lazily-built secondary indexes and statistics; dropped on mutation.
         # (type_name, attribute) -> value -> [node ids, insertion order]

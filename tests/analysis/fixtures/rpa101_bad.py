@@ -1,0 +1,31 @@
+"""RPA101 fixture: guarded attributes touched outside their lock."""
+
+import threading
+
+
+class BadCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: self._lock
+        # guarded-by: self._lock
+        self.events = []
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+    def peek(self):
+        return self.value  # unguarded read
+
+    def drain(self):
+        with self._lock:
+            events = list(self.events)
+        self.events.clear()  # unguarded write after the lock is dropped
+        return events
+
+    def deferred(self):
+        def later():
+            return self.value  # nested def does not inherit the with
+
+        with self._lock:
+            return later

@@ -1,0 +1,26 @@
+"""RPA101 fixture: every guarded access is under the lock or requires-lock."""
+
+import threading
+
+
+class GoodCounter:
+    def __init__(self):
+        self._lock = threading.RLock()
+        self.value = 0  # guarded-by: self._lock
+        self.events = []  # guarded-by: self._lock
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+            self._record()
+
+    # requires-lock
+    def _record(self):
+        self.events.append(self.value)
+
+    def snapshot(self):
+        with self._lock:
+            return (self.value, list(self.events))
+
+    def unrelated(self):
+        return threading.active_count()  # touches no guarded attribute

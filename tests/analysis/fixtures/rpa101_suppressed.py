@@ -1,0 +1,19 @@
+"""RPA101 fixture: real violations silenced by repro-noqa comments."""
+
+import threading
+
+
+class SuppressedCounter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0  # guarded-by: self._lock
+
+    def peek(self):
+        return self.value  # repro: noqa-RPA101 - lock-free read is deliberate
+
+    def drain(self):  # repro: noqa-RPA101
+        self.value = 0  # whole body is covered by the def-line suppression
+        return self.value
+
+    def wipe(self):
+        self.value = -1  # repro: noqa

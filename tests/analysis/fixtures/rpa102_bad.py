@@ -1,0 +1,37 @@
+"""RPA102 fixture: impure workers and an unpicklable payload."""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+
+class InstanceGraph:  # stand-in for the real shared-state type
+    pass
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    rows: tuple
+    graph: InstanceGraph  # unpicklable shared state in a payload
+
+
+def impure_worker(task):
+    return InstanceGraph()  # denylist reference inside a worker
+
+
+def run_all(tasks):
+    with ProcessPoolExecutor() as pool:
+        list(pool.map(impure_worker, tasks))
+        pool.submit(lambda task: task, tasks[0])
+
+        def nested(task):
+            return task
+
+        pool.submit(nested, tasks[0])
+
+
+class Runner:
+    def work(self, task):
+        return task
+
+    def go(self, pool, task):
+        pool.submit(self.work, task)  # bound method across the boundary

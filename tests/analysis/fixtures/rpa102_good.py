@@ -1,0 +1,21 @@
+"""RPA102 fixture: pure module-level worker, primitive payload."""
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class JoinTask:
+    partition: tuple
+    rows: tuple
+    label: Optional[str] = None
+
+
+def pure_worker(task):
+    return tuple(sorted(task.rows))
+
+
+def run_all(tasks):
+    with ProcessPoolExecutor() as pool:
+        return list(pool.map(pure_worker, tasks))

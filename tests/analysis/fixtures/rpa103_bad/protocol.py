@@ -1,0 +1,47 @@
+"""RPA103 fixture: serializers that drop fields or whole directions."""
+
+from dataclasses import dataclass
+from typing import Any
+
+
+@dataclass(frozen=True)
+class Point:
+    x: int
+    y: int
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class Box:
+    width: int
+
+
+def shape_to_json(shape) -> dict:
+    if isinstance(shape, Point):
+        return {"x": shape.x, "y": shape.y}  # never reads label
+    if isinstance(shape, Box):
+        return {"width": shape.width}
+    raise TypeError(shape)
+
+
+def shape_from_json(payload: dict):
+    if payload.get("kind") == "point":
+        return Point(payload["x"], payload["y"])  # label dropped
+    raise TypeError(payload)  # Box is never constructed
+
+
+def orphan_to_json(value) -> dict:
+    return {"value": value}  # no orphan_from_json anywhere
+
+
+@dataclass(frozen=True)
+class Envelope:
+    kind: str
+    body: Any
+
+    def to_json(self) -> dict:
+        return {"kind": self.kind}  # never reads body
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Envelope":
+        return cls(kind=payload["kind"])  # body dropped

@@ -1,0 +1,13 @@
+"""RPA104 fixture: surfaces drifted from the registry.
+
+Deliberately NOT named ``engines.py``: the surface-presence rule only
+applies to the real registry module, so this fixture stays self-contained.
+"""
+
+ENGINES = ("alpha", "beta")  # repro: engine-registry
+SERVICE_ENGINES = ("beta",)  # repro: engine-registry
+
+SESSION_VALID = ("alpha",)  # repro: engine-surface all
+CLI_CHOICES = ["beta", "gamma"]  # repro: engine-surface service
+FUZZ_LOCKSTEP = ("alpha", "alpha_delta")  # repro: engine-surface fuzzer
+MYSTERY = ("alpha",)  # repro: engine-surface sideways

@@ -1,0 +1,17 @@
+"""RPA105 fixture: mutators that forget the version bump."""
+
+
+class Graph:
+    def __init__(self):
+        self._nodes = {}  # versioned-state
+        self._edges = []  # versioned-state
+        self._version = 0
+
+    def add_node(self, key, value):
+        self._nodes[key] = value  # no bump
+
+    def add_edge(self, edge):
+        self._edges.append(edge)  # mutator call, no bump
+
+    def _invalidate_indexes(self):
+        self._version += 1

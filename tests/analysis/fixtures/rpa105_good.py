@@ -1,0 +1,22 @@
+"""RPA105 fixture: every mutator bumps the version or invalidates."""
+
+
+class Graph:
+    def __init__(self):
+        self._nodes = {}  # versioned-state
+        self._edges = []  # versioned-state
+        self._version = 0
+
+    def add_node(self, key, value):
+        self._nodes[key] = value
+        self._version += 1
+
+    def add_edge(self, edge):
+        self._edges.append(edge)
+        self._invalidate_indexes()
+
+    def node_count(self):
+        return len(self._nodes)  # pure read, no bump required
+
+    def _invalidate_indexes(self):
+        self._version += 1

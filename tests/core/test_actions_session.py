@@ -223,9 +223,9 @@ class TestEngineSelection:
         )
 
     def test_unknown_engine_rejected(self, toy):
-        session = EtableSession(toy.schema, toy.graph, engine="wat")
-        with pytest.raises(ValueError):
-            session.open("Papers")
+        # Rejected at construction (fail fast), not at the first action.
+        with pytest.raises(InvalidAction):
+            EtableSession(toy.schema, toy.graph, engine="wat")
 
     def test_cache_with_naive_engine_rejected(self, toy):
         """The caching executor always plans; asking for the naive oracle

@@ -65,7 +65,7 @@ SEQUENCES = int(os.environ.get("REPRO_FUZZ_SEQUENCES", "200"))
 MASTER_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
 MAX_ACTIONS = int(os.environ.get("REPRO_FUZZ_MAX_ACTIONS", "5"))
 
-ENGINES = ("naive", "planned", "parallel", "incremental",
+ENGINES = ("naive", "planned", "parallel", "incremental",  # repro: engine-surface fuzzer
            "incremental_parallel")
 
 

@@ -12,10 +12,21 @@ import threading
 
 import pytest
 
+from repro.analysis import runtime as lock_runtime
 from repro.service import protocol
 from repro.service.manager import SessionManager
 
 THREADS = 12
+
+
+@pytest.fixture(autouse=True)
+def _debug_locks():
+    """Run the stress tests with the RPA101 runtime twin armed: every
+    '# requires-lock' method asserts its lock is actually held, so the
+    static annotations are cross-validated under real contention."""
+    lock_runtime.enable()
+    yield
+    lock_runtime.disable()
 
 
 def _academic_script(user: int):

@@ -29,7 +29,8 @@ def _call(server, path, method="GET", body=None):
         with urllib.request.urlopen(request, timeout=10) as response:
             return response.status, json.loads(response.read())
     except urllib.error.HTTPError as error:
-        return error.code, json.loads(error.read())
+        with error:  # HTTPError owns the response socket; don't leak it
+            return error.code, json.loads(error.read())
 
 
 def _act(server, session_id, action, params=None):
@@ -79,7 +80,8 @@ class TestRoutes:
         )
         with pytest.raises(urllib.error.HTTPError) as excinfo:
             urllib.request.urlopen(request, timeout=10)
-        assert excinfo.value.code == 400
+        with excinfo.value as error:  # close the response socket
+            assert error.code == 400
 
     def test_session_id_mismatch_400(self, server):
         _, created = _call(server, "/v1/sessions", "POST", {})

@@ -78,6 +78,21 @@ class TestLifecycle:
             == "Conferences"
         assert len(manager.apply(bob, "history", {})["lines"]) == 1
 
+    def test_shutdown_closes_journals_and_stays_resumable(self, toy,
+                                                          tmp_path):
+        manager = _manager(toy, journal_dir=tmp_path)
+        sid = manager.create_session("alice")
+        manager.apply(sid, "open", {"type": "Papers"})
+        before = manager.apply(sid, "etable", {"include_history": True})
+        manager.shutdown()
+        assert manager.session_ids() == []
+        # Graceful stop, not data loss: a new manager over the same
+        # journal directory replays the session bit-identically.
+        restarted = _manager(toy, journal_dir=tmp_path)
+        assert restarted.recover_all() == ["alice"]
+        after = restarted.apply(sid, "etable", {"include_history": True})
+        assert before == after
+
     def test_stats_counts(self, toy):
         manager = _manager(toy)
         sid = manager.create_session()

@@ -66,27 +66,27 @@ class TestSaveResult:
         path = save_result("second", {"value": 2})
         assert path.exists()
 
-    def test_throughput_bench_module_ensures_results_dir(self):
-        # The bench module itself guarantees the directory on import, so
-        # even artifact writes that bypass save_result cannot crash.
+    def test_bench_modules_import_without_side_effects(self, tmp_path,
+                                                       monkeypatch):
+        # Importing a bench module must do no work: no results/ directory,
+        # no corpus generation, nothing. save_result() creates the
+        # directory when (and only when) a result is actually written.
         import importlib.util
-        import sys
         from pathlib import Path
 
-        from repro.bench.reporting import RESULTS_DIR
-
+        target = tmp_path / "results"
+        monkeypatch.setattr("repro.bench.reporting.RESULTS_DIR", target)
         bench_dir = Path(__file__).resolve().parents[1] / "benchmarks"
-        spec = importlib.util.spec_from_file_location(
-            "bench_service_throughput_import_check",
-            bench_dir / "bench_service_throughput.py",
-        )
-        module = importlib.util.module_from_spec(spec)
-        sys.path.insert(0, str(bench_dir))
-        try:
+        monkeypatch.syspath_prepend(str(bench_dir))
+        for bench in sorted(bench_dir.glob("bench_*.py")):
+            spec = importlib.util.spec_from_file_location(
+                f"import_check_{bench.stem}", bench,
+            )
+            module = importlib.util.module_from_spec(spec)
             spec.loader.exec_module(module)
-        finally:
-            sys.path.remove(str(bench_dir))
-        assert RESULTS_DIR.is_dir()
+            assert not target.exists(), (
+                f"importing {bench.name} created {target}"
+            )
 
 
 class TestBanner:
