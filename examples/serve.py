@@ -174,12 +174,14 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--ttl", type=float, default=1800.0,
                         help="idle session TTL in seconds")
     parser.add_argument("--engine", default="planned",
-                        choices=["planned", "parallel", "incremental"],  # repro: engine-surface service
+                        choices=["planned", "parallel", "incremental", "pushdown"],  # repro: engine-surface service
                         help="execution engine behind the shared cache "
                              "(parallel shards big delta joins across "
                              "worker processes; incremental answers "
                              "refinement actions from each session's "
-                             "previous ETable instead of re-matching)")
+                             "previous ETable instead of re-matching; "
+                             "pushdown routes oversized delta joins to "
+                             "an indexed SQLite image of the graph)")
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for --engine parallel, or "
                              "to layer incremental over parallel "

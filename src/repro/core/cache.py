@@ -31,7 +31,8 @@ presentation state never leaks between hits.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, replace
 
 from repro.analysis.runtime import assert_locked
 from repro.tgm.conditions import ConditionMemo
@@ -43,8 +44,11 @@ from repro.core.planner import (
     DeltaPlanner,
     ExecutionReport,
     ParallelContext,
+    Plan,
     PrefixStore,
     build_plan,
+    canonical_pattern_key,
+    normalize_pattern,
     parallel_context,
     restore_reference_order,
     execute_plan,
@@ -56,21 +60,103 @@ from repro.core.transform import transform
 def pattern_cache_key(pattern: QueryPattern) -> tuple:
     """A canonical, hashable rendering of a pattern.
 
-    Node order is normalized by key so that logically identical patterns
-    built in different orders share cache entries; conditions use their
-    ``cache_token()`` strings (deterministic for all condition types, and —
-    unlike ``describe()`` — never dropping discriminating detail such as a
-    ``NodeIs`` node id behind a shared display label).
+    Node order is normalized by key and commutative combinators render
+    canonically (see :func:`repro.core.planner.canonical_pattern_key`), so
+    logically identical patterns built in different orders — including an
+    ``AndCondition`` with reordered operands — share cache entries.
+    Condition tokens build on ``cache_token()`` strings (deterministic for
+    all condition types, and — unlike ``describe()`` — never dropping
+    discriminating detail such as a ``NodeIs`` node id behind a shared
+    display label).
     """
-    nodes = tuple(
-        (node.key, node.type_name,
-         tuple(sorted(c.cache_token() for c in node.conditions)))
-        for node in sorted(pattern.nodes, key=lambda n: n.key)
-    )
-    edges = tuple(
-        sorted((e.edge_type, e.source_key, e.target_key) for e in pattern.edges)
-    )
-    return (pattern.primary_key, nodes, edges)
+    return canonical_pattern_key(pattern)
+
+
+class CompiledPlanCache:
+    """Fleet-wide LRU of compiled :class:`~repro.core.planner.Plan` objects
+    keyed by *normalized* pattern (constants lifted out).
+
+    Two users filtering the same shape on different years — or the same
+    user refiltering — share one compiled plan: the cache key is
+    :attr:`~repro.core.planner.NormalizedPattern.key`, and on a hit the
+    cached plan is rebound to the caller's concrete pattern, which is how
+    constants are "bound at execution" (the join order and step structure
+    are shape-properties; the conditions executed come from the live
+    pattern, never the cached one). Per-step ``est_rows`` annotations keep
+    the estimates of the pattern that first compiled the plan — cosmetic
+    for ``explain``, irrelevant for execution.
+
+    Entries are valid only for the graph snapshot they were planned over:
+    every access checks the graph's mutation version and drops the whole
+    cache when it moved (statistics — and therefore join order — may have
+    changed). Thread-safe behind one lock, like the executor that owns it.
+    """
+
+    def __init__(self, graph: InstanceGraph, max_entries: int = 512) -> None:
+        self._graph = graph
+        self.max_entries = max_entries
+        self._lock = threading.Lock()
+        self._plans: OrderedDict[tuple, Plan] = OrderedDict()  # guarded-by: self._lock
+        self._graph_version = graph.version  # guarded-by: self._lock
+        self.hits = 0  # guarded-by: self._lock
+        self.misses = 0  # guarded-by: self._lock
+        self.evictions = 0  # guarded-by: self._lock
+        self.invalidations = 0  # guarded-by: self._lock
+
+    def _check_version(self) -> None:  # requires-lock
+        assert_locked(self._lock, "CompiledPlanCache._lock")
+        if self._graph_version != self._graph.version:
+            self._plans.clear()
+            self._graph_version = self._graph.version
+            self.invalidations += 1
+
+    def get(self, key: tuple, pattern: QueryPattern) -> Plan | None:
+        """The cached plan for ``key``, rebound to ``pattern`` — or None.
+
+        The returned plan shares its (immutable) steps with the cached
+        one; only the ``pattern`` field is swapped, so execution evaluates
+        the caller's own conditions in the cached join order.
+        """
+        with self._lock:
+            self._check_version()
+            plan = self._plans.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            self._plans.move_to_end(key)
+            return replace(plan, pattern=pattern)
+
+    def put(self, key: tuple, plan: Plan) -> None:
+        with self._lock:
+            self._check_version()
+            self._plans[key] = plan
+            self._plans.move_to_end(key)
+            while len(self._plans) > self.max_entries:
+                self._plans.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._plans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+
+    def stats(self) -> dict:
+        """Counters for ``stats_payload()["plan_cache"]`` (JSON-able)."""
+        with self._lock:
+            lookups = self.hits + self.misses
+            return {
+                "entries": len(self._plans),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / lookups if lookups else 0.0,
+                "evictions": self.evictions,
+                "invalidations": self.invalidations,
+            }
 
 
 @dataclass
@@ -82,6 +168,7 @@ class CacheStats:
     prefix_hits: int = 0
     reused_nodes: int = 0
     delta_joins: int = 0
+    pushdown_joins: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -201,6 +288,8 @@ class CachingExecutor:
         max_prefix_cells: int | None = 4_000_000,
         parallel: ParallelContext | None = None,
         workers: int | None = None,
+        pushdown: "PushdownContext | None" = None,
+        max_plans: int = 512,
     ) -> None:
         self.graph = graph
         self.max_entries = max_entries
@@ -212,6 +301,13 @@ class CachingExecutor:
         if parallel is None and workers is not None:
             parallel = parallel_context(workers)
         self.parallel = parallel
+        # SQL pushdown of oversized delta joins (``engine="pushdown"``):
+        # like the parallel path, pushed joins are merged back into ordinary
+        # GraphRelations before caching, so they compose with prefix reuse.
+        self.pushdown = pushdown
+        # Compiled plans are shared across every session this executor
+        # serves — the fleet-wide normalized plan cache of ROADMAP item 3.
+        self.plans = CompiledPlanCache(graph, max_entries=max_plans)
         self.stats = CacheStats()  # guarded-by: self._lock
         self.memo = ConditionMemo()  # guarded-by: self._lock
         # Aggregated counters of every IncrementalExecutor layered over this
@@ -253,7 +349,15 @@ class CachingExecutor:
                 return cached
             self.stats.misses += 1
             pattern.validate(self.graph.schema)
-            plan = build_plan(pattern, self.graph, semijoin=False)
+            # Consult the compiled-plan cache before planning: patterns
+            # sharing a normalized shape (same structure, any constants)
+            # reuse one plan, with this pattern's constants bound at
+            # execution by the rebind inside ``CompiledPlanCache.get``.
+            normalized = normalize_pattern(pattern)
+            plan = self.plans.get(normalized.key, pattern)
+            if plan is None:
+                plan = build_plan(pattern, self.graph, semijoin=False)
+                self.plans.put(normalized.key, plan)
             report = ExecutionReport()
             relation = execute_plan(
                 plan,
@@ -262,11 +366,13 @@ class CachingExecutor:
                 store=self.prefixes,
                 report=report,
                 parallel=self.parallel,
+                pushdown=self.pushdown,
             )
             if report.reused_nodes:
                 self.stats.prefix_hits += 1
                 self.stats.reused_nodes += report.reused_nodes
             self.stats.delta_joins += report.delta_joins
+            self.stats.pushdown_joins += report.pushdown_joins
             result = restore_reference_order(pattern, relation, self.graph)
             self._store.put(key, result)
             return result
@@ -315,12 +421,18 @@ class CachingExecutor:
             ),
             "reused_nodes": self.stats.reused_nodes,
             "delta_joins": self.stats.delta_joins,
+            "pushdown_joins": self.stats.pushdown_joins,
             "results": self._store.stats(),
             "prefixes": self.prefixes.stats(),
+            "plan_cache": self.plans.stats(),
             "incremental": self.incremental.payload(),
             "parallel": (
                 self.parallel.stats_payload()
                 if self.parallel is not None else None
+            ),
+            "pushdown": (
+                self.pushdown.stats_payload()
+                if self.pushdown is not None else None
             ),
         }
 
@@ -330,6 +442,7 @@ class CachingExecutor:
             self._store.clear()
             self.prefixes.clear()
             self.memo.clear()
+            self.plans.clear()
 
 
 class IncrementalExecutor:
@@ -342,9 +455,13 @@ class IncrementalExecutor:
     action's* relation — a filter becomes a row-selection, a pivot one
     delta join, a shift a re-rank — and only falls back to the base
     executor's full planner for non-monotone actions or when the cost model
-    says replanning is cheaper. Every result (delta or replan) is recorded
+    says replanning is cheaper — a fall-back that consults the base's
+    :class:`CompiledPlanCache` before planning, so even replans reuse
+    normalized compiled plans. Every result (delta or replan) is recorded
     in the lineage and adopted into the base's whole-pattern cache, so
-    cross-session reuse still compounds.
+    cross-session reuse still compounds. Delta joins ride the base's
+    pushdown context when one is attached, so ``incremental`` layers over
+    ``pushdown`` transparently too.
 
     The instance is **per-session** (the lineage and previous-relation
     pointer are a session's private chain); the base executor may be shared
@@ -375,6 +492,10 @@ class IncrementalExecutor:
     @property
     def parallel(self) -> ParallelContext | None:
         return self.base.parallel
+
+    @property
+    def pushdown(self) -> "PushdownContext | None":
+        return self.base.pushdown
 
     def _remember(self, pattern: QueryPattern, relation: GraphRelation,
                   key: tuple) -> None:
@@ -418,6 +539,7 @@ class IncrementalExecutor:
             relation, report = self.planner.execute(
                 delta, previous[1], pattern,
                 memo=self.base.memo, parallel=self.base.parallel,
+                pushdown=self.base.pushdown,
             )
             if not delta.order_preserved:
                 relation = restore_reference_order(
@@ -431,6 +553,7 @@ class IncrementalExecutor:
                 f"[{report.rows_in} -> {report.rows_out} rows, "
                 f"{report.rows_touched} touched"
                 + (", partitioned" if report.parallel_join else "")
+                + (", pushed to SQL" if report.pushdown_join else "")
                 + "]"
             )
             # Feed the exact result back to the shared whole-pattern cache.

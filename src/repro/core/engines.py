@@ -27,10 +27,12 @@ ENGINES = (  # repro: engine-registry
     "planned",
     "parallel",
     "incremental",
+    "pushdown",
 )
 
 SERVICE_ENGINES = (  # repro: engine-registry
     "planned",
     "parallel",
     "incremental",
+    "pushdown",
 )

@@ -20,6 +20,10 @@ Two evaluators implement the same function:
   prefix relations above a size threshold are sharded by prefix-tuple
   partition across worker processes and merged in partition order, still
   bit-identical to :func:`match`.
+* :func:`match_pushdown` — the planned engine with cost-based SQL pushdown:
+  delta joins whose estimated intermediate exceeds a threshold run as
+  indexed SQLite queries over the four-table storage image, still
+  bit-identical to :func:`match`.
 
 The pattern is a tree, so a BFS order from the primary node guarantees each
 join connects the new node to the already-joined prefix. Selections are
@@ -91,6 +95,41 @@ def match_parallel(
         graph,
         memo=memo,
         parallel=context or parallel_context(workers),
+    )
+    return restore_reference_order(pattern, relation, graph)
+
+
+def match_pushdown(
+    pattern: QueryPattern,
+    graph: InstanceGraph,
+    stats: GraphStatistics | None = None,
+    memo: ConditionMemo | None = None,
+    context: "PushdownContext | None" = None,
+    min_rows: int | None = None,
+) -> GraphRelation:
+    """Evaluate ``m(Q)`` routing oversized delta joins to SQLite; output
+    equals :func:`match`.
+
+    ``context`` supplies the per-graph SQL engine (and its cost threshold);
+    without one, the process-wide shared context for ``(graph, min_rows)``
+    is used. Joins whose estimated intermediate stays below the threshold
+    run in the Python kernel as usual, so interactive steps never pay the
+    round-trip.
+    """
+    from repro.core.planner import (
+        build_plan,
+        execute_plan,
+        restore_reference_order,
+    )
+    from repro.relational.backends.pushdown import pushdown_context
+
+    pattern.validate(graph.schema)
+    plan = build_plan(pattern, graph, stats=stats, semijoin=False)
+    relation = execute_plan(
+        plan,
+        graph,
+        memo=memo,
+        pushdown=context or pushdown_context(graph, min_rows),
     )
     return restore_reference_order(pattern, relation, graph)
 

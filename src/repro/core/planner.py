@@ -40,7 +40,7 @@ import threading
 import time
 from collections import OrderedDict, deque
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Iterable, Sequence
 from weakref import WeakKeyDictionary
 
@@ -377,6 +377,216 @@ def _traversal_edge_name(
 
 
 # ----------------------------------------------------------------------
+# Pattern normalization: constants lifted into a parameter vector
+# ----------------------------------------------------------------------
+@dataclass(frozen=True, repr=False)
+class PlanParameter:
+    """Placeholder for one constant lifted out of a normalized pattern.
+
+    Renders as ``?`` (index-free) so the canonical key of ``year = 2006``
+    and ``year = 2010`` is the same string — two users filtering on
+    different constants share one compiled plan. The index survives on the
+    placeholder itself so :meth:`NormalizedPattern.bind` can put every
+    constant back exactly where it came from.
+    """
+
+    index: int
+
+    def __repr__(self) -> str:
+        return "?"
+
+    def __str__(self) -> str:
+        return "?"
+
+
+def _lift_condition(condition: Condition, params: list) -> Condition:
+    """Replace comparison / ``IN`` / ``LIKE`` constants with placeholders.
+
+    Appends each lifted constant to ``params`` (depth-first, structural
+    order) and returns the templated condition. Identity conditions
+    (``NodeIs`` / ``NodeIn``) stay structural: a Single/SeeAll action's node
+    id *is* the query shape, and lifting it would make unrelated drill-downs
+    share a plan keyed only on "some identity probe".
+    """
+    if isinstance(condition, AttributeCompare):
+        params.append(condition.value)
+        return replace(condition, value=PlanParameter(len(params) - 1))
+    if isinstance(condition, AttributeIn):
+        # The whole value tuple is one parameter, so the canonical key is
+        # arity-independent: ``year in (2006, 2007)`` and a three-year IN
+        # share the same compiled plan.
+        params.append(tuple(condition.values))
+        return replace(condition, values=(PlanParameter(len(params) - 1),))
+    if isinstance(condition, AttributeLike):
+        params.append(condition.pattern)
+        return replace(condition, pattern=PlanParameter(len(params) - 1))
+    if isinstance(condition, LabelLike):
+        params.append(condition.pattern)
+        return replace(condition, pattern=PlanParameter(len(params) - 1))
+    if isinstance(condition, NeighborSatisfies):
+        return replace(condition, inner=_lift_condition(condition.inner, params))
+    if isinstance(condition, (AndCondition, OrCondition)):
+        return replace(
+            condition,
+            operands=tuple(
+                _lift_condition(operand, params) for operand in condition.operands
+            ),
+        )
+    if isinstance(condition, NotCondition):
+        return replace(condition, operand=_lift_condition(condition.operand, params))
+    return condition
+
+
+def _bind_condition(condition: Condition, params: Sequence) -> Condition:
+    """Exact inverse of :func:`_lift_condition` for one templated condition."""
+    if isinstance(condition, AttributeCompare):
+        if isinstance(condition.value, PlanParameter):
+            return replace(condition, value=params[condition.value.index])
+        return condition
+    if isinstance(condition, AttributeIn):
+        if len(condition.values) == 1 and isinstance(
+            condition.values[0], PlanParameter
+        ):
+            return replace(
+                condition, values=tuple(params[condition.values[0].index])
+            )
+        return condition
+    if isinstance(condition, AttributeLike):
+        if isinstance(condition.pattern, PlanParameter):
+            return replace(condition, pattern=params[condition.pattern.index])
+        return condition
+    if isinstance(condition, LabelLike):
+        if isinstance(condition.pattern, PlanParameter):
+            return replace(condition, pattern=params[condition.pattern.index])
+        return condition
+    if isinstance(condition, NeighborSatisfies):
+        return replace(condition, inner=_bind_condition(condition.inner, params))
+    if isinstance(condition, (AndCondition, OrCondition)):
+        return replace(
+            condition,
+            operands=tuple(
+                _bind_condition(operand, params) for operand in condition.operands
+            ),
+        )
+    if isinstance(condition, NotCondition):
+        return replace(condition, operand=_bind_condition(condition.operand, params))
+    return condition
+
+
+def canonical_condition_token(condition: Condition) -> str:
+    """``cache_token()`` with commutative combinator operands sorted.
+
+    ``AndCondition((a, b))`` and ``AndCondition((b, a))`` select the same
+    rows but render different ``cache_token()`` strings (operand order is
+    preserved there); sorting the operand tokens recursively makes the
+    rendering canonical, so semantically equal conditions share cache keys.
+    """
+    if isinstance(condition, AndCondition):
+        return " & ".join(
+            sorted(canonical_condition_token(o) for o in condition.operands)
+        )
+    if isinstance(condition, OrCondition):
+        return " | ".join(
+            sorted(f"({canonical_condition_token(o)})" for o in condition.operands)
+        )
+    if isinstance(condition, NotCondition):
+        return f"not ({canonical_condition_token(condition.operand)})"
+    if isinstance(condition, NeighborSatisfies):
+        return (
+            f"any {condition.edge_type} "
+            f"({canonical_condition_token(condition.inner)})"
+        )
+    return condition.cache_token()
+
+
+def canonical_pattern_key(pattern: QueryPattern) -> tuple:
+    """Canonical, hashable, full-fidelity rendering of a pattern.
+
+    Node order is normalized by key, per-node condition tokens are sorted,
+    and commutative combinators render canonically (see
+    :func:`canonical_condition_token`) — logically identical patterns built
+    in different orders share one key, constants included.
+    """
+    nodes = tuple(
+        (
+            node.key,
+            node.type_name,
+            tuple(sorted(canonical_condition_token(c) for c in node.conditions)),
+        )
+        for node in sorted(pattern.nodes, key=lambda n: n.key)
+    )
+    edges = tuple(
+        sorted((e.edge_type, e.source_key, e.target_key) for e in pattern.edges)
+    )
+    return (pattern.primary_key, nodes, edges)
+
+
+@dataclass(frozen=True)
+class NormalizedPattern:
+    """A pattern with its filter constants lifted out (edgedb-style).
+
+    ``key`` is the canonical constant-free cache key: patterns differing
+    only in comparison / ``IN`` / ``LIKE`` constants — or in node /
+    condition / combinator-operand order — share it, so a compiled plan
+    built for one serves them all. ``template`` preserves the *original*
+    structural order with :class:`PlanParameter` placeholders where the
+    constants were; ``params`` holds the lifted constants, indexed by
+    placeholder. ``bind()`` is the exact inverse of
+    :func:`normalize_pattern`.
+    """
+
+    key: tuple
+    template: QueryPattern
+    params: tuple
+
+    def bind(self, params: Sequence | None = None) -> QueryPattern:
+        """The template with constants substituted back in.
+
+        With no argument, rebinds this normalization's own constants —
+        ``normalize_pattern(p).bind() == p`` exactly. Pass another
+        pattern's parameter vector (same normalized key) to transplant its
+        constants into this shape.
+        """
+        values = self.params if params is None else tuple(params)
+        nodes = tuple(
+            replace(
+                node,
+                conditions=tuple(
+                    _bind_condition(c, values) for c in node.conditions
+                ),
+            )
+            for node in self.template.nodes
+        )
+        return replace(self.template, nodes=nodes)
+
+
+def normalize_pattern(pattern: QueryPattern) -> NormalizedPattern:
+    """Lift constants out of ``pattern`` into a parameter vector.
+
+    The parameter order is the depth-first structural order of the original
+    pattern (nodes, then each node's conditions, then combinator operands),
+    so binding is position-exact regardless of how the canonical key sorts
+    things for cache identity.
+    """
+    params: list = []
+    nodes = tuple(
+        replace(
+            node,
+            conditions=tuple(
+                _lift_condition(c, params) for c in node.conditions
+            ),
+        )
+        for node in pattern.nodes
+    )
+    template = replace(pattern, nodes=nodes)
+    return NormalizedPattern(
+        key=canonical_pattern_key(template),
+        template=template,
+        params=tuple(params),
+    )
+
+
+# ----------------------------------------------------------------------
 # Prefix store: canonical subpattern keys -> intermediate relations
 # ----------------------------------------------------------------------
 def subpattern_key(pattern: QueryPattern, keys: frozenset[str]) -> tuple:
@@ -602,6 +812,7 @@ class ExecutionReport:
     semijoin_pruned: int = 0
     parallel_joins: int = 0
     serial_fallbacks: int = 0
+    pushdown_joins: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -1006,6 +1217,7 @@ def execute_plan(
     store: PrefixStore | None = None,
     report: ExecutionReport | None = None,
     parallel: ParallelContext | None = None,
+    pushdown: "PushdownContext | None" = None,
 ) -> GraphRelation:
     """Run a plan; result tuples are in *engine order* (see
     :func:`restore_reference_order` for the reference ordering).
@@ -1026,6 +1238,15 @@ def execute_plan(
     partition order — bit-identical output, including under a ``store``
     (the merged relation is what gets cached, so partitioned results
     compose with prefix reuse transparently).
+
+    With a ``pushdown`` context
+    (:class:`repro.relational.backends.pushdown.PushdownContext`): each
+    delta join whose estimated intermediate clears the context's cost rule
+    is routed to the SQL backend over the four-table storage instead of the
+    Python kernel — also bit-identical (the SQL reproduces the adjacency
+    probe order exactly), so pushed joins compose with a ``store`` the same
+    way partitioned ones do. The pushdown decision is evaluated before the
+    parallel one: a join big enough for SQL is answered there outright.
     """
     pattern = plan.pattern
     report = report if report is not None else ExecutionReport()
@@ -1092,7 +1313,17 @@ def execute_plan(
             continue
         stuck_guard = 0
         left_key, traversal = join_info
-        if parallel is not None and parallel.should_parallelize(len(relation)):
+        if pushdown is not None and pushdown.should_push(len(relation), traversal):
+            relation = pushdown.delta_join(
+                relation,
+                left_key,
+                traversal,
+                step.key,
+                types[step.key],
+                candidate_set(step.key),
+            )
+            report.pushdown_joins += 1
+        elif parallel is not None and parallel.should_parallelize(len(relation)):
             relation = _delta_join_parallel(
                 relation,
                 graph,
@@ -1667,6 +1898,7 @@ class DeltaReport:
     rows_out: int = 0
     rows_touched: int = 0
     parallel_join: bool = False
+    pushdown_join: bool = False
 
 
 def execute_delta(
@@ -1676,16 +1908,18 @@ def execute_delta(
     graph: InstanceGraph,
     memo: ConditionMemo | None = None,
     parallel: ParallelContext | None = None,
+    pushdown: "PushdownContext | None" = None,
 ) -> tuple[GraphRelation, DeltaReport]:
     """Derive ``m(pattern)`` from the previous pattern's full relation.
 
     Selections filter the relation row-wise (sharing the executor's
     condition memo); an extension runs exactly one delta join — through the
-    parallel partition path when a context is attached and the prefix
-    clears its threshold, so ``engine="incremental"`` composes with
-    ``engine="parallel"``. The output is in engine order unless
-    ``delta.order_preserved``; callers restore the reference order exactly
-    as the full planner does.
+    SQL pushdown path when a context is attached and the join clears its
+    cost rule, or the parallel partition path when that context's threshold
+    clears instead, so ``engine="incremental"`` composes with both
+    ``engine="pushdown"`` and ``engine="parallel"``. The output is in
+    engine order unless ``delta.order_preserved``; callers restore the
+    reference order exactly as the full planner does.
     """
     report = DeltaReport(kind=delta.kind, rows_in=len(prev_relation))
     relation = prev_relation
@@ -1702,7 +1936,15 @@ def execute_delta(
                 candidate_ids(graph, node.type_name, condition, memo)
             )
         report.rows_touched += len(relation)
-        if parallel is not None and parallel.should_parallelize(len(relation)):
+        if pushdown is not None and pushdown.should_push(
+            len(relation), traversal
+        ):
+            relation = pushdown.delta_join(
+                relation, left_key, traversal, new_key,
+                node.type_name, candidate_set,
+            )
+            report.pushdown_join = True
+        elif parallel is not None and parallel.should_parallelize(len(relation)):
             relation = _delta_join_parallel(
                 relation, graph, left_key, traversal, new_key,
                 node.type_name, candidate_set, parallel,
@@ -1785,8 +2027,9 @@ class DeltaPlanner:
         pattern: QueryPattern,
         memo: ConditionMemo | None = None,
         parallel: ParallelContext | None = None,
+        pushdown: "PushdownContext | None" = None,
     ) -> tuple[GraphRelation, DeltaReport]:
         return execute_delta(
             delta, prev_relation, pattern, self.graph,
-            memo=memo, parallel=parallel,
+            memo=memo, parallel=parallel, pushdown=pushdown,
         )

@@ -115,11 +115,12 @@ class Repl:
         # (the `plan` command then shows per-partition timings);
         # engine="incremental" answers refinement actions from the previous
         # ETable's relation (the `plan` command then shows the chosen delta
-        # kind and the session's delta-hit rate).
-        if engine not in ("naive", "planned", "parallel", "incremental"):  # repro: engine-surface all
+        # kind and the session's delta-hit rate); engine="pushdown" routes
+        # oversized delta joins to an indexed SQLite image of the graph.
+        if engine not in ("naive", "planned", "parallel", "incremental", "pushdown"):  # repro: engine-surface all
             raise InvalidAction(
                 f"unknown engine {engine!r}; the REPL speaks 'naive', "
-                f"'planned', 'parallel', and 'incremental'"
+                f"'planned', 'parallel', 'incremental', and 'pushdown'"
             )
         self.session = EtableSession(schema, graph, use_cache=use_cache,
                                      engine=engine, workers=workers)

@@ -51,10 +51,10 @@ class EtableSession:
         executor: "CachingExecutor | None" = None,
         workers: int | None = None,
     ) -> None:
-        if engine not in ("naive", "planned", "parallel", "incremental"):  # repro: engine-surface all
+        if engine not in ("naive", "planned", "parallel", "incremental", "pushdown"):  # repro: engine-surface all
             raise InvalidAction(
                 f"unknown engine {engine!r}; expected 'naive', 'planned', "
-                f"'parallel', or 'incremental'"
+                f"'parallel', 'incremental', or 'pushdown'"
             )
         self.schema = schema
         self.graph = graph
@@ -78,7 +78,7 @@ class EtableSession:
         # ``workers``/a parallel-context executor (delta joins shard when
         # big enough) and implies the cache.
         if executor is not None or use_cache or engine == "incremental":
-            if engine not in ("planned", "parallel", "incremental"):  # repro: engine-surface service
+            if engine not in ("planned", "parallel", "incremental", "pushdown"):  # repro: engine-surface service
                 # The caching executor always plans; silently serving the
                 # planner to someone who asked for the naive oracle would
                 # mask exactly the discrepancies the oracle exists to find.
@@ -112,12 +112,20 @@ class EtableSession:
 
             # engine="parallel" + cache: the executor runs partitioned delta
             # joins and caches the merged relations — prefix reuse and
-            # parallel partitions compose.
+            # parallel partitions compose. Likewise engine="pushdown" +
+            # cache: oversized delta joins route to the shared SQLite image
+            # while their results still land in the relation cache.
             if engine == "parallel":
                 from repro.core.planner import parallel_context
 
                 self._executor = CachingExecutor(
                     graph, parallel=parallel_context(workers)
+                )
+            elif engine == "pushdown":
+                from repro.relational.backends.pushdown import pushdown_context
+
+                self._executor = CachingExecutor(
+                    graph, pushdown=pushdown_context(graph)
                 )
             else:
                 self._executor = CachingExecutor(graph)

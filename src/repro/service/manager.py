@@ -75,11 +75,11 @@ class SessionManager:
         compact_every: int | None = 64,
         adaptive_threshold: bool = False,
     ) -> None:
-        if engine not in ("planned", "parallel", "incremental"):  # repro: engine-surface service
+        if engine not in ("planned", "parallel", "incremental", "pushdown"):  # repro: engine-surface service
             raise ServiceError(
                 f"the service executes through the caching planner; "
-                f"engine must be 'planned', 'parallel', or 'incremental', "
-                f"not {engine!r}"
+                f"engine must be 'planned', 'parallel', 'incremental', "
+                f"or 'pushdown', not {engine!r}"
             )
         if compact_every is not None and compact_every < 1:
             raise ServiceError(
@@ -105,7 +105,10 @@ class SessionManager:
         # engine="incremental" each hosted session additionally wraps this
         # shared executor in its own per-session IncrementalExecutor (the
         # lineage chain is private; the fallback planner and its caches are
-        # shared), optionally over the same worker pool.
+        # shared), optionally over the same worker pool. With
+        # engine="pushdown" the executor routes oversized delta joins to
+        # one shared SQLite image of the graph (its own lock serializes
+        # the service's request threads).
         if executor is None:
             if engine == "parallel" or (engine == "incremental"
                                         and workers is not None):
@@ -116,6 +119,14 @@ class SessionManager:
                     parallel=parallel_context(
                         workers, adaptive=adaptive_threshold
                     ),
+                )
+            elif engine == "pushdown":
+                from repro.relational.backends.pushdown import (
+                    pushdown_context,
+                )
+
+                executor = CachingExecutor(
+                    graph, pushdown=pushdown_context(graph)
                 )
             else:
                 executor = CachingExecutor(graph)

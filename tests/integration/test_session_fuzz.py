@@ -1,12 +1,12 @@
-"""Differential session fuzzing across all five execution engines.
+"""Differential session fuzzing across all seven execution engines.
 
 The PR 2 equivalence suite proved the planner matches the naive oracle on
 hand-picked patterns; this harness proves it — plus the parallel partition
-engine and the prefix-reuse cache — on *hundreds of machine-generated
-browsing sessions* per dataset. A seeded generator produces random but
-valid-by-construction action sequences (params are drawn from the live
-schema and the current table state), and every sequence is replayed
-step-in-lockstep through five sessions:
+engine, the SQL pushdown engine, and the prefix-reuse cache — on
+*hundreds of machine-generated browsing sessions* per dataset. A seeded
+generator produces random but valid-by-construction action sequences
+(params are drawn from the live schema and the current table state), and
+every sequence is replayed step-in-lockstep through seven sessions:
 
 * ``naive``       — the reference BFS matcher, no cache;
 * ``planned``     — the cost-based planner behind a shared
@@ -16,27 +16,34 @@ step-in-lockstep through five sessions:
                     shared executor, with the serial-fallback threshold
                     forced to zero so every join really crosses process
                     boundaries;
+* ``pushdown``    — the planner with delta joins routed to an indexed
+                    SQLite image of the graph behind its own shared
+                    executor, with the cost threshold forced to zero so
+                    every join really runs as SQL;
 * ``incremental`` — the action-delta engine (``engine="incremental"``)
                     layered over the shared planned executor: filters
                     become row-selections over the previous relation,
                     pivots one delta join, reverts lineage lookups;
 * ``incremental_parallel`` — the same delta engine layered over the shared
                     parallel executor (threshold still zero), so delta
-                    joins cross process boundaries too.
+                    joins cross process boundaries too;
+* ``incremental_pushdown`` — the same delta engine layered over the shared
+                    pushdown executor (threshold still zero), so replans
+                    and delta-extension joins run as SQL too.
 
-The two incremental sessions also *adopt* their delta-derived relations
+The three incremental sessions also *adopt* their delta-derived relations
 into the shared executors' whole-pattern caches, so a wrong delta would
-poison the planned/parallel sessions of later sequences — the lockstep
-comparison is sensitive to that immediately.
+poison the planned/parallel/pushdown sessions of later sequences — the
+lockstep comparison is sensitive to that immediately.
 
 After every action the harness asserts
 
-1. the five ETables are identical cell-for-cell (full protocol
+1. the seven ETables are identical cell-for-cell (full protocol
    serialization, hidden columns and reference lists included);
 2. the wire protocol is a fixpoint: ``serialize -> deserialize ->
    serialize`` reproduces the exact payload, for the ETable and for the
    session history;
-3. the five histories stay in lockstep.
+3. the seven histories stay in lockstep.
 
 Failures print the dataset, the master seed, the per-sequence seed, and
 the full action script as JSON — paste it into
@@ -59,14 +66,15 @@ from repro.core.cache import CachingExecutor
 from repro.core.etable import ColumnKind
 from repro.core.planner import ParallelContext
 from repro.core.session import EtableSession
+from repro.relational.backends.pushdown import PushdownContext
 from repro.service import protocol
 
 SEQUENCES = int(os.environ.get("REPRO_FUZZ_SEQUENCES", "200"))
 MASTER_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
 MAX_ACTIONS = int(os.environ.get("REPRO_FUZZ_MAX_ACTIONS", "5"))
 
-ENGINES = ("naive", "planned", "parallel", "incremental",  # repro: engine-surface fuzzer
-           "incremental_parallel")
+ENGINES = ("naive", "planned", "parallel", "pushdown",  # repro: engine-surface fuzzer
+           "incremental", "incremental_parallel", "incremental_pushdown")
 
 
 # ----------------------------------------------------------------------
@@ -144,6 +152,11 @@ def corpus(request, parallel_ctx):
     executors = {
         "planned": CachingExecutor(tgdb.graph),
         "parallel": CachingExecutor(tgdb.graph, parallel=parallel_ctx),
+        # min_rows=0 forces every delta join through the SQL path — the
+        # fuzzer must exercise the pushed join, not the cost-rule fallback.
+        "pushdown": CachingExecutor(
+            tgdb.graph, pushdown=PushdownContext(tgdb.graph, min_rows=0)
+        ),
     }
     return request.param, tgdb, executors
 
@@ -310,6 +323,8 @@ def _run_sequence(dataset, tgdb, executors, seed):
                                  executor=executors["planned"]),
         "parallel": EtableSession(tgdb.schema, graph, engine="parallel",
                                   executor=executors["parallel"]),
+        "pushdown": EtableSession(tgdb.schema, graph, engine="pushdown",
+                                  executor=executors["pushdown"]),
         # The incremental engine is per-session (its own result lineage)
         # over the *shared* executors, mirroring the multi-user service.
         "incremental": EtableSession(tgdb.schema, graph,
@@ -318,6 +333,9 @@ def _run_sequence(dataset, tgdb, executors, seed):
         "incremental_parallel": EtableSession(tgdb.schema, graph,
                                               engine="incremental",
                                               executor=executors["parallel"]),
+        "incremental_pushdown": EtableSession(tgdb.schema, graph,
+                                              engine="incremental",
+                                              executor=executors["pushdown"]),
     }
     driver = sessions["naive"]
     script: list = []
@@ -372,10 +390,14 @@ def test_fuzz_engines_bit_identical(corpus):
     # boundaries (the whole point of fuzzing the parallel engine).
     parallel_stats = executors["parallel"].stats_payload()["parallel"]
     assert parallel_stats["parallel_joins"] > 0
+    # The shared pushdown executor must have really answered joins from
+    # SQLite (min_rows=0 guarantees eligibility, this guarantees use).
+    pushdown_stats = executors["pushdown"].stats_payload()["pushdown"]
+    assert pushdown_stats["pushed_joins"] > 0
     # The incremental sessions must have really answered actions from the
     # previous relation (aggregated on the shared base executors) — a
     # classifier that always falls back would pass lockstep trivially.
-    for name in ("planned", "parallel"):
+    for name in ("planned", "parallel", "pushdown"):
         incremental = executors[name].stats_payload()["incremental"]
         assert incremental["delta_actions"] > 0, (
             f"{name} base: no fuzz action ever took the delta path"

@@ -1,0 +1,205 @@
+"""The SQL pushdown backend: bit-identical joins, cost rule, lifecycle.
+
+The differential fuzzer already holds ``engine="pushdown"`` in lockstep
+with the naive oracle across hundreds of sessions; this suite pins the
+unit-level contract directly:
+
+* a pushed delta join returns the *exact* relation the Python kernel
+  (:func:`repro.core.planner._delta_join`) returns — same attributes,
+  same tuples, same order — for forward traversals, reverse traversals
+  (the two-arm ``UNION ALL``), filtered candidate sets, and the
+  unconditioned ``candidate_set=None`` fast path;
+* the cost rule pushes exactly when ``|prefix| × avg_degree`` reaches the
+  threshold, with the environment override honored;
+* one SQLite image serves many joins, and a graph mutation forces a
+  reload (never a stale answer);
+* the process-wide registry shares a context per ``(graph, threshold)``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matching import match, match_pushdown
+from repro.core.planner import _delta_join
+from repro.core.query_pattern import PatternEdge, PatternNode, single_node_pattern
+from repro.relational.backends import PushdownContext, pushdown_context
+from repro.relational.backends.pushdown import (
+    DEFAULT_MIN_PUSHDOWN_ROWS,
+    resolve_min_pushdown_rows,
+)
+from repro.tgm.conditions import AttributeCompare
+from repro.tgm.graph_relation import base_relation
+
+
+def _assert_same_relation(pushed, kernel):
+    assert [a.key for a in pushed.attributes] == [
+        a.key for a in kernel.attributes
+    ]
+    assert pushed.tuples == kernel.tuples
+
+
+def _join_case(tgdb, context, base_type, key, traversal, new_key, new_type,
+               candidates):
+    prefix = base_relation(tgdb.graph, base_type, key=key)
+    kernel = _delta_join(prefix, tgdb.graph, key, traversal, new_key,
+                         new_type, candidates)
+    pushed = context.delta_join(prefix, key, traversal, new_key, new_type,
+                                candidates)
+    _assert_same_relation(pushed, kernel)
+    return kernel
+
+
+@pytest.fixture()
+def context(toy):
+    ctx = PushdownContext(toy.graph, min_rows=0)
+    yield ctx
+    ctx.close()
+
+
+def test_forward_join_matches_kernel(toy, context):
+    kernel = _join_case(toy, context, "Papers", "p", "Papers->Authors",
+                        "a", "Authors", None)
+    assert len(kernel) > 0  # the case must actually join something
+
+
+def test_reverse_join_matches_kernel(toy, context):
+    # Authors->Papers edges are *stored* under whichever twin inserted
+    # them; traversing from Authors exercises the reverse UNION ALL arm.
+    kernel = _join_case(toy, context, "Authors", "a", "Authors->Papers",
+                        "p", "Papers", None)
+    assert len(kernel) > 0
+
+
+def test_candidate_filter_matches_kernel(toy, context):
+    papers = toy.graph.node_ids_of_type("Papers")
+    candidates = frozenset(papers[::2])  # arbitrary strict subset
+    assert candidates
+    _join_case(toy, context, "Authors", "a", "Authors->Papers",
+               "p", "Papers", candidates)
+
+
+def test_empty_candidates_empty_result(toy, context):
+    kernel = _join_case(toy, context, "Authors", "a", "Authors->Papers",
+                        "p", "Papers", frozenset())
+    assert len(kernel) == 0
+
+
+def test_self_referencing_type_matches_kernel(toy, context):
+    # Papers cite Papers: source and target type coincide, both twins are
+    # registered, and a wrong arm would double-count.
+    _join_case(toy, context, "Papers", "p", "Papers->Papers (referenced)",
+               "q", "Papers", None)
+    _join_case(toy, context, "Papers", "p", "Papers->Papers (referencing)",
+               "q", "Papers", None)
+
+
+def test_match_pushdown_equals_reference(toy):
+    context = PushdownContext(toy.graph, min_rows=0)
+    pattern = single_node_pattern(toy.schema, "Papers")
+    primary = pattern.primary_key
+    pattern = pattern.with_conditions(
+        primary, [AttributeCompare("year", ">=", 2006)]
+    )
+    new_key = pattern.fresh_key("Authors")
+    pattern = pattern.with_node(
+        PatternNode(new_key, "Authors"),
+        PatternEdge("Papers->Authors", primary, new_key),
+    )
+    got = match_pushdown(pattern, toy.graph, context=context)
+    want = match(pattern, toy.graph)
+    _assert_same_relation(got, want)
+    assert context.pushed_joins > 0  # min_rows=0: the join really pushed
+    context.close()
+
+
+# ----------------------------------------------------------------------
+# Cost rule
+# ----------------------------------------------------------------------
+def test_should_push_threshold(toy):
+    stats = toy.graph.statistics()
+    fanout = max(1.0, stats.edge_type_stats("Papers->Authors").avg_degree)
+    context = PushdownContext(toy.graph, min_rows=100)
+    assert not context.should_push(0, "Papers->Authors")
+    assert not context.should_push(int(99 // fanout), "Papers->Authors")
+    assert context.should_push(int(100 / fanout) + 1, "Papers->Authors")
+    zero = PushdownContext(toy.graph, min_rows=0)
+    assert zero.should_push(1, "Papers->Authors")
+
+
+def test_min_rows_resolution(monkeypatch):
+    monkeypatch.delenv("REPRO_PUSHDOWN_MIN_ROWS", raising=False)
+    assert resolve_min_pushdown_rows(None) == DEFAULT_MIN_PUSHDOWN_ROWS
+    assert resolve_min_pushdown_rows(7) == 7
+    assert resolve_min_pushdown_rows(-3) == 0
+    monkeypatch.setenv("REPRO_PUSHDOWN_MIN_ROWS", "123")
+    assert resolve_min_pushdown_rows(None) == 123
+    assert resolve_min_pushdown_rows(5) == 5  # explicit beats env
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: one image, version-bound, shared registry
+# ----------------------------------------------------------------------
+def _fresh_toy():
+    from repro.datasets.academic import default_label_overrides
+    from repro.datasets.toy import generate_toy
+    from repro.translate import translate_database
+
+    return translate_database(
+        generate_toy(),
+        categorical_attributes={"Institutions": ["country"],
+                                "Papers": ["year"]},
+        label_overrides=default_label_overrides(),
+    )
+
+
+def test_one_load_serves_many_joins_until_mutation():
+    tgdb = _fresh_toy()  # private graph: this test mutates it
+    context = PushdownContext(tgdb.graph, min_rows=0)
+    _join_case(tgdb, context, "Papers", "p", "Papers->Authors",
+               "a", "Authors", None)
+    _join_case(tgdb, context, "Authors", "a", "Authors->Papers",
+               "p", "Papers", None)
+    assert context.stats_payload()["loads"] == 1
+    # A write moves the graph version: the next join must reload and see
+    # the new edge, exactly as the Python kernel does.
+    paper = tgdb.graph.nodes_of_type("Papers")[0]
+    author = tgdb.graph.add_node("Authors", {"name": "New Author"})
+    tgdb.graph.add_edge("Papers->Authors", paper.node_id, author.node_id)
+    kernel = _join_case(tgdb, context, "Papers", "p", "Papers->Authors",
+                        "a", "Authors", None)
+    payload = context.stats_payload()
+    assert payload["loads"] == 2
+    assert any(row[-1] == author.node_id for row in kernel.tuples)
+    context.close()
+
+
+def test_close_then_reuse_reloads(toy):
+    context = PushdownContext(toy.graph, min_rows=0)
+    _join_case(toy, context, "Papers", "p", "Papers->Authors",
+               "a", "Authors", None)
+    context.close()
+    _join_case(toy, context, "Papers", "p", "Papers->Authors",
+               "a", "Authors", None)
+    assert context.stats_payload()["loads"] == 2
+    context.close()
+
+
+def test_stats_payload_shape(toy, context):
+    _join_case(toy, context, "Papers", "p", "Papers->Authors",
+               "a", "Authors", None)
+    payload = context.stats_payload()
+    assert payload["min_rows"] == 0
+    assert payload["pushed_joins"] == 1
+    assert payload["rows_in"] > 0
+    assert payload["rows_out"] > 0
+
+
+def test_registry_shares_per_graph_and_threshold(toy):
+    a = pushdown_context(toy.graph, min_rows=0)
+    b = pushdown_context(toy.graph, min_rows=0)
+    c = pushdown_context(toy.graph, min_rows=64)
+    assert a is b
+    assert a is not c
+    other = _fresh_toy()
+    assert pushdown_context(other.graph, min_rows=0) is not a
