@@ -2,12 +2,15 @@
 """Run the multi-user ETable navigation service over HTTP.
 
 Boots a :class:`~repro.service.manager.SessionManager` over a generated
-corpus and serves the JSON wire protocol with the stdlib threaded HTTP
-frontend — the client–server shape of the paper's prototype (Section 6).
+corpus and serves the JSON wire protocol — with the stdlib threaded HTTP
+frontend (the client–server shape of the paper's prototype, Section 6) or
+the asyncio frontend, which additionally streams ETable delta frames to
+subscribed clients over SSE.
 
     python examples/serve.py                        # academic, port 8080
     python examples/serve.py --dataset movies --port 9000
     python examples/serve.py --journal-dir journals # durable sessions
+    python examples/serve.py --frontend async       # + /stream SSE pushes
 
 Then, from any HTTP client::
 
@@ -15,19 +18,30 @@ Then, from any HTTP client::
     curl -s -X POST localhost:8080/v1/sessions/<id>/actions \\
          -d '{"action": "open", "params": {"type": "Papers"}}'
     curl -s 'localhost:8080/v1/sessions/<id>/etable?limit=5'
+    curl -sN localhost:8080/v1/sessions/<id>/stream   # async frontend only
+
+``--require-auth`` mints a per-session bearer token at create time
+(``Authorization: Bearer <token>``); ``--quota-actions`` rate-limits
+mutating actions per session. SIGTERM (and Ctrl-C) shuts down gracefully:
+in-flight requests drain, then journals flush.
 
 ``--self-test`` boots on an ephemeral port, drives a full scripted session
-end-to-end over localhost (open → filter → pivot → sort → revert → export),
-kills the service, restarts it on the same journal directory, and verifies
-the replayed session is identical — the CI smoke path.
+end-to-end over localhost (open → filter → pivot → sort → revert — over
+SSE with a lockstep folding client when the frontend is async), kills the
+service, restarts it on the same journal directory, and verifies the
+replayed session is identical — the CI smoke path.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import signal
+import socket
 import sys
 import tempfile
+import threading
+import time
 import urllib.request
 
 
@@ -75,80 +89,246 @@ def build_tgdb(dataset: str, papers: int):
     raise SystemExit(f"unknown dataset {dataset!r}")
 
 
-def _http(url: str, method: str = "GET", body: dict | None = None) -> dict:
+def _http(url: str, method: str = "GET", body: dict | None = None,
+          token: str | None = None) -> dict:
     data = json.dumps(body).encode("utf-8") if body is not None else None
+    headers = {"Content-Type": "application/json"}
+    if token:
+        headers["Authorization"] = f"Bearer {token}"
     request = urllib.request.Request(
-        url, data=data, method=method,
-        headers={"Content-Type": "application/json"},
+        url, data=data, method=method, headers=headers,
     )
     with urllib.request.urlopen(request, timeout=30) as response:
         return json.loads(response.read().decode("utf-8"))
 
 
-def self_test(args: argparse.Namespace) -> int:
-    """Boot, drive a scripted session over localhost, restart, verify."""
-    from repro.service import NavigationServer, SessionManager
+class SseClient:
+    """A lockstep SSE consumer: folds delta frames into local ETable state.
 
+    Reads ``GET /v1/sessions/<id>/stream`` on a background thread, parses
+    the ``event: frame`` blocks, and folds each
+    :class:`~repro.service.protocol.DeltaFrame` into ``self.state`` with
+    :func:`~repro.service.stream.fold_frame` — the reference client for
+    the delta-stream consistency guarantee (state must equal a fresh
+    ``GET .../etable`` after every action).
+    """
+
+    def __init__(self, host: str, port: int, session_id: str,
+                 token: str | None = None) -> None:
+        self._sock = socket.create_connection((host, port), timeout=30)
+        request = (f"GET /v1/sessions/{session_id}/stream HTTP/1.1\r\n"
+                   f"Host: {host}\r\n")
+        if token:
+            request += f"Authorization: Bearer {token}\r\n"
+        self._sock.sendall((request + "\r\n").encode("latin-1"))
+        self.state: dict | None = None
+        self.frames: list = []
+        self.actions_folded = 0
+        self._lock = threading.Lock()
+        self._buf = b""
+        self._headers = b""
+        self._reader = threading.Thread(target=self._read_loop, daemon=True)
+        self._reader.start()
+
+    def _read_loop(self) -> None:
+        from repro.service import fold_frame, frame_from_json
+
+        in_headers = True
+        while True:
+            try:
+                chunk = self._sock.recv(65536)
+            except OSError:
+                return
+            if not chunk:
+                return
+            self._buf += chunk
+            if in_headers:
+                head, sep, rest = self._buf.partition(b"\r\n\r\n")
+                if not sep:
+                    continue
+                self._headers, self._buf, in_headers = head, rest, False
+            while b"\n\n" in self._buf:
+                block, self._buf = self._buf.split(b"\n\n", 1)
+                data = b"".join(
+                    line[5:].strip() for line in block.split(b"\n")
+                    if line.startswith(b"data:")
+                )
+                if not data:
+                    continue  # ": ping" comment
+                frame = frame_from_json(json.loads(data))
+                with self._lock:
+                    self.state = fold_frame(self.state, frame)
+                    self.frames.append(frame)
+                    # coalesced counts the actions a frame covers (0 for
+                    # the subscribe-time snapshot), so the sum tracks how
+                    # far the folded state has advanced even when
+                    # backpressure merges frames.
+                    self.actions_folded += frame.coalesced
+
+    def wait_folded(self, count: int, timeout: float = 30.0) -> dict | None:
+        """Block until ``count`` actions are folded; return the state."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if self.actions_folded >= count:
+                    return self.state
+            time.sleep(0.005)
+        raise AssertionError(
+            f"stream folded {self.actions_folded}/{count} actions "
+            f"within {timeout}s"
+        )
+
+    def wait_frames(self, count: int, timeout: float = 30.0) -> None:
+        """Block until ``count`` frames arrived (snapshots included)."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                if len(self.frames) >= count:
+                    return
+            time.sleep(0.005)
+        raise AssertionError(f"stream delivered {len(self.frames)}/{count} "
+                             f"frames within {timeout}s")
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+_SCRIPTED_ACTIONS = [
+    {"action": "open", "params": {"type": "Papers"}},
+    {"action": "filter", "params": {"condition": {
+        "kind": "compare", "attribute": "year", "op": ">", "value": 2008}}},
+    {"action": "pivot", "params": {"column": "Papers->Authors"}},
+    {"action": "sort", "params": {"column": "name"}},
+    {"action": "revert", "params": {"index": 1}},
+]
+
+
+def _build_manager(args: argparse.Namespace, tgdb, journal_dir,
+                   **extra):
+    from repro.service import SessionManager
+
+    return SessionManager(
+        tgdb.schema, tgdb.graph, row_limit=args.row_limit,
+        journal_dir=journal_dir,
+        engine=args.engine, workers=args.workers,
+        compact_every=args.compact_every or None,
+        adaptive_threshold=args.adaptive_threshold,
+        require_auth=args.require_auth,
+        quota_actions=args.quota_actions,
+        quota_window=args.quota_window,
+        **extra,
+    )
+
+
+def _build_server(args: argparse.Namespace, manager, port: int):
+    from repro.service import AsyncNavigationServer, NavigationServer
+
+    if args.frontend == "async":
+        return AsyncNavigationServer(manager, host="127.0.0.1", port=port,
+                                     verbose=args.verbose)
+    return NavigationServer(manager, host="127.0.0.1", port=port,
+                            verbose=args.verbose)
+
+
+def self_test(args: argparse.Namespace) -> int:
+    """Boot, drive a scripted session over localhost, restart, verify.
+
+    With ``--frontend async`` the scripted session is additionally
+    observed over SSE by a lockstep folding client whose state must match
+    a fresh ``GET .../etable`` after *every* action, and the restarted
+    service must stream too.
+    """
     tgdb = build_tgdb(args.dataset, args.papers)
     journal_dir = args.journal_dir or tempfile.mkdtemp(prefix="etable-journals-")
 
-    manager = SessionManager(tgdb.schema, tgdb.graph, row_limit=args.row_limit,
-                             journal_dir=journal_dir,
-                             engine=args.engine, workers=args.workers,
-                             compact_every=args.compact_every or None,
-                             adaptive_threshold=args.adaptive_threshold)
-    server = NavigationServer(manager, port=0).start()
+    manager = _build_manager(args, tgdb, journal_dir)
+    server = _build_server(args, manager, port=0).start()
     base = server.url
-    print(f"self-test: serving {args.dataset} at {base}")
+    print(f"self-test: serving {args.dataset} at {base} "
+          f"({args.frontend} frontend)")
 
     health = _http(f"{base}/healthz")
     assert health["ok"], health
     tables = _http(f"{base}/v1/tables")["result"]["tables"]
     assert "Papers" in tables, tables
 
-    session_id = _http(f"{base}/v1/sessions", "POST", {})["result"]["session_id"]
-    actions = [
-        {"action": "open", "params": {"type": "Papers"}},
-        {"action": "filter", "params": {"condition": {
-            "kind": "compare", "attribute": "year", "op": ">", "value": 2008}}},
-        {"action": "pivot", "params": {"column": "Papers->Authors"}},
-        {"action": "sort", "params": {"column": "name"}},
-        {"action": "revert", "params": {"index": 1}},
-    ]
-    for action in actions:
-        result = _http(f"{base}/v1/sessions/{session_id}/actions", "POST", action)
+    created = _http(f"{base}/v1/sessions", "POST", {})["result"]
+    session_id = created["session_id"]
+    token = created.get("auth_token")
+    assert bool(token) == args.require_auth, created
+
+    sse = None
+    if args.frontend == "async":
+        sse = SseClient(server.host, server.port, session_id, token=token)
+    for index, action in enumerate(_SCRIPTED_ACTIONS, start=1):
+        result = _http(f"{base}/v1/sessions/{session_id}/actions", "POST",
+                       action, token=token)
         assert result["ok"], result
         print(f"  {action['action']:8s} -> {result['result']}")
+        if sse is not None:
+            folded = sse.wait_folded(index)
+            fetched = _http(f"{base}/v1/sessions/{session_id}/etable",
+                            token=token)["result"]["etable"]
+            assert folded == fetched, (
+                f"stream fold diverged from GET after {action['action']}"
+            )
+    if sse is not None:
+        kinds = [frame.kind for frame in sse.frames]
+        print(f"  stream   -> {len(sse.frames)} frames ({kinds}), "
+              f"fold == GET after every action")
+        sse.close()
     before_table = _http(
-        f"{base}/v1/sessions/{session_id}/etable?include_history=1"
+        f"{base}/v1/sessions/{session_id}/etable?include_history=1",
+        token=token,
     )["result"]
     before_history = _http(
-        f"{base}/v1/sessions/{session_id}/history"
+        f"{base}/v1/sessions/{session_id}/history", token=token
     )["result"]["lines"]
 
     # "Kill" the service and restart it on the same journal directory: the
     # replayed session must be identical (the acceptance bar of the
-    # durable-journal design).
+    # durable-journal design). shutdown() drains in-flight requests and
+    # manager.shutdown() flushes journals — the SIGTERM path.
     server.shutdown()
     manager.shutdown()
-    manager2 = SessionManager(tgdb.schema, tgdb.graph,
-                              row_limit=args.row_limit,
-                              journal_dir=journal_dir,
-                              engine=args.engine, workers=args.workers,
-                              compact_every=args.compact_every or None,
-                              adaptive_threshold=args.adaptive_threshold)
+    manager2 = _build_manager(args, tgdb, journal_dir)
     resumed = manager2.recover_all()
     assert session_id in resumed, (session_id, resumed)
-    server2 = NavigationServer(manager2, port=0).start()
+    server2 = _build_server(args, manager2, port=0).start()
     base2 = server2.url
+    token2 = manager2.session_auth_token(session_id) if args.require_auth else None
+    if args.require_auth:
+        assert token2 == token, "auth token must survive restart"
     after_table = _http(
-        f"{base2}/v1/sessions/{session_id}/etable?include_history=1"
+        f"{base2}/v1/sessions/{session_id}/etable?include_history=1",
+        token=token2,
     )["result"]
     after_history = _http(
-        f"{base2}/v1/sessions/{session_id}/history"
+        f"{base2}/v1/sessions/{session_id}/history", token=token2
     )["result"]["lines"]
     assert before_history == after_history, (before_history, after_history)
     assert before_table == after_table
+    if args.frontend == "async":
+        # The restarted service must stream the resumed session too.
+        sse2 = SseClient(server2.host, server2.port, session_id,
+                         token=token2)
+        sse2.wait_frames(1)  # the subscribe-time snapshot
+        result = _http(f"{base2}/v1/sessions/{session_id}/actions", "POST",
+                       {"action": "sort", "params": {"column": "year"}},
+                       token=token2)
+        assert result["ok"], result
+        folded = sse2.wait_folded(1)
+        fetched = _http(f"{base2}/v1/sessions/{session_id}/etable",
+                        token=token2)["result"]["etable"]
+        assert folded == fetched
+        stream_stats = _http(f"{base2}/v1/stats")["result"]["stream"]
+        assert stream_stats["frames"] >= 2, stream_stats
+        print(f"  stream   -> resumed session streams after restart "
+              f"({stream_stats})")
+        sse2.close()
     stats = _http(f"{base2}/v1/stats")["result"]
     print(f"  restart  -> replayed {len(after_history)} history steps "
           f"bit-identically (cache hits: {stats['cache']['hits']})")
@@ -166,6 +346,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="academic corpus size (default 1200)")
     parser.add_argument("--host", default="127.0.0.1")
     parser.add_argument("--port", type=int, default=8080)
+    parser.add_argument("--frontend", default="threaded",
+                        choices=["threaded", "async"],
+                        help="threaded: one thread per connection; async: "
+                             "one event loop multiplexing every "
+                             "connection, plus SSE delta streaming at "
+                             "GET /v1/sessions/<id>/stream")
+    parser.add_argument("--require-auth", action="store_true",
+                        help="mint a per-session bearer token at create "
+                             "time; every later request must present it")
+    parser.add_argument("--quota-actions", type=int, default=None,
+                        help="max mutating actions per session per quota "
+                             "window (default: unlimited)")
+    parser.add_argument("--quota-window", type=float, default=60.0,
+                        help="quota window length in seconds (default 60)")
     parser.add_argument("--row-limit", type=int, default=50,
                         help="presented rows per table (pagination)")
     parser.add_argument("--journal-dir", default=None,
@@ -202,32 +396,39 @@ def main(argv: list[str] | None = None) -> int:
     if args.self_test:
         return self_test(args)
 
-    from repro.service import NavigationServer, SessionManager
+    from repro.service import AsyncNavigationServer, NavigationServer
 
     print(f"generating {args.dataset} corpus...")
     tgdb = build_tgdb(args.dataset, args.papers)
-    manager = SessionManager(
-        tgdb.schema, tgdb.graph, row_limit=args.row_limit,
-        max_sessions=args.max_sessions, ttl_seconds=args.ttl,
-        journal_dir=args.journal_dir,
-        engine=args.engine, workers=args.workers,
-        compact_every=args.compact_every or None,
-        adaptive_threshold=args.adaptive_threshold,
-    )
+    manager = _build_manager(args, tgdb, args.journal_dir,
+                             max_sessions=args.max_sessions,
+                             ttl_seconds=args.ttl)
     if args.journal_dir:
         resumed = manager.recover_all()
         if resumed:
             print(f"resumed {len(resumed)} journaled session(s)")
-    server = NavigationServer(manager, host=args.host, port=args.port,
-                              verbose=args.verbose)
+    if args.frontend == "async":
+        server = AsyncNavigationServer(manager, host=args.host,
+                                       port=args.port, verbose=args.verbose)
+    else:
+        server = NavigationServer(manager, host=args.host, port=args.port,
+                                  verbose=args.verbose)
+    server.start()
     print(f"serving ETable navigation API at {server.url} "
-          f"(Ctrl-C to stop)")
+          f"({args.frontend} frontend; Ctrl-C or SIGTERM to stop)")
+    # Both frontends serve on daemon threads; the main thread just waits
+    # for a stop signal so SIGTERM and Ctrl-C share one graceful path:
+    # drain in-flight requests, then flush every session journal.
+    stop = threading.Event()
+    signal.signal(signal.SIGTERM, lambda signum, frame: stop.set())
     try:
-        server.serve_forever()
+        stop.wait()
     except KeyboardInterrupt:
-        print("\nshutting down")
-        server.shutdown()
-        manager.shutdown()
+        pass
+    print("\nshutting down (draining in-flight requests)")
+    server.shutdown()
+    manager.shutdown()
+    print("journals flushed")
     return 0
 
 

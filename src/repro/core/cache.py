@@ -42,6 +42,7 @@ from repro.core.etable import ETable
 from repro.core.planner import (
     DeltaPlan,
     DeltaPlanner,
+    DeltaReport,
     ExecutionReport,
     ParallelContext,
     Plan,
@@ -485,6 +486,7 @@ class IncrementalExecutor:
                                      max_cells=max_lineage_cells)
         self.stats = IncrementalStats()
         self.last_delta: DeltaPlan | None = None
+        self.last_report: DeltaReport | None = None
         self.last_outcome: str = ""
         self._previous: tuple[QueryPattern, GraphRelation] | None = None
         self._previous_version = base.graph.version
@@ -517,6 +519,7 @@ class IncrementalExecutor:
             self.stats.note_replay()
             self.base.incremental.note_replay()
             self.last_delta = None
+            self.last_report = None
             self.last_outcome = "replay: lineage hit (retained history relation)"
             self._remember(pattern, cached, key)
             return cached
@@ -532,6 +535,7 @@ class IncrementalExecutor:
             self.stats.note_replan(cost_gated)
             self.base.incremental.note_replan(cost_gated)
             self.last_delta = None
+            self.last_report = None
             self.last_outcome = f"replan: {reason}"
         else:
             pattern.validate(self.graph.schema)
@@ -548,6 +552,7 @@ class IncrementalExecutor:
             self.stats.note_delta(delta.kind, report.rows_touched)
             self.base.incremental.note_delta(delta.kind, report.rows_touched)
             self.last_delta = delta
+            self.last_report = report
             self.last_outcome = (
                 f"{delta.describe()} "
                 f"[{report.rows_in} -> {report.rows_out} rows, "

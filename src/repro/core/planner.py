@@ -1889,6 +1889,29 @@ def _delta_select(
     return GraphRelation.from_columns(list(relation.attributes), out)
 
 
+@dataclass(frozen=True)
+class RowIdentities:
+    """Which primary-node rows an executed delta added, dropped, or kept.
+
+    Node ids are distinct primary-column ids in relation order — exactly the
+    identities the ETable keys its rows by, so a delta-frame builder can use
+    them without re-deriving anything. ``cells_stable`` is the load-bearing
+    bit: True guarantees every retained row's *presented* cells (attributes,
+    participating refs, neighbor previews) are byte-identical to the previous
+    ETable, which holds only when the delta touched nothing but the primary
+    node's own condition list (rows are kept or dropped whole, so each
+    survivor keeps exactly its old join partners). A selection on a
+    non-primary node can thin a retained row's participating refs, and an
+    extension or primary shift changes the column set outright — those set
+    ``cells_stable`` False and consumers must diff retained rows.
+    """
+
+    added: tuple[int, ...] = ()
+    dropped: tuple[int, ...] = ()
+    retained: tuple[int, ...] = ()
+    cells_stable: bool = False
+
+
 @dataclass
 class DeltaReport:
     """What one delta execution actually did (for incremental stats)."""
@@ -1899,6 +1922,39 @@ class DeltaReport:
     rows_touched: int = 0
     parallel_join: bool = False
     pushdown_join: bool = False
+    identities: RowIdentities | None = None
+
+
+def _row_identities(
+    delta: DeltaPlan,
+    prev_relation: GraphRelation,
+    relation: GraphRelation,
+    primary_key: str,
+) -> RowIdentities:
+    """Diff the distinct primary ids of the two relations (O(rows) dict
+    probes over int columns — noise next to the delta join/select itself)."""
+    new_ids = relation.distinct_column(primary_key)
+    try:
+        prev_ids = prev_relation.distinct_column(primary_key)
+    except TgmError:
+        # The primary is the freshly joined node (a pivot): every presented
+        # row is new and nothing from the previous table survives by id.
+        return RowIdentities(added=tuple(new_ids))
+    prev_set = set(prev_ids)
+    new_set = set(new_ids)
+    # order_preserved doubles as "same primary as before": a reorder keeps
+    # the id set but re-derives every cell under the new reference node.
+    cells_stable = (
+        delta.order_preserved
+        and delta.extension is None
+        and all(key == primary_key for key, _ in delta.selections)
+    )
+    return RowIdentities(
+        added=tuple(i for i in new_ids if i not in prev_set),
+        dropped=tuple(i for i in prev_ids if i not in new_set),
+        retained=tuple(i for i in new_ids if i in prev_set),
+        cells_stable=cells_stable,
+    )
 
 
 def execute_delta(
@@ -1969,6 +2025,9 @@ def execute_delta(
                     node.type_name, candidate_set,
                 )
     report.rows_out = len(relation)
+    report.identities = _row_identities(
+        delta, prev_relation, relation, pattern.primary_key
+    )
     return relation, report
 
 

@@ -123,6 +123,14 @@ class JournalCorrupt(ServiceError):
     """An action journal contains an undecodable record before its tail."""
 
 
+class AuthError(ServiceError):
+    """A request's per-session auth token is missing or wrong."""
+
+
+class QuotaExceeded(ServiceError):
+    """A session spent its action quota for the current window."""
+
+
 class StudyError(ReproError):
     """Base class for user-study simulator errors."""
 

@@ -3,19 +3,28 @@
 The reproduction's client–server layer: many concurrent
 :class:`~repro.core.session.EtableSession` s hosted over one shared graph
 and one shared plan-and-reuse cache, a versioned JSON wire protocol, a
-durable per-session action journal, and a stdlib threaded HTTP frontend.
+durable per-session action journal, and two stdlib HTTP frontends — a
+threaded request/response server and an asyncio server that additionally
+streams ETable delta frames to subscribed clients over SSE.
 
     from repro.service import SessionManager, NavigationServer
 
     manager = SessionManager(schema, graph, journal_dir="journals")
     server = NavigationServer(manager, port=8080).start()
+
+    from repro.service import AsyncNavigationServer
+
+    server = AsyncNavigationServer(manager, port=8080).start()
 """
 
+from repro.service.async_server import AsyncNavigationServer
 from repro.service.journal import ActionJournal, read_records, replay_journal
 from repro.service.manager import ManagedSession, SessionManager
 from repro.service.http_api import NavigationServer
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    STREAM_VERSION,
+    DeltaFrame,
     Request,
     Response,
     apply_action,
@@ -23,29 +32,52 @@ from repro.service.protocol import (
     condition_to_json,
     etable_from_json,
     etable_to_json,
+    frame_from_json,
+    frame_to_json,
     history_from_json,
     history_to_json,
     pattern_from_json,
     pattern_to_json,
 )
+from repro.service.stream import (
+    FrameSource,
+    StreamHub,
+    StreamStats,
+    build_frame,
+    coalesce_frame,
+    fold_frame,
+    payload_bytes,
+)
 
 __all__ = [
     "ActionJournal",
+    "AsyncNavigationServer",
+    "DeltaFrame",
+    "FrameSource",
     "ManagedSession",
     "NavigationServer",
     "PROTOCOL_VERSION",
     "Request",
     "Response",
+    "STREAM_VERSION",
     "SessionManager",
+    "StreamHub",
+    "StreamStats",
     "apply_action",
+    "build_frame",
+    "coalesce_frame",
     "condition_from_json",
     "condition_to_json",
     "etable_from_json",
     "etable_to_json",
+    "fold_frame",
+    "frame_from_json",
+    "frame_to_json",
     "history_from_json",
     "history_to_json",
     "pattern_from_json",
     "pattern_to_json",
+    "payload_bytes",
     "read_records",
     "replay_journal",
 ]

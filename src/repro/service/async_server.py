@@ -1,0 +1,411 @@
+"""Asyncio HTTP/SSE frontend: thousands of idle sessions, one process.
+
+The threaded frontend (:mod:`repro.service.http_api`) spends a thread per
+connection — fine for short request/response browsing, fatal for the
+paper's real deployment shape where most sessions sit *idle* between user
+actions but keep a live push channel open. This frontend is the classic
+parse → dispatch → stream server core: one event loop owns every socket,
+requests are parsed on the loop, blocking manager work is dispatched to a
+small thread pool, and ETable deltas are *streamed* to subscribed clients
+over SSE (``GET /v1/sessions/<id>/stream``) instead of being re-fetched
+page by page. An idle subscribed session costs one socket and a few
+queue objects — no thread, no polling.
+
+Routes are the threaded frontend's exact surface plus the stream
+endpoint; both speak the same :mod:`repro.service.protocol` envelopes, so
+clients can't tell the frontends apart except by concurrency behavior.
+
+The SSE wire format, one frame per accepted mutating action::
+
+    id: <seq>
+    event: frame
+    data: {"version": 1, "seq": 3, "kind": "delta", ...}
+
+with ``: ping`` comment lines while idle. Frame payloads are the
+versioned :func:`repro.service.protocol.frame_to_json` messages; folding
+them with :func:`repro.service.stream.fold_frame` reproduces the full
+``GET .../etable`` payload cell for cell (the fuzzer proves it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any
+from urllib.parse import parse_qs, urlparse
+
+from repro.errors import ProtocolError, ReproError
+from repro.service import protocol
+from repro.service.http_api import _bearer_token, _etable_params, _status_of
+from repro.service.manager import SessionManager
+from repro.service.stream.hub import StreamHub
+
+_MAX_HEADER_BYTES = 64 * 1024
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def route_request(manager: SessionManager, method: str, path: str,
+                  query: dict[str, str], body: Any,
+                  auth_token: str | None) -> tuple[int, protocol.Response]:
+    """The transport-independent route table (blocking; executor-side).
+
+    Mirrors the threaded frontend's dispatch exactly — same URLs, same
+    envelopes, same status mapping — so the two frontends stay
+    behaviorally identical on the request/response surface.
+    """
+    parts = [part for part in path.split("/") if part]
+    try:
+        if method == "GET":
+            if parts == ["healthz"]:
+                stats = manager.stats()
+                return 200, protocol.Response.success({
+                    "status": "ok",
+                    "live_sessions": stats["live_sessions"],
+                    "actions": stats["actions"],
+                })
+            if parts == ["v1", "stats"]:
+                return 200, protocol.Response.success(manager.stats())
+            if parts == ["v1", "tables"]:
+                response = manager.handle_request(
+                    protocol.Request(action="tables")
+                )
+                return (200 if response.ok else 400), response
+            if len(parts) == 4 and parts[:2] == ["v1", "sessions"]:
+                session_id, leaf = parts[2], parts[3]
+                leaf_params: dict[str, Any] | None = None
+                if leaf == "etable":
+                    leaf_params = _etable_params(query)
+                elif leaf in ("history", "plan"):
+                    leaf_params = {}
+                if leaf_params is not None:
+                    request = protocol.Request(
+                        action=leaf, params=leaf_params,
+                        session_id=session_id, auth_token=auth_token,
+                    )
+                    response = manager.handle_request(request)
+                    return _status_of(response), response
+        elif method == "POST":
+            if parts == ["v1", "sessions"]:
+                request = protocol.Request(
+                    action="create_session",
+                    params=body if isinstance(body, dict) else {},
+                )
+                response = manager.handle_request(request)
+                return (200 if response.ok else 400), response
+            if (len(parts) == 4 and parts[:2] == ["v1", "sessions"]
+                    and parts[3] == "actions"):
+                session_id = parts[2]
+                if not isinstance(body, dict):
+                    raise ProtocolError(
+                        "action request body must be a JSON object"
+                    )
+                body.setdefault("session_id", session_id)
+                if auth_token is not None:
+                    body.setdefault("auth_token", auth_token)
+                request = protocol.Request.from_json(body)
+                if request.session_id != session_id:
+                    raise ProtocolError(
+                        "body session_id does not match the URL session"
+                    )
+                response = manager.handle_request(request)
+                return _status_of(response), response
+        elif method == "DELETE":
+            if len(parts) == 3 and parts[:2] == ["v1", "sessions"]:
+                manager.close_session(parts[2], auth_token=auth_token)
+                return 200, protocol.Response.success(
+                    {"closed": parts[2]}, session_id=parts[2]
+                )
+        return 404, protocol.Response.failure(
+            f"no route for {method} {path}"
+        )
+    except ReproError as error:
+        response = protocol.Response.failure(error)
+        return _status_of(response), response
+
+
+class AsyncNavigationServer:
+    """One event loop serving the whole protocol surface plus SSE streams.
+
+    ``start()`` runs the loop on a daemon thread (tests, benches, and the
+    self-test own the lifecycle); ``serve_forever()`` runs it in the
+    calling thread (``examples/serve.py --frontend async``). ``shutdown()``
+    is graceful from any thread: stop accepting, close streams, drain
+    in-flight dispatches, then stop the loop.
+    """
+
+    def __init__(self, manager: SessionManager, host: str = "127.0.0.1",
+                 port: int = 8080, verbose: bool = False,
+                 max_queue: int = 32, ping_interval: float = 15.0) -> None:
+        self.manager = manager
+        self._host = host
+        self._port = port
+        self.verbose = verbose
+        self.max_queue = max_queue
+        self.ping_interval = ping_interval
+        self.hub: StreamHub | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._stop_event: asyncio.Event | None = None
+        self._inflight = 0  # loop-thread only
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._finished = threading.Event()
+        self._bound: tuple[str, int] | None = None
+        self._startup_error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        assert self._bound is not None, "server not started"
+        return self._bound[0]
+
+    @property
+    def port(self) -> int:
+        assert self._bound is not None, "server not started"
+        return self._bound[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "AsyncNavigationServer":
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="etable-async", daemon=True
+        )
+        self._thread.start()
+        self._started.wait()
+        if self._startup_error is not None:
+            raise self._startup_error
+        return self
+
+    def serve_forever(self) -> None:
+        try:
+            asyncio.run(self._main())
+        finally:
+            self._started.set()  # unblock start() even on bind failure
+            self._finished.set()
+
+    def shutdown(self, drain_timeout: float = 5.0) -> None:
+        """Graceful stop from any thread: drain, then stop the loop."""
+        loop = self._loop
+        if loop is None:
+            return
+        def begin() -> None:
+            if self._stop_event is not None:
+                self._stop_event.set()
+        try:
+            loop.call_soon_threadsafe(begin)
+        except RuntimeError:
+            return  # loop already closed
+        self._finished.wait(drain_timeout + 10.0)
+        if self._thread is not None and self._thread is not threading.current_thread():
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    async def _main(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._loop = loop
+        self._stop_event = asyncio.Event()
+        self.hub = StreamHub(self.manager, loop, max_queue=self.max_queue)
+        try:
+            server = await asyncio.start_server(
+                self._handle_connection, self._host, self._port,
+                limit=_MAX_HEADER_BYTES,
+            )
+        except OSError as error:
+            self._startup_error = error
+            return
+        sockets = server.sockets or []
+        address = sockets[0].getsockname()
+        self._bound = (address[0], address[1])
+        self._started.set()
+        async with server:
+            await self._stop_event.wait()
+            # Graceful drain: stop accepting, wake every stream (their
+            # loops observe hub closure and exit), then wait for in-flight
+            # request dispatches to write their responses.
+            server.close()
+            self.hub.close()
+            deadline = loop.time() + 5.0
+            while self._inflight > 0 and loop.time() < deadline:
+                await asyncio.sleep(0.01)
+        # asyncio.run() cancels the remaining connection tasks on exit.
+
+    # ------------------------------------------------------------------
+    # Connection handling (loop side)
+    # ------------------------------------------------------------------
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except (asyncio.IncompleteReadError, asyncio.LimitOverrunError):
+                    return  # client closed (or oversized headers)
+                method, target, headers = _parse_head(head)
+                if method is None:
+                    return
+                length = int(headers.get("content-length") or 0)
+                if length > _MAX_BODY_BYTES:
+                    await self._respond(
+                        writer, 400, protocol.Response.failure(
+                            ProtocolError(
+                                f"request body too large ({length} bytes)"
+                            )
+                        ), keep_alive=False,
+                    )
+                    return
+                raw_body = await reader.readexactly(length) if length else b""
+                parsed = urlparse(target)
+                query = {key: values[-1] for key, values
+                         in parse_qs(parsed.query).items()}
+                auth_token = _bearer_token(headers.get("authorization"))
+                stream_id = _stream_session(method, parsed.path)
+                if stream_id is not None:
+                    await self._serve_stream(writer, stream_id, auth_token)
+                    return  # an SSE response never reuses the connection
+                status, response = await self._dispatch(
+                    method, parsed.path, query, raw_body, auth_token
+                )
+                keep_alive = (
+                    headers.get("connection", "").lower() != "close"
+                    and not self._stop_event.is_set()
+                )
+                await self._respond(writer, status, response,
+                                    keep_alive=keep_alive)
+                if not keep_alive:
+                    return
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, method: str, path: str, query: dict[str, str],
+                        raw_body: bytes, auth_token: str | None
+                        ) -> tuple[int, protocol.Response]:
+        try:
+            body: Any = json.loads(raw_body.decode("utf-8")) if raw_body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, protocol.Response.failure(
+                ProtocolError(f"request body is not JSON: {error}")
+            )
+        loop = asyncio.get_running_loop()
+        self._inflight += 1
+        try:
+            status, response = await loop.run_in_executor(
+                None, route_request,
+                self.manager, method, path, query, body, auth_token,
+            )
+        finally:
+            self._inflight -= 1
+        # The stream section of /v1/stats reads loop-local hub state, so
+        # it is merged here on the loop thread, not inside route_request.
+        if path.rstrip("/") == "/v1/stats" and response.ok and self.hub:
+            result = dict(response.result)
+            result["stream"] = self.hub.stats_payload()
+            response = protocol.Response(
+                ok=True, result=result, version=response.version
+            )
+        return status, response
+
+    async def _respond(self, writer: asyncio.StreamWriter, status: int,
+                       response: protocol.Response,
+                       keep_alive: bool) -> None:
+        body = json.dumps(response.to_json(), default=str).encode("utf-8")
+        reason = {200: "OK", 400: "Bad Request", 401: "Unauthorized",
+                  404: "Not Found", 429: "Too Many Requests"}.get(status, "")
+        head = (
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: application/json; charset=utf-8\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+            f"\r\n"
+        )
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # SSE streaming
+    # ------------------------------------------------------------------
+    async def _serve_stream(self, writer: asyncio.StreamWriter,
+                            session_id: str,
+                            auth_token: str | None) -> None:
+        assert self.hub is not None
+        try:
+            subscriber = await self.hub.subscribe(
+                session_id, auth_token=auth_token
+            )
+        except ReproError as error:
+            response = protocol.Response.failure(error)
+            await self._respond(writer, _status_of(response), response,
+                                keep_alive=False)
+            return
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n"
+            b"\r\n"
+        )
+        try:
+            while not subscriber.closed:
+                popped = subscriber.pop()
+                if popped is None:
+                    try:
+                        await asyncio.wait_for(
+                            subscriber.event.wait(),
+                            timeout=self.ping_interval,
+                        )
+                    except asyncio.TimeoutError:
+                        writer.write(b": ping\n\n")
+                        await writer.drain()
+                    continue
+                frame, _after = popped
+                data = json.dumps(
+                    protocol.frame_to_json(frame),
+                    separators=(",", ":"), default=str,
+                )
+                writer.write(
+                    f"id: {frame.seq}\nevent: frame\n"
+                    f"data: {data}\n\n".encode("utf-8")
+                )
+                # drain() is the backpressure boundary: while it blocks on
+                # a slow consumer, pushes pile into the bounded queue and
+                # coalesce instead of buffering here.
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            self.hub.unsubscribe(subscriber)
+
+
+def _parse_head(
+    head: bytes,
+) -> tuple[str | None, str, dict[str, str]]:
+    """(method, target, lowercased headers); method None on a bad head."""
+    try:
+        text = head.decode("latin-1")
+        request_line, *header_lines = text.split("\r\n")
+        method, target, _version = request_line.split()
+    except ValueError:
+        return None, "", {}
+    headers: dict[str, str] = {}
+    for line in header_lines:
+        if ":" in line:
+            key, value = line.split(":", 1)
+            headers[key.strip().lower()] = value.strip()
+    return method.upper(), target, headers
+
+
+def _stream_session(method: str, path: str) -> str | None:
+    parts = [part for part in path.split("/") if part]
+    if (method == "GET" and len(parts) == 4
+            and parts[:2] == ["v1", "sessions"] and parts[3] == "stream"):
+        return parts[2]
+    return None

@@ -37,15 +37,73 @@ from __future__ import annotations
 
 import json
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import ProtocolError, ReproError, UnknownSession
+from repro.errors import (
+    AuthError,
+    ProtocolError,
+    QuotaExceeded,
+    ReproError,
+    UnknownSession,
+)
 from repro.service import protocol
 from repro.service.manager import SessionManager
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def _bearer_token(value: str | None) -> str | None:
+    """Token from an ``Authorization: Bearer <token>`` header value."""
+    if not value:
+        return None
+    scheme, _, token = value.partition(" ")
+    token = token.strip()
+    if scheme.lower() == "bearer" and token:
+        return token
+    return None
+
+
+class _RequestDrain:
+    """Counts in-flight request dispatches so shutdown can drain them.
+
+    Counting is per *request*, not per connection: a keep-alive connection
+    idles in ``handle_one_request`` waiting for the client's next request,
+    which must not hold shutdown hostage — only dispatches that have begun
+    do. Once draining starts, new requests are refused with 503.
+    """
+
+    def __init__(self) -> None:
+        self._idle = threading.Condition()
+        self._inflight = 0  # guarded-by: self._idle
+        self._draining = False  # guarded-by: self._idle
+
+    def begin(self) -> bool:
+        with self._idle:
+            if self._draining:
+                return False
+            self._inflight += 1
+            return True
+
+    def end(self) -> None:
+        with self._idle:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._idle.notify_all()
+
+    def drain(self, timeout: float) -> bool:
+        """Refuse new requests; wait for in-flight ones to finish."""
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            self._draining = True
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+            return True
 
 
 class NavigationRequestHandler(BaseHTTPRequestHandler):
@@ -67,6 +125,30 @@ class NavigationRequestHandler(BaseHTTPRequestHandler):
     # HTTP verbs
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 (stdlib naming)
+        self._guarded(self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802
+        self._guarded(self._handle_post)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._guarded(self._handle_delete)
+
+    def _guarded(self, handler: Any) -> None:
+        """Run one request dispatch inside the server's drain counter."""
+        drain: _RequestDrain | None = getattr(self.server, "drain", None)
+        if drain is not None and not drain.begin():
+            self.close_connection = True
+            self._send(503, protocol.Response.failure(
+                "server is shutting down"
+            ))
+            return
+        try:
+            handler()
+        finally:
+            if drain is not None:
+                drain.end()
+
+    def _handle_get(self) -> None:
         self._drain_body()
         parsed = urlparse(self.path)
         parts = [part for part in parsed.path.split("/") if part]
@@ -107,7 +189,7 @@ class NavigationRequestHandler(BaseHTTPRequestHandler):
         except ReproError as error:
             self._send_error_response(error)
 
-    def do_POST(self) -> None:  # noqa: N802
+    def _handle_post(self) -> None:
         parsed = urlparse(self.path)
         parts = [part for part in parsed.path.split("/") if part]
         try:
@@ -128,6 +210,9 @@ class NavigationRequestHandler(BaseHTTPRequestHandler):
                         "action request body must be a JSON object"
                     )
                 body.setdefault("session_id", session_id)
+                token = _bearer_token(self.headers.get("Authorization"))
+                if token is not None:
+                    body.setdefault("auth_token", token)
                 request = protocol.Request.from_json(body)
                 if request.session_id != session_id:
                     raise ProtocolError(
@@ -142,12 +227,17 @@ class NavigationRequestHandler(BaseHTTPRequestHandler):
         except ReproError as error:
             self._send_error_response(error)
 
-    def do_DELETE(self) -> None:  # noqa: N802
+    def _handle_delete(self) -> None:
         self._drain_body()
         parts = [part for part in urlparse(self.path).path.split("/") if part]
         try:
             if len(parts) == 3 and parts[:2] == ["v1", "sessions"]:
-                self.manager.close_session(parts[2])
+                self.manager.close_session(
+                    parts[2],
+                    auth_token=_bearer_token(
+                        self.headers.get("Authorization")
+                    ),
+                )
                 self._send(200, protocol.Response.success(
                     {"closed": parts[2]}, session_id=parts[2]
                 ))
@@ -163,8 +253,10 @@ class NavigationRequestHandler(BaseHTTPRequestHandler):
     # ------------------------------------------------------------------
     def _dispatch(self, session_id: str, action: str,
                   params: dict[str, Any]) -> None:
-        request = protocol.Request(action=action, params=params,
-                                   session_id=session_id)
+        request = protocol.Request(
+            action=action, params=params, session_id=session_id,
+            auth_token=_bearer_token(self.headers.get("Authorization")),
+        )
         response = self.manager.handle_request(request)
         self._send(_status_of(response), response)
 
@@ -211,7 +303,14 @@ class NavigationRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(payload)
 
     def _send_error_response(self, error: ReproError) -> None:
-        status = 404 if isinstance(error, UnknownSession) else 400
+        if isinstance(error, UnknownSession):
+            status = 404
+        elif isinstance(error, AuthError):
+            status = 401
+        elif isinstance(error, QuotaExceeded):
+            status = 429
+        else:
+            status = 400
         # Pass the exception itself so the envelope keeps its
         # machine-readable error_type, same as the handle_request path.
         self._send(status, protocol.Response.failure(error))
@@ -222,6 +321,10 @@ def _status_of(response: protocol.Response) -> int:
         return 200
     if response.error_type == "unknown_session":
         return 404
+    if response.error_type == "auth_error":
+        return 401
+    if response.error_type == "quota_exceeded":
+        return 429
     return 400
 
 
@@ -251,6 +354,8 @@ class NavigationServer:
         self.httpd.daemon_threads = True
         self.httpd.manager = manager  # type: ignore[attr-defined]
         self.httpd.verbose = verbose  # type: ignore[attr-defined]
+        self.drain = _RequestDrain()
+        self.httpd.drain = self.drain  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
 
     @property
@@ -275,8 +380,17 @@ class NavigationServer:
     def serve_forever(self) -> None:
         self.httpd.serve_forever()
 
-    def shutdown(self) -> None:
+    def shutdown(self, drain_timeout: float = 5.0) -> None:
+        """Graceful stop: no new requests, drain in-flight, then close.
+
+        ``httpd.shutdown()`` stops the accept loop; the drain then refuses
+        further requests on live keep-alive connections (503) and blocks
+        until every dispatch that already began has written its response —
+        so a SIGTERM never truncates an in-flight action's journal append
+        or response body.
+        """
         self.httpd.shutdown()
+        self.drain.drain(drain_timeout)
         self.httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)

@@ -60,10 +60,16 @@ class ActionJournal:
     """Append-only journal of one session's accepted mutating actions."""
 
     def __init__(self, path: Path | str, session_id: str,
-                 fsync: bool = False) -> None:
+                 fsync: bool = False,
+                 auth_token: str | None = None) -> None:
         self.path = Path(path)
         self.session_id = session_id
         self.fsync = fsync
+        # The session's bearer token rides in the meta record so a resumed
+        # session keeps the token its client already holds. Opening an
+        # existing journal recovers the persisted token (overriding the
+        # argument); a pre-auth journal keeps the freshly minted one.
+        self.auth_token = auth_token
         self.seq = 0
         self._handle = None
         # Mutating actions appended since the last checkpoint (or journal
@@ -89,6 +95,8 @@ class ActionJournal:
                     self.actions_since_checkpoint += 1
                 elif record.get("type") == "checkpoint":
                     self.actions_since_checkpoint = 0
+                elif record.get("type") == "meta" and record.get("auth_token"):
+                    self.auth_token = str(record["auth_token"])
             # A crash can leave a torn (or garbled) tail after the last
             # durable record. Appending onto it would weld the next record
             # to the partial line and silently lose it on the following
@@ -100,8 +108,7 @@ class ActionJournal:
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = self.path.open("a", encoding="utf-8")
-            self._write({"type": "meta", "version": JOURNAL_VERSION,
-                         "session_id": session_id})
+            self._write(self._meta_record())
 
     # ------------------------------------------------------------------
     def record_action(self, action: str, params: dict[str, Any]) -> None:
@@ -122,8 +129,7 @@ class ActionJournal:
         self.seq += 1
         tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
         with tmp_path.open("w", encoding="utf-8") as handle:
-            handle.write(_dump({"type": "meta", "version": JOURNAL_VERSION,
-                                "session_id": self.session_id}) + "\n")
+            handle.write(_dump(self._meta_record()) + "\n")
             handle.write(_dump({"type": "checkpoint", "seq": self.seq,
                                 "history": history_payload}) + "\n")
             handle.flush()
@@ -157,6 +163,13 @@ class ActionJournal:
             pass
 
     # ------------------------------------------------------------------
+    def _meta_record(self) -> dict[str, Any]:
+        record: dict[str, Any] = {"type": "meta", "version": JOURNAL_VERSION,
+                                  "session_id": self.session_id}
+        if self.auth_token is not None:
+            record["auth_token"] = self.auth_token
+        return record
+
     def _write(self, record: dict[str, Any]) -> None:
         assert self._handle is not None
         self._handle.write(_dump(record) + "\n")

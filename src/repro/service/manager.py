@@ -28,10 +28,17 @@ import time
 import uuid
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.analysis.runtime import assert_locked
-from repro.errors import ProtocolError, ReproError, ServiceError, UnknownSession
+from repro.errors import (
+    AuthError,
+    ProtocolError,
+    QuotaExceeded,
+    ReproError,
+    ServiceError,
+    UnknownSession,
+)
 from repro.tgm.instance_graph import InstanceGraph
 from repro.tgm.schema_graph import SchemaGraph
 from repro.core.cache import CachingExecutor
@@ -55,6 +62,12 @@ class ManagedSession:
     created_at: float = 0.0
     last_used: float = 0.0
     actions: int = 0
+    # Per-session bearer token (None = auth not required) and the fixed
+    # quota window's bookkeeping; all three are read and written only
+    # while holding ``lock``, like the session itself.
+    auth_token: str | None = None
+    quota_window_start: float = 0.0
+    quota_used: int = 0
 
 
 class SessionManager:
@@ -74,6 +87,9 @@ class SessionManager:
         workers: int | None = None,
         compact_every: int | None = 64,
         adaptive_threshold: bool = False,
+        require_auth: bool = False,
+        quota_actions: int | None = None,
+        quota_window: float = 60.0,
     ) -> None:
         if engine not in ("planned", "parallel", "incremental", "pushdown"):  # repro: engine-surface service
             raise ServiceError(
@@ -84,6 +100,14 @@ class SessionManager:
         if compact_every is not None and compact_every < 1:
             raise ServiceError(
                 f"compact_every must be >= 1 (or None), got {compact_every}"
+            )
+        if quota_actions is not None and quota_actions < 1:
+            raise ServiceError(
+                f"quota_actions must be >= 1 (or None), got {quota_actions}"
+            )
+        if quota_window <= 0:
+            raise ServiceError(
+                f"quota_window must be > 0 seconds, got {quota_window}"
             )
         self.schema = schema
         self.graph = graph
@@ -98,6 +122,21 @@ class SessionManager:
         # append-only journals every N mutating actions so replay cost
         # stays bounded even for sessions that never revert. None disables.
         self.compact_every = compact_every
+        # Access control: with require_auth each session gets a bearer
+        # token at create time (persisted in its journal meta record, so a
+        # resumed session honors the token its client already holds), and
+        # every session-scoped request must present it. quota_actions caps
+        # *mutating* actions per fixed quota_window seconds per session —
+        # the lever that keeps one runaway client from starving the other
+        # sessions sharing the executor.
+        self.require_auth = require_auth
+        self.quota_actions = quota_actions
+        self.quota_window = quota_window
+        # Post-action hooks (the stream hub): called under the session
+        # lock after each accepted mutating action, so observers see
+        # session states in exact action order.
+        self._observers: list[Callable[[str, str, EtableSession], None]] = []
+        self.observer_errors = 0  # guarded-by: self._lock
         # One executor for everyone: cross-session prefix reuse is the
         # service's whole performance story. With engine="parallel" the
         # executor shards big delta joins across a shared worker pool;
@@ -159,9 +198,19 @@ class SessionManager:
             self._evict_over_capacity(protect=session_id)
             return managed.session_id
 
-    def close_session(self, session_id: str, drop_journal: bool = False) -> None:
+    def close_session(self, session_id: str, drop_journal: bool = False,
+                      auth_token: str | None = None) -> None:
         """Close a session (its journal stays unless ``drop_journal``)."""
         with self._lock:
+            managed = self._sessions.get(session_id)
+            if (
+                managed is not None
+                and managed.auth_token is not None
+                and auth_token != managed.auth_token
+            ):
+                raise AuthError(
+                    f"session {session_id!r} requires a valid auth token"
+                )
             managed = self._sessions.pop(session_id, None)
         if managed is None and not drop_journal:
             raise UnknownSession(f"no session {session_id!r}")
@@ -199,8 +248,51 @@ class SessionManager:
     # ------------------------------------------------------------------
     # The hot path
     # ------------------------------------------------------------------
+    def _checkout_locked(self, session_id: str) -> ManagedSession:
+        """Check out a session with its lock held (caller must release)."""
+        while True:
+            managed = self._checkout(session_id)
+            managed.lock.acquire()
+            with self._lock:
+                still_hosted = self._sessions.get(session_id) is managed
+            if still_hosted:
+                return managed
+            # Evicted between checkout and lock acquisition (its journal is
+            # closed); check out the resurrected instance instead.
+            managed.lock.release()
+
+    def _check_access(self, managed: ManagedSession, action: str,
+                      auth_token: str | None) -> None:
+        """Auth + quota gate, under the session lock, before the action.
+
+        The quota is a fixed window over *mutating* actions: reads
+        (etable/history/plan) stay free so a throttled client can still
+        render what it has. Rejected actions consume quota — the point is
+        to bound a runaway client's load, not its success rate.
+        """
+        if managed.auth_token is not None and auth_token != managed.auth_token:
+            raise AuthError(
+                f"session {managed.session_id!r} requires a valid auth token"
+            )
+        if (
+            self.quota_actions is not None
+            and action in protocol.MUTATING_ACTIONS
+        ):
+            now = time.monotonic()
+            if now - managed.quota_window_start >= self.quota_window:
+                managed.quota_window_start = now
+                managed.quota_used = 0
+            if managed.quota_used >= self.quota_actions:
+                raise QuotaExceeded(
+                    f"session {managed.session_id!r} exceeded "
+                    f"{self.quota_actions} mutating actions per "
+                    f"{self.quota_window:g}s window"
+                )
+            managed.quota_used += 1
+
     def apply(self, session_id: str, action: str,
-              params: dict[str, Any] | None = None) -> dict[str, Any]:
+              params: dict[str, Any] | None = None,
+              auth_token: str | None = None) -> dict[str, Any]:
         """Apply one protocol action to one session, journaling it.
 
         Thread-safe: the manager lock covers session lookup/eviction only;
@@ -210,17 +302,9 @@ class SessionManager:
         """
         params = params or {}
         compacted = False
-        while True:
-            managed = self._checkout(session_id)
-            managed.lock.acquire()
-            with self._lock:
-                still_hosted = self._sessions.get(session_id) is managed
-            if still_hosted:
-                break
-            # Evicted between checkout and lock acquisition (its journal is
-            # closed); check out the resurrected instance instead.
-            managed.lock.release()
+        managed = self._checkout_locked(session_id)
         try:
+            self._check_access(managed, action, auth_token)
             result = protocol.apply_action(managed.session, action, params)
             # Journal only after the action was accepted — a rejected
             # action must not poison replay.
@@ -246,6 +330,12 @@ class SessionManager:
                         compacted = True
             managed.actions += 1
             managed.last_used = time.monotonic()
+            # Observers run under the session lock, *after* the action and
+            # its journal record: the hub's frames are therefore serialized
+            # in exact action order, and a frame is never emitted for an
+            # action that a crash would lose.
+            if self._observers and action in protocol.MUTATING_ACTIONS:
+                self._notify_observers(session_id, action, managed.session)
         finally:
             managed.lock.release()
         with self._lock:
@@ -254,6 +344,55 @@ class SessionManager:
                 self.compactions += 1
         return result
 
+    def add_action_observer(
+        self, observer: Callable[[str, str, EtableSession], None]
+    ) -> None:
+        """Register a post-action hook: ``observer(session_id, action,
+        session)`` runs under the session lock after each accepted mutating
+        action. Observer exceptions are counted, not propagated — a broken
+        stream must not fail the user's action."""
+        self._observers.append(observer)
+
+    def _notify_observers(self, session_id: str, action: str,
+                          session: EtableSession) -> None:
+        for observer in list(self._observers):
+            try:
+                observer(session_id, action, session)
+            except Exception:
+                with self._lock:
+                    self.observer_errors += 1
+
+    def with_session(self, session_id: str,
+                     fn: Callable[[EtableSession], Any],
+                     auth_token: str | None = None) -> Any:
+        """Run ``fn(session)`` under the session's lock.
+
+        Same checkout/resurrection/auth rules as :meth:`apply`, but without
+        journaling or quota — for read-side consumers that need a view
+        consistent with the observer stream (the hub's subscribe-time
+        snapshot: taken under the same lock that orders the frames, so the
+        snapshot plus subsequent frames can never interleave wrongly).
+        """
+        managed = self._checkout_locked(session_id)
+        try:
+            if (
+                managed.auth_token is not None
+                and auth_token != managed.auth_token
+            ):
+                raise AuthError(
+                    f"session {session_id!r} requires a valid auth token"
+                )
+            managed.last_used = time.monotonic()
+            return fn(managed.session)
+        finally:
+            managed.lock.release()
+
+    def session_auth_token(self, session_id: str) -> str | None:
+        """The live session's bearer token (None when auth is off)."""
+        with self._lock:
+            managed = self._sessions.get(session_id)
+        return managed.auth_token if managed is not None else None
+
     def handle_request(self, request: protocol.Request) -> protocol.Response:
         """Serve one protocol request envelope (session mgmt included)."""
         try:
@@ -261,14 +400,19 @@ class SessionManager:
                 session_id = self.create_session(
                     request.params.get("session_id") or request.session_id
                 )
+                result: dict[str, Any] = {"session_id": session_id}
+                token = self.session_auth_token(session_id)
+                if token is not None:
+                    result["auth_token"] = token
                 return protocol.Response.success(
-                    {"session_id": session_id}, request, session_id=session_id
+                    result, request, session_id=session_id
                 )
             if request.action == "close_session":
                 session_id = self._required_session_id(request)
                 self.close_session(
                     session_id,
                     drop_journal=bool(request.params.get("drop_journal")),
+                    auth_token=request.auth_token,
                 )
                 return protocol.Response.success({"closed": session_id}, request)
             if request.action == "stats":
@@ -281,7 +425,8 @@ class SessionManager:
                     request,
                 )
             session_id = self._required_session_id(request)
-            result = self.apply(session_id, request.action, request.params)
+            result = self.apply(session_id, request.action, request.params,
+                                auth_token=request.auth_token)
             return protocol.Response.success(result, request)
         except ReproError as error:
             return protocol.Response.failure(error, request)
@@ -357,6 +502,7 @@ class SessionManager:
             actions = self.total_actions
             created, resumed, evicted = self.created, self.resumed, self.evicted
             compactions = self.compactions
+            observer_errors = self.observer_errors
         return {
             "live_sessions": live,
             "created": created,
@@ -365,6 +511,9 @@ class SessionManager:
             "actions": actions,
             "journal_compactions": compactions,
             "engine": self.engine,
+            "require_auth": self.require_auth,
+            "quota_actions": self.quota_actions,
+            "observer_errors": observer_errors,
             "cache": self.executor.stats_payload(),
         }
 
@@ -380,6 +529,7 @@ class SessionManager:
             engine=("incremental" if self.engine == "incremental"
                     else "planned"),
         )
+        auth_token = uuid.uuid4().hex if self.require_auth else None
         journal = None
         if self.journal_dir is not None:
             path = self._journal_path(session_id)
@@ -389,11 +539,15 @@ class SessionManager:
                     f"resume it instead of re-creating it"
                 )
             journal = ActionJournal(path, session_id,
-                                    fsync=self.fsync_journal)
+                                    fsync=self.fsync_journal,
+                                    auth_token=auth_token)
+            # An existing journal's persisted token wins over the freshly
+            # minted one: the resuming client still holds the original.
+            auth_token = journal.auth_token if self.require_auth else None
         now = time.monotonic()
         managed = ManagedSession(
             session_id=session_id, session=session, journal=journal,
-            created_at=now, last_used=now,
+            created_at=now, last_used=now, auth_token=auth_token,
         )
         self._sessions[session_id] = managed
         return managed

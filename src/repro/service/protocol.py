@@ -74,14 +74,53 @@ PROTOCOL_VERSION = 1
 # ----------------------------------------------------------------------
 # Envelopes
 # ----------------------------------------------------------------------
+def _envelope_version(payload: dict[str, Any], what: str) -> int:
+    """Validate an envelope's ``version`` field strictly.
+
+    ``True == 1`` in Python, so a boolean would slip through a plain
+    ``!=`` comparison; the isinstance pair rejects it along with strings,
+    floats, and anything else JSON can smuggle into the field.
+    """
+    version = payload.get("version", PROTOCOL_VERSION)
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ProtocolError(
+            f"'version' must be an integer, got {version!r}"
+        )
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"unsupported {what} version {version!r} "
+            f"(this server speaks {PROTOCOL_VERSION})"
+        )
+    return version
+
+
+def _optional_str(payload: dict[str, Any], name: str) -> str | None:
+    value = payload.get(name)
+    if value is not None and not isinstance(value, str):
+        raise ProtocolError(f"{name!r} must be a string when present")
+    return value
+
+
+_REQUEST_FIELDS = frozenset({
+    "version", "action", "params", "session_id", "request_id", "auth_token",
+})
+
+
 @dataclass(frozen=True)
 class Request:
-    """One wire request: an action name plus JSON params."""
+    """One wire request: an action name plus JSON params.
+
+    ``auth_token`` carries the per-session bearer token the manager mints
+    at ``create_session`` time when it runs with ``require_auth``; the HTTP
+    frontends lift it out of the ``Authorization`` header into this field,
+    so the manager's check is transport-independent.
+    """
 
     action: str
     params: dict[str, Any] = field(default_factory=dict)
     session_id: str | None = None
     request_id: str | None = None
+    auth_token: str | None = None
     version: int = PROTOCOL_VERSION
 
     def to_json(self) -> dict[str, Any]:
@@ -94,18 +133,20 @@ class Request:
             payload["session_id"] = self.session_id
         if self.request_id is not None:
             payload["request_id"] = self.request_id
+        if self.auth_token is not None:
+            payload["auth_token"] = self.auth_token
         return payload
 
     @classmethod
     def from_json(cls, payload: dict[str, Any]) -> "Request":
         if not isinstance(payload, dict):
             raise ProtocolError("request must be a JSON object")
-        version = payload.get("version", PROTOCOL_VERSION)
-        if version != PROTOCOL_VERSION:
+        unknown = set(payload) - _REQUEST_FIELDS
+        if unknown:
             raise ProtocolError(
-                f"unsupported protocol version {version!r} "
-                f"(this server speaks {PROTOCOL_VERSION})"
+                f"unknown request field(s): {', '.join(sorted(unknown))}"
             )
+        version = _envelope_version(payload, "protocol")
         action = payload.get("action")
         if not isinstance(action, str) or not action:
             raise ProtocolError("request needs a non-empty 'action' string")
@@ -115,8 +156,9 @@ class Request:
         return cls(
             action=action,
             params=params,
-            session_id=payload.get("session_id"),
-            request_id=payload.get("request_id"),
+            session_id=_optional_str(payload, "session_id"),
+            request_id=_optional_str(payload, "request_id"),
+            auth_token=_optional_str(payload, "auth_token"),
             version=version,
         )
 
@@ -155,14 +197,24 @@ class Response:
 
     @classmethod
     def from_json(cls, payload: dict[str, Any]) -> "Response":
+        if not isinstance(payload, dict):
+            raise ProtocolError("response must be a JSON object")
+        version = _envelope_version(payload, "protocol")
+        ok = payload.get("ok")
+        if not isinstance(ok, bool):
+            raise ProtocolError("response needs a boolean 'ok' field")
+        if not ok and not isinstance(payload.get("error"), str):
+            raise ProtocolError(
+                "a failure response needs an 'error' string"
+            )
         return cls(
-            ok=bool(payload.get("ok")),
+            ok=ok,
             result=payload.get("result"),
-            error=payload.get("error"),
-            error_type=payload.get("error_type"),
-            session_id=payload.get("session_id"),
-            request_id=payload.get("request_id"),
-            version=payload.get("version", PROTOCOL_VERSION),
+            error=_optional_str(payload, "error"),
+            error_type=_optional_str(payload, "error_type"),
+            session_id=_optional_str(payload, "session_id"),
+            request_id=_optional_str(payload, "request_id"),
+            version=version,
         )
 
     @classmethod
@@ -455,6 +507,179 @@ def etable_from_json(payload: dict[str, Any], graph: InstanceGraph) -> ETable:
         column["key"] for column in payload["columns"] if column["hidden"]
     }
     return etable
+
+
+# ----------------------------------------------------------------------
+# Delta-frame streaming messages
+# ----------------------------------------------------------------------
+# The SSE stream (`GET /v1/sessions/<id>/stream`) pushes one frame per
+# mutating action instead of having clients re-fetch the full page. A
+# frame is versioned independently of the request envelope so the stream
+# wire format can evolve without breaking request/response clients.
+
+STREAM_VERSION = 1
+
+FRAME_KINDS = ("snapshot", "delta")
+
+
+@dataclass(frozen=True)
+class DeltaFrame:
+    """One ETable stream frame.
+
+    ``kind="snapshot"`` carries the complete unpaginated
+    :func:`etable_to_json` payload in ``etable`` (``None`` when the session
+    has no open table) and is sent on subscribe, on structural changes
+    (new primary type or column set — open / pivot / see-all), and as the
+    backpressure fallback when a coalesced delta would outweigh it.
+
+    ``kind="delta"`` carries only what changed: ``removed`` lists dropped
+    row node ids, ``rows`` the full serialization of added *and* changed
+    rows, ``order`` the complete new display order (node ids — tiny, and it
+    makes reordering actions like sort free to encode), ``pattern`` the new
+    query pattern, and ``columns`` the column specs when a hidden-flag
+    toggled. ``pattern``/``columns``/``order`` use ``None`` to mean
+    *unchanged from the client's current state* (for ``order``, note
+    ``None`` is distinct from ``()`` — an explicitly empty table); fields
+    carrying no information (``None`` markers, empty ``removed``/``rows``)
+    are omitted from the wire form entirely.
+
+    ``coalesced`` counts the mutating actions folded into this frame: 1 for
+    a live frame, >1 when backpressure merged a backlog, 0 for the
+    subscribe-time snapshot (no action produced it) — clients can sum it to
+    know how many actions their folded state reflects.
+    """
+
+    seq: int
+    kind: str
+    action: str | None = None
+    coalesced: int = 1
+    etable: dict[str, Any] | None = None
+    pattern: dict[str, Any] | None = None
+    columns: tuple[dict[str, Any], ...] | None = None
+    removed: tuple[int, ...] = ()
+    rows: tuple[dict[str, Any], ...] = ()
+    order: tuple[int, ...] | None = ()
+    total_rows: int = 0
+    version: int = STREAM_VERSION
+
+
+def frame_to_json(frame: DeltaFrame) -> dict[str, Any]:
+    """Serialize a stream frame; exact inverse of :func:`frame_from_json`."""
+    payload: dict[str, Any] = {
+        "version": frame.version,
+        "seq": frame.seq,
+        "kind": frame.kind,
+        "action": frame.action,
+        "coalesced": frame.coalesced,
+    }
+    if frame.kind == "snapshot":
+        payload["etable"] = frame.etable
+    else:
+        if frame.pattern is not None:
+            payload["pattern"] = frame.pattern
+        if frame.columns is not None:
+            payload["columns"] = list(frame.columns)
+        if frame.removed:
+            payload["removed"] = list(frame.removed)
+        if frame.rows:
+            payload["rows"] = list(frame.rows)
+        if frame.order is not None:
+            payload["order"] = list(frame.order)
+        payload["total_rows"] = frame.total_rows
+    return payload
+
+
+def _frame_int(payload: dict[str, Any], name: str, minimum: int = 0) -> int:
+    value = payload.get(name)
+    if not isinstance(value, int) or isinstance(value, bool) or value < minimum:
+        raise ProtocolError(
+            f"frame field {name!r} must be an integer >= {minimum}, "
+            f"got {value!r}"
+        )
+    return value
+
+
+def _frame_ids(payload: dict[str, Any], name: str) -> tuple[int, ...]:
+    value = payload.get(name, [])
+    if not isinstance(value, list) or any(
+        not isinstance(i, int) or isinstance(i, bool) for i in value
+    ):
+        raise ProtocolError(
+            f"frame field {name!r} must be a list of node ids"
+        )
+    return tuple(value)
+
+
+def frame_from_json(payload: dict[str, Any]) -> DeltaFrame:
+    """Parse and validate a stream frame, rejecting unknown versions and
+    malformed envelopes with a typed :class:`ProtocolError`."""
+    if not isinstance(payload, dict):
+        raise ProtocolError("frame must be a JSON object")
+    version = payload.get("version")
+    if not isinstance(version, int) or isinstance(version, bool):
+        raise ProtocolError(f"frame 'version' must be an integer, got {version!r}")
+    if version != STREAM_VERSION:
+        raise ProtocolError(
+            f"unsupported stream version {version!r} "
+            f"(this client speaks {STREAM_VERSION})"
+        )
+    kind = payload.get("kind")
+    if kind not in FRAME_KINDS:
+        raise ProtocolError(
+            f"unknown frame kind {kind!r}; known: {', '.join(FRAME_KINDS)}"
+        )
+    action = _optional_str(payload, "action")
+    seq = _frame_int(payload, "seq")
+    coalesced = _frame_int(payload, "coalesced")
+    etable = None
+    pattern = None
+    columns: tuple[dict[str, Any], ...] | None = None
+    removed: tuple[int, ...] = ()
+    rows: tuple[dict[str, Any], ...] = ()
+    order: tuple[int, ...] = ()
+    total_rows = 0
+    if kind == "snapshot":
+        etable = payload.get("etable")
+        if etable is not None and not isinstance(etable, dict):
+            raise ProtocolError("snapshot frame 'etable' must be an object")
+    else:
+        pattern = payload.get("pattern")
+        if pattern is not None and not isinstance(pattern, dict):
+            raise ProtocolError("delta frame 'pattern' must be an object")
+        raw_columns = payload.get("columns")
+        if raw_columns is not None and (
+            not isinstance(raw_columns, list)
+            or any(not isinstance(c, dict) for c in raw_columns)
+        ):
+            raise ProtocolError(
+                "delta frame 'columns' must be a list of objects"
+            )
+        raw_rows = payload.get("rows", [])
+        if not isinstance(raw_rows, list) or any(
+            not isinstance(r, dict) for r in raw_rows
+        ):
+            raise ProtocolError("delta frame 'rows' must be a list of objects")
+        columns = tuple(raw_columns) if raw_columns is not None else None
+        removed = _frame_ids(payload, "removed")
+        rows = tuple(raw_rows)
+        # Absent means "order unchanged"; an explicit empty list means an
+        # empty table — the two fold differently, so the absence survives.
+        order = _frame_ids(payload, "order") if "order" in payload else None
+        total_rows = _frame_int(payload, "total_rows")
+    return DeltaFrame(
+        seq=seq,
+        kind=kind,
+        action=action,
+        coalesced=coalesced,
+        etable=etable,
+        pattern=pattern,
+        columns=columns,
+        removed=removed,
+        rows=rows,
+        order=order,
+        total_rows=total_rows,
+        version=version,
+    )
 
 
 # ----------------------------------------------------------------------

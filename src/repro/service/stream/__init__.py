@@ -1,0 +1,28 @@
+"""ETable delta streaming: frame diffing/folding and the SSE hub.
+
+See :mod:`repro.service.stream.frames` for the pure payload-diff layer
+(shared by server, fuzzer, and bench) and
+:mod:`repro.service.stream.hub` for the asyncio fan-out with bounded
+per-subscriber queues and coalescing backpressure.
+"""
+
+from repro.service.stream.frames import (
+    FrameSource,
+    StreamStats,
+    build_frame,
+    coalesce_frame,
+    fold_frame,
+    payload_bytes,
+)
+from repro.service.stream.hub import StreamHub, StreamSubscriber
+
+__all__ = [
+    "FrameSource",
+    "StreamHub",
+    "StreamStats",
+    "StreamSubscriber",
+    "build_frame",
+    "coalesce_frame",
+    "fold_frame",
+    "payload_bytes",
+]

@@ -41,9 +41,15 @@ After every action the harness asserts
 1. the seven ETables are identical cell-for-cell (full protocol
    serialization, hidden columns and reference lists included);
 2. the wire protocol is a fixpoint: ``serialize -> deserialize ->
-   serialize`` reproduces the exact payload, for the ETable and for the
-   session history;
-3. the seven histories stay in lockstep.
+   serialize`` reproduces the exact payload, for the ETable, the session
+   history, and every streaming delta frame;
+3. the seven histories stay in lockstep;
+4. two *streaming clients* stay in lockstep with the tables: one folds
+   every delta frame (built with the incremental engine's row-identity
+   fast path and shipped through the wire round-trip), one is a forced
+   slow consumer that only receives coalesced backlog frames every few
+   actions — both folded states must equal the full ETable payload
+   cell-for-cell after every delivery.
 
 Failures print the dataset, the master seed, the per-sequence seed, and
 the full action script as JSON — paste it into
@@ -68,6 +74,7 @@ from repro.core.planner import ParallelContext
 from repro.core.session import EtableSession
 from repro.relational.backends.pushdown import PushdownContext
 from repro.service import protocol
+from repro.service.stream import FrameSource, StreamStats, coalesce_frame, fold_frame
 
 SEQUENCES = int(os.environ.get("REPRO_FUZZ_SEQUENCES", "200"))
 MASTER_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
@@ -314,7 +321,71 @@ def replay_script(tgdb, script, engine="naive", executor=None):
     return session
 
 
-def _run_sequence(dataset, tgdb, executors, seed):
+class _StreamClients:
+    """The fuzz harness's two lockstep SSE consumers for one sequence.
+
+    ``check`` is called after every action with the canonical payload; it
+    simulates the server building a frame (with the incremental engine's
+    row identities, subject to the hub's stale-report rule), ships it
+    through the wire round-trip, folds it, and compares. The slow consumer
+    receives only a coalesced backlog frame every ``stride`` actions —
+    exactly what a backpressured subscriber queue delivers.
+    """
+
+    def __init__(self, rng, stats, incremental_session):
+        self.source = FrameSource(stats)
+        self.stats = stats
+        self.incremental = incremental_session
+        self.folded = None
+        self.seen_report = None
+        self.slow_state = None
+        self.pending = 0
+        self.stride = rng.randint(2, 4)
+
+    def _identities(self):
+        executor = getattr(self.incremental, "_executor", None)
+        report = getattr(executor, "last_report", None)
+        if report is None or report.identities is None:
+            return None
+        if id(report) == self.seen_report:
+            return None  # presentation action left a stale report behind
+        self.seen_report = id(report)
+        return report.identities
+
+    def _round_trip(self, frame, context):
+        wire = protocol.frame_to_json(frame)
+        rebuilt = protocol.frame_from_json(wire)
+        assert protocol.frame_to_json(rebuilt) == wire, (
+            f"{context}: delta frame not a serialization fixpoint"
+        )
+        return rebuilt
+
+    def check(self, action, payload, context):
+        """Returns an error message, or None if both clients converged."""
+        frame = self._round_trip(
+            self.source.frame_for(payload, action=action,
+                                  identities=self._identities()),
+            context,
+        )
+        self.folded = fold_frame(self.folded, frame)
+        if self.folded != payload:
+            return f"stream fold diverged after {action}"
+        self.pending += 1
+        if self.pending >= self.stride:
+            merged = self._round_trip(
+                coalesce_frame(self.slow_state, payload,
+                               seq=self.source.seq, action=action,
+                               coalesced=self.pending, stats=self.stats),
+                context,
+            )
+            self.slow_state = fold_frame(self.slow_state, merged)
+            self.pending = 0
+            if self.slow_state != payload:
+                return f"coalesced stream fold diverged after {action}"
+        return None
+
+
+def _run_sequence(dataset, tgdb, executors, seed, stream_stats):
     rng = random.Random(seed)
     graph = tgdb.graph
     sessions = {
@@ -338,6 +409,7 @@ def _run_sequence(dataset, tgdb, executors, seed):
                                               executor=executors["pushdown"]),
     }
     driver = sessions["naive"]
+    streams = _StreamClients(rng, stream_stats, sessions["incremental"])
     script: list = []
     for step in range(rng.randint(2, MAX_ACTIONS)):
         action, params = _next_action(graph, driver, rng)
@@ -367,6 +439,11 @@ def _run_sequence(dataset, tgdb, executors, seed):
         if payloads["naive"] is not None:
             _assert_fixpoint(payloads["naive"], graph,
                              f"{dataset} seed {seed} step {step}")
+        stream_error = streams.check(
+            action, payloads["naive"], f"{dataset} seed {seed} step {step}"
+        )
+        if stream_error is not None:
+            _fail(dataset, seed, script, step, stream_error)
         # History payloads must round-trip exactly too (the journal's
         # checkpoint records depend on it).
         rebuilt = protocol.history_to_json(
@@ -383,9 +460,23 @@ def test_fuzz_engines_bit_identical(corpus):
     master = random.Random(MASTER_SEED)
     sequence_seeds = [master.randrange(2**31) for _ in range(SEQUENCES)]
     total_actions = 0
+    stream_stats = StreamStats()
     for seed in sequence_seeds:
-        total_actions += _run_sequence(dataset, tgdb, executors, seed)
+        total_actions += _run_sequence(dataset, tgdb, executors, seed,
+                                       stream_stats)
     assert total_actions >= SEQUENCES * 2, "sequences were unexpectedly short"
+    # The streaming lockstep clients must have exercised every frame shape:
+    # structural snapshots, row-level deltas, identity-proven skipped rows
+    # (the DeltaReport fast path), and coalesced backlog deliveries — a
+    # corpus that never hit one of these proved nothing about it.
+    assert stream_stats.snapshots > 0, "no snapshot frame was ever streamed"
+    assert stream_stats.deltas > 0, "no delta frame was ever streamed"
+    assert stream_stats.identity_skips > 0, (
+        "the row-identity fast path never proved a row stable"
+    )
+    assert stream_stats.coalesce_events > 0, (
+        "the slow consumer never received a coalesced frame"
+    )
     # The shared parallel executor must have really crossed process
     # boundaries (the whole point of fuzzing the parallel engine).
     parallel_stats = executors["parallel"].stats_payload()["parallel"]

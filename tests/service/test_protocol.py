@@ -204,6 +204,58 @@ class TestEnvelopes:
         with pytest.raises(ProtocolError):
             protocol.Request.from_json({"params": {}})
 
+    def test_request_auth_token_round_trip(self):
+        request = protocol.Request(action="sort", params={"column": "y"},
+                                   session_id="s1", auth_token="tok")
+        wire = request.to_json()
+        assert wire["auth_token"] == "tok"
+        assert protocol.Request.from_json(wire) == request
+        # absent when unset, so old clients see unchanged envelopes
+        assert "auth_token" not in protocol.Request(action="sort").to_json()
+
+    def test_malformed_request_envelopes_rejected(self):
+        for payload in [
+            "not a dict",
+            ["action", "open"],
+            {"action": "open", "version": True},
+            {"action": "open", "version": "1"},
+            {"action": "open", "version": None},
+            {"action": 7},
+            {"action": "open", "session_id": 42},
+            {"action": "open", "auth_token": 42},
+            {"action": "open", "params": "not-a-dict"},
+            {"action": "open", "unexpected_key": 1},
+        ]:
+            with pytest.raises(ProtocolError):
+                protocol.Request.from_json(payload)
+
+    def test_malformed_response_envelopes_rejected(self):
+        for payload in [
+            "not a dict",
+            {"ok": True, "version": 999},
+            {"ok": "yes", "version": protocol.PROTOCOL_VERSION},
+            {"version": protocol.PROTOCOL_VERSION},
+            {"ok": False, "version": protocol.PROTOCOL_VERSION},
+        ]:
+            with pytest.raises(ProtocolError):
+                protocol.Response.from_json(payload)
+
+    def test_envelope_rejection_is_a_typed_protocol_error(self, toy):
+        """Through the manager, a malformed envelope must come back as a
+        failure response whose error_type names protocol_error — never an
+        unhandled exception."""
+        from repro.service.manager import SessionManager
+
+        manager = SessionManager(toy.schema, toy.graph)
+        sid = manager.create_session()
+        response = manager.handle_request(protocol.Request.from_json(
+            {"action": "open", "params": {"type": "Papers"},
+             "session_id": sid}))
+        assert response.ok
+        with pytest.raises(ProtocolError):
+            protocol.Request.from_json(
+                {"action": "open", "session_id": sid, "version": 999})
+
 
 class TestApplyAction:
     def test_unknown_action_rejected(self, toy):
