@@ -11,6 +11,8 @@ subscribed clients over SSE.
     python examples/serve.py --dataset movies --port 9000
     python examples/serve.py --journal-dir journals # durable sessions
     python examples/serve.py --frontend async       # + /stream SSE pushes
+    python examples/serve.py --fleet 4              # 4 worker processes
+                                                    # behind a hash router
 
 Then, from any HTTP client::
 
@@ -36,6 +38,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import signal
 import socket
 import sys
@@ -223,6 +226,27 @@ def _build_manager(args: argparse.Namespace, tgdb, journal_dir,
     )
 
 
+def _build_fleet(args: argparse.Namespace, journal_dir: str):
+    """A FleetRouter whose workers rebuild this corpus via build_tgdb."""
+    from repro.service.fleet import FleetRouter
+
+    spec = {
+        "factory": f"{os.path.abspath(__file__)}:build_tgdb",
+        "factory_kwargs": {"dataset": args.dataset, "papers": args.papers},
+        "journal_dir": journal_dir,
+        "stats_path": os.path.join(journal_dir, "statistics.json"),
+        "engine": args.engine,
+        "row_limit": args.row_limit,
+        "require_auth": args.require_auth,
+        "quota_actions": args.quota_actions,
+        "quota_window": args.quota_window,
+        "compact_every": args.compact_every or None,
+        "max_sessions": args.max_sessions,
+        "ttl_seconds": args.ttl,
+    }
+    return FleetRouter(spec, workers=args.fleet)
+
+
 def _build_server(args: argparse.Namespace, manager, port: int):
     from repro.service import AsyncNavigationServer, NavigationServer
 
@@ -231,6 +255,95 @@ def _build_server(args: argparse.Namespace, manager, port: int):
                                      verbose=args.verbose)
     return NavigationServer(manager, host="127.0.0.1", port=port,
                             verbose=args.verbose)
+
+
+def fleet_self_test(args: argparse.Namespace) -> int:
+    """Boot a worker fleet, drive a session, kill its worker, verify.
+
+    The migration acceptance bar: after SIGKILLing the worker that owns
+    the scripted session, the next request must transparently resurrect
+    it on another worker from its journal — ETable cells, history, and
+    auth token all bit-identical. ``--rolling-restart`` additionally
+    restarts every worker one at a time and re-verifies.
+    """
+    args.require_auth = True  # the fleet smoke always proves token survival
+    journal_dir = args.journal_dir or tempfile.mkdtemp(prefix="etable-fleet-")
+    router = _build_fleet(args, journal_dir)
+    server = _build_server(args, router, port=0).start()
+    base = server.url
+    print(f"self-test: fleet of {args.fleet} workers serving {args.dataset} "
+          f"at {base} ({args.frontend} frontend)")
+
+    health = _http(f"{base}/healthz")
+    assert health["ok"], health
+    tables = _http(f"{base}/v1/tables")["result"]["tables"]
+    assert "Papers" in tables, tables
+
+    created = _http(f"{base}/v1/sessions", "POST", {})["result"]
+    session_id = created["session_id"]
+    token = created["auth_token"]
+    owner = router.owner_of(session_id)
+    print(f"  session  -> {session_id} placed on {owner}")
+    for action in _SCRIPTED_ACTIONS:
+        result = _http(f"{base}/v1/sessions/{session_id}/actions", "POST",
+                       action, token=token)
+        assert result["ok"], result
+        print(f"  {action['action']:8s} -> {result['result']}")
+    before_table = _http(
+        f"{base}/v1/sessions/{session_id}/etable?include_history=1",
+        token=token,
+    )["result"]
+    before_history = _http(
+        f"{base}/v1/sessions/{session_id}/history", token=token
+    )["result"]["lines"]
+
+    # SIGKILL the owner mid-session: no drain, no flush — the journal is
+    # the only survivor, and it must be enough.
+    router.kill_worker(owner)
+    print(f"  kill     -> {owner} SIGKILLed; rerouting {session_id}")
+    after_table = _http(
+        f"{base}/v1/sessions/{session_id}/etable?include_history=1",
+        token=token,
+    )["result"]
+    after_history = _http(
+        f"{base}/v1/sessions/{session_id}/history", token=token
+    )["result"]["lines"]
+    assert before_history == after_history, (before_history, after_history)
+    assert before_table == after_table, "migrated session not bit-identical"
+    assert router.session_auth_token(session_id) == token, (
+        "auth token must survive migration"
+    )
+    new_owner = router.owner_of(session_id)
+    fleet_stats = _http(f"{base}/v1/stats")["result"]["fleet"]
+    assert fleet_stats["migrations"] >= 1, fleet_stats
+    print(f"  resume   -> bit-identical on {new_owner} "
+          f"(history, ETable cells, auth token); "
+          f"migrations={fleet_stats['migrations']}")
+
+    if args.rolling_restart:
+        router.rolling_restart()
+        rolled_table = _http(
+            f"{base}/v1/sessions/{session_id}/etable?include_history=1",
+            token=token,
+        )["result"]
+        assert rolled_table == before_table, (
+            "session not bit-identical after rolling restart"
+        )
+        assert router.session_auth_token(session_id) == token
+        fleet_stats = _http(f"{base}/v1/stats")["result"]["fleet"]
+        assert fleet_stats["worker_restarts"] >= 1, fleet_stats
+        print(f"  rolling  -> every worker restarted, session intact "
+              f"(worker_restarts={fleet_stats['worker_restarts']})")
+
+    # The migrated session must stay *live*, not just readable.
+    result = _http(f"{base}/v1/sessions/{session_id}/actions", "POST",
+                   {"action": "sort", "params": {"column": "year"}},
+                   token=token)
+    assert result["ok"], result
+    server.shutdown()
+    router.shutdown()
+    print("self-test: OK (fleet)")
+    return 0
 
 
 def self_test(args: argparse.Namespace) -> int:
@@ -387,6 +500,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--compact-every", type=int, default=64,
                         help="checkpoint each session journal every N "
                              "actions (0 disables compaction)")
+    parser.add_argument("--fleet", type=int, default=0, metavar="N",
+                        help="serve from a fleet of N worker processes "
+                             "behind a consistent-hash router (0 = "
+                             "single-process); sessions migrate between "
+                             "workers by journal handoff")
+    parser.add_argument("--rolling-restart", action="store_true",
+                        help="with --self-test --fleet: also restart every "
+                             "worker one at a time and verify the session "
+                             "survives bit-identically")
     parser.add_argument("--verbose", action="store_true",
                         help="log every HTTP request")
     parser.add_argument("--self-test", action="store_true",
@@ -394,19 +516,33 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.self_test:
+        if args.fleet:
+            return fleet_self_test(args)
         return self_test(args)
 
     from repro.service import AsyncNavigationServer, NavigationServer
 
-    print(f"generating {args.dataset} corpus...")
-    tgdb = build_tgdb(args.dataset, args.papers)
-    manager = _build_manager(args, tgdb, args.journal_dir,
-                             max_sessions=args.max_sessions,
-                             ttl_seconds=args.ttl)
-    if args.journal_dir:
-        resumed = manager.recover_all()
-        if resumed:
-            print(f"resumed {len(resumed)} journaled session(s)")
+    if args.fleet:
+        journal_dir = (args.journal_dir
+                       or tempfile.mkdtemp(prefix="etable-fleet-"))
+        print(f"booting a fleet of {args.fleet} workers "
+              f"(each generating the {args.dataset} corpus)...")
+        manager = _build_fleet(args, journal_dir)
+        if args.journal_dir:
+            resumed = manager.recover_all()
+            if resumed:
+                print(f"resumed {len(resumed)} journaled session(s) "
+                      f"across the fleet")
+    else:
+        print(f"generating {args.dataset} corpus...")
+        tgdb = build_tgdb(args.dataset, args.papers)
+        manager = _build_manager(args, tgdb, args.journal_dir,
+                                 max_sessions=args.max_sessions,
+                                 ttl_seconds=args.ttl)
+        if args.journal_dir:
+            resumed = manager.recover_all()
+            if resumed:
+                print(f"resumed {len(resumed)} journaled session(s)")
     if args.frontend == "async":
         server = AsyncNavigationServer(manager, host=args.host,
                                        port=args.port, verbose=args.verbose)

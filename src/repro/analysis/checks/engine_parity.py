@@ -10,9 +10,12 @@ tagged ``# repro: engine-registry``; every surface literal is tagged
 
 * role ``all``     — exactly the full ``ENGINES`` registry;
 * role ``service`` — exactly the ``SERVICE_ENGINES`` registry;
-* role ``fuzzer``  — every entry is an engine name or an underscore
-  composition of engine names (``incremental_parallel``), and together
-  they exercise every registered engine.
+* role ``fuzzer``  — every entry is an engine name, an underscore
+  composition of engine names (``incremental_parallel``), or a transport
+  from the ``FUZZER_TRANSPORTS`` registry (lockstep participants that
+  drive a real engine through another path, e.g. the fleet router);
+  together the engine entries exercise every registered engine
+  (transports do not count toward coverage).
 
 When the real registry module is among the analyzed files, the check
 also loads the known out-of-tree surface files (the fuzzer under
@@ -86,6 +89,8 @@ class EngineParityCheck(Check):
         full_set = set(full[0])
         service = registry.get("SERVICE_ENGINES", full)
         service_set = set(service[0])
+        transports = registry.get("FUZZER_TRANSPORTS")
+        transport_set = set(transports[0]) if transports is not None else set()
 
         # The real registry knows about surfaces outside the analyzed
         # roots (the fuzzer lives under tests/).
@@ -130,6 +135,11 @@ class EngineParityCheck(Check):
                     if value in full_set:
                         exercised.add(value)
                         continue
+                    if value in transport_set:
+                        # A transport drives some engine through another
+                        # path (fleet router); legal, but it exercises no
+                        # *new* engine, so it adds nothing to coverage.
+                        continue
                     parts = value.split("_")
                     if len(parts) > 1 and all(p in full_set for p in parts):
                         exercised.update(parts)
@@ -137,7 +147,8 @@ class EngineParityCheck(Check):
                     findings.append(self.finding(
                         parsed, line,
                         f"fuzzer surface names unknown engine '{value}' "
-                        "(not in ENGINES, nor a composition of them)",
+                        "(not in ENGINES or FUZZER_TRANSPORTS, nor a "
+                        "composition of engines)",
                     ))
                 for absent in sorted(full_set - exercised):
                     findings.append(self.finding(

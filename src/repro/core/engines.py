@@ -17,7 +17,10 @@ Roles:
   is intentionally absent).
 * ``fuzzer``  — the lockstep list; may also name underscore-composed
   combinations (``incremental_parallel``) and must exercise every
-  registered engine.
+  registered engine. Entries from :data:`FUZZER_TRANSPORTS` are also
+  legal there: they are *transports*, not engines — lockstep
+  participants that drive a real engine through a different path (the
+  fleet router) — and do not count toward engine coverage.
 """
 
 from __future__ import annotations
@@ -35,4 +38,8 @@ SERVICE_ENGINES = (  # repro: engine-registry
     "parallel",
     "incremental",
     "pushdown",
+)
+
+FUZZER_TRANSPORTS = (  # repro: engine-registry
+    "routed",
 )

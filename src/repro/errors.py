@@ -131,6 +131,10 @@ class QuotaExceeded(ServiceError):
     """A session spent its action quota for the current window."""
 
 
+class WorkerFailure(ServiceError):
+    """A fleet worker process failed mid-request and could not be retried."""
+
+
 class StudyError(ReproError):
     """Base class for user-study simulator errors."""
 

@@ -18,6 +18,7 @@ streams ETable delta frames to subscribed clients over SSE.
 """
 
 from repro.service.async_server import AsyncNavigationServer
+from repro.service.fleet import FleetRouter, FleetWorker, HashRing
 from repro.service.journal import ActionJournal, read_records, replay_journal
 from repro.service.manager import ManagedSession, SessionManager
 from repro.service.http_api import NavigationServer
@@ -27,7 +28,9 @@ from repro.service.protocol import (
     DeltaFrame,
     Request,
     Response,
+    WorkerControl,
     apply_action,
+    exception_from_response,
     condition_from_json,
     condition_to_json,
     etable_from_json,
@@ -53,7 +56,10 @@ __all__ = [
     "ActionJournal",
     "AsyncNavigationServer",
     "DeltaFrame",
+    "FleetRouter",
+    "FleetWorker",
     "FrameSource",
+    "HashRing",
     "ManagedSession",
     "NavigationServer",
     "PROTOCOL_VERSION",
@@ -63,7 +69,9 @@ __all__ = [
     "SessionManager",
     "StreamHub",
     "StreamStats",
+    "WorkerControl",
     "apply_action",
+    "exception_from_response",
     "build_frame",
     "coalesce_frame",
     "condition_from_json",

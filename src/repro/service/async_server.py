@@ -247,7 +247,22 @@ class AsyncNavigationServer:
                 method, target, headers = _parse_head(head)
                 if method is None:
                     return
-                length = int(headers.get("content-length") or 0)
+                try:
+                    length = int(headers.get("content-length") or 0)
+                    if length < 0:
+                        raise ValueError(length)
+                except ValueError:
+                    # A malformed Content-Length is a protocol error, not a
+                    # server bug: typed 400, and drop the connection (the
+                    # body boundary is unknowable).
+                    await self._respond(
+                        writer, 400, protocol.Response.failure(
+                            ProtocolError(
+                                "Content-Length header is not an integer"
+                            )
+                        ), keep_alive=False,
+                    )
+                    return
                 if length > _MAX_BODY_BYTES:
                     await self._respond(
                         writer, 400, protocol.Response.failure(
@@ -379,6 +394,10 @@ class AsyncNavigationServer:
                 # a slow consumer, pushes pile into the bounded queue and
                 # coalesce instead of buffering here.
                 await writer.drain()
+                if frame.kind == "closed":
+                    # Terminal frame: the session was closed or evicted.
+                    # End the stream instead of pinging a dead session.
+                    break
         except (ConnectionResetError, BrokenPipeError):
             pass
         finally:

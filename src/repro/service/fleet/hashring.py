@@ -1,0 +1,87 @@
+"""Consistent hash ring: session ids -> worker names, stable under churn.
+
+The router's only placement data structure. Classic Karger-style ring:
+each member contributes ``replicas`` virtual points (SHA-1 of
+``"name#i"``), a key is owned by the first point clockwise from the
+key's own hash. Adding or removing one member therefore moves only the
+keys in the slots that member gained or lost — roughly ``1/n`` of the
+space — which is what makes a rolling restart cheap: most sessions stay
+where they are, the few that move are resurrected from their journals.
+
+SHA-1, not :func:`hash`: Python's string hashing is salted per process
+(PYTHONHASHSEED), and the router, its workers, and the test harness must
+all agree on ownership from the name alone.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+
+from repro.errors import ServiceError
+
+
+def _point(label: str) -> int:
+    digest = hashlib.sha1(label.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class HashRing:
+    """Members (worker names) on a consistent ring of hashed points."""
+
+    def __init__(self, members: tuple[str, ...] | list[str] = (),
+                 replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ServiceError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: list[int] = []  # sorted virtual-node hashes
+        self._owners: dict[int, str] = {}  # point -> member name
+        for member in members:
+            self.add(member)
+
+    # ------------------------------------------------------------------
+    @property
+    def members(self) -> tuple[str, ...]:
+        return tuple(sorted(set(self._owners.values())))
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+    def __contains__(self, member: str) -> bool:
+        return member in set(self._owners.values())
+
+    # ------------------------------------------------------------------
+    def add(self, member: str) -> None:
+        if not member:
+            raise ServiceError("ring member name must be non-empty")
+        if member in self:
+            return
+        for index in range(self.replicas):
+            point = _point(f"{member}#{index}")
+            # SHA-1 collisions across distinct labels are not a practical
+            # concern; first-come ownership keeps behavior deterministic
+            # if one ever happened.
+            if point in self._owners:
+                continue
+            bisect.insort(self._points, point)
+            self._owners[point] = member
+        if member not in self:
+            raise ServiceError(
+                f"ring member {member!r} produced no points"
+            )  # pragma: no cover - needs replicas of colliding labels
+
+    def remove(self, member: str) -> None:
+        stale = [p for p, owner in self._owners.items() if owner == member]
+        for point in stale:
+            del self._owners[point]
+            index = bisect.bisect_left(self._points, point)
+            del self._points[index]
+
+    def owner(self, key: str) -> str:
+        """The member owning ``key``; raises when the ring is empty."""
+        if not self._points:
+            raise ServiceError("hash ring has no members")
+        index = bisect.bisect_right(self._points, _point(key))
+        if index == len(self._points):
+            index = 0  # wrap around the top of the ring
+        return self._owners[self._points[index]]

@@ -1,0 +1,519 @@
+"""The fleet router: consistent-hash session placement over N workers.
+
+cubicweb's repository/session split, flattened onto this codebase: the
+router owns *placement* (which worker hosts which session) and the
+workers own *state* (the sessions themselves, each durably journaled in
+the fleet-shared journal directory). The router duck-types the
+:class:`~repro.service.manager.SessionManager` surface the frontends
+use — ``handle_request``, ``close_session``, ``stats``,
+``session_auth_token``, ``recover_all``, ``shutdown`` — so both the
+threaded and asyncio HTTP servers sit in front of a fleet unchanged.
+
+Migration is journal handoff, not state transfer. Because every worker
+journals into the same directory, moving a session is: reassign the hash
+slot, then let the new owner resurrect it from the journal through the
+prefix-reuse cache on the next request. That one mechanism serves all
+three lifecycle events:
+
+* **drain / rolling restart** — the departing worker releases its
+  sessions (flushing quota bookkeeping), the ring reroutes, the new
+  owners replay;
+* **rebalance** — after membership changes, every worker drops the
+  sessions that no longer hash to it;
+* **crash** — nothing to flush: the journal already holds every accepted
+  action, so the router just removes the dead member and retries on the
+  new owner, which replays to the exact pre-crash state (history, ETable
+  cells, and auth token are all journal-derived — bit-identical).
+
+SSE streaming is *not* proxied across the process boundary yet: the
+stream hub needs a live in-process session. A fleet therefore serves the
+request/response surface only; the ROADMAP names the cross-process
+``restore``-frame follow-on.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import socket
+import threading
+import time
+import uuid
+from typing import Any, Callable
+
+from repro.errors import ServiceError, UnknownSession, WorkerFailure
+from repro.service import protocol
+from repro.service.fleet.hashring import HashRing
+from repro.service.fleet.worker import fleet_worker_main, journaled_sessions
+
+
+class _WorkerHandle:
+    """Router-side view of one worker: process + pooled connections."""
+
+    def __init__(self, name: str, spec: dict[str, Any],
+                 process: multiprocessing.process.BaseProcess | None,
+                 port: int) -> None:
+        self.name = name
+        self.spec = spec
+        self.process = process
+        self.port = port
+        self._pool: list[socket.socket] = []  # guarded-by: self._pool_lock
+        self._pool_lock = threading.Lock()
+
+    def alive(self) -> bool:
+        return self.process is None or self.process.is_alive()
+
+    # -- pooled newline-JSON round trip --------------------------------
+    def call(self, payload: dict[str, Any], timeout: float) -> dict[str, Any]:
+        sock = self._acquire(timeout)
+        try:
+            sock.sendall(
+                json.dumps(payload, default=str).encode("utf-8") + b"\n"
+            )
+            line = b""
+            while not line.endswith(b"\n"):
+                chunk = sock.recv(1 << 20)
+                if not chunk:
+                    raise OSError("worker closed the connection mid-reply")
+                line += chunk
+        except BaseException:
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise
+        self._release(sock)
+        return json.loads(line.decode("utf-8"))
+
+    def _acquire(self, timeout: float) -> socket.socket:
+        with self._pool_lock:
+            if self._pool:
+                return self._pool.pop()
+        sock = socket.create_connection(("127.0.0.1", self.port),
+                                        timeout=timeout)
+        sock.settimeout(timeout)
+        return sock
+
+    def _release(self, sock: socket.socket) -> None:
+        with self._pool_lock:
+            self._pool.append(sock)
+
+    def close_pool(self) -> None:
+        with self._pool_lock:
+            pool, self._pool = self._pool, []
+        for sock in pool:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class FleetRouter:
+    """N worker processes behind one SessionManager-shaped facade."""
+
+    def __init__(self, worker_spec: dict[str, Any], workers: int = 2,
+                 request_timeout: float = 60.0,
+                 start_method: str | None = None) -> None:
+        if workers < 1:
+            raise ServiceError(f"a fleet needs >= 1 worker, got {workers}")
+        if "journal_dir" not in worker_spec or not worker_spec["journal_dir"]:
+            raise ServiceError(
+                "fleet workers need a shared journal_dir: migration is "
+                "journal handoff, there is no other state channel"
+            )
+        self.journal_dir = worker_spec["journal_dir"]
+        self.request_timeout = request_timeout
+        self._context = multiprocessing.get_context(start_method)
+        self._lock = threading.Lock()
+        self._workers: dict[str, _WorkerHandle] = {}  # guarded-by: self._lock
+        self._ring = HashRing()  # guarded-by: self._lock
+        self.migrations = 0  # guarded-by: self._lock
+        self.worker_restarts = 0  # guarded-by: self._lock
+        self.routed_requests = 0  # guarded-by: self._lock
+        for index in range(workers):
+            name = f"worker-{index}"
+            handle = self._spawn(dict(worker_spec, name=name))
+            with self._lock:
+                self._workers[name] = handle
+                self._ring.add(name)
+
+    # ------------------------------------------------------------------
+    # Worker lifecycle
+    # ------------------------------------------------------------------
+    def _spawn(self, spec: dict[str, Any]) -> _WorkerHandle:
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=fleet_worker_main, args=(spec, child_conn),
+            name=f"fleet-{spec['name']}", daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        if not parent_conn.poll(120.0):
+            process.kill()
+            raise ServiceError(f"worker {spec['name']!r} never reported in")
+        boot = parent_conn.recv()
+        parent_conn.close()
+        if "error" in boot:
+            process.join(timeout=5.0)
+            raise ServiceError(
+                f"worker {spec['name']!r} failed to boot: {boot['error']}"
+            )
+        return _WorkerHandle(spec["name"], spec, process, boot["port"])
+
+    @classmethod
+    def attach(cls, endpoints: dict[str, int], journal_dir: str,
+               request_timeout: float = 60.0) -> "FleetRouter":
+        """A router over *already running* workers (router-restart path).
+
+        ``endpoints`` maps worker name -> loopback port. The attached
+        router cannot respawn what it did not spawn (``process`` is
+        unknown), but routing, draining, and rebalancing all work — which
+        is exactly what a restarted front process needs.
+        """
+        router = cls.__new__(cls)
+        router.journal_dir = journal_dir
+        router.request_timeout = request_timeout
+        router._context = multiprocessing.get_context()
+        router._lock = threading.Lock()
+        router._workers = {}
+        router._ring = HashRing()
+        router.migrations = 0
+        router.worker_restarts = 0
+        router.routed_requests = 0
+        for name, port in endpoints.items():
+            handle = _WorkerHandle(name, {"name": name}, None, port)
+            router._workers[name] = handle
+            router._ring.add(name)
+        try:
+            for handle in router._workers.values():
+                router._control(handle, "ping")  # fail fast on dead endpoints
+        except BaseException:
+            router.detach()
+            raise
+        return router
+
+    def detach(self) -> None:
+        """Drop this router's sockets without touching the workers.
+
+        The counterpart of :meth:`attach` for a front process going away:
+        :meth:`shutdown` would stop the fleet, which an attached router
+        does not own.
+        """
+        with self._lock:
+            handles, self._workers = dict(self._workers), {}
+            self._ring = HashRing()
+        for handle in handles.values():
+            handle.close_pool()
+
+    def endpoints(self) -> dict[str, int]:
+        """Worker name -> port (what :meth:`attach` needs to rebuild)."""
+        with self._lock:
+            return {name: handle.port
+                    for name, handle in self._workers.items()}
+
+    def worker_names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._workers)
+
+    def owner_of(self, session_id: str) -> str:
+        with self._lock:
+            return self._ring.owner(session_id)
+
+    def kill_worker(self, name: str) -> None:
+        """SIGKILL a worker (failure injection: tests, self-test)."""
+        with self._lock:
+            handle = self._workers.get(name)
+        if handle is None or handle.process is None:
+            raise ServiceError(f"no spawned worker named {name!r}")
+        handle.process.kill()
+        handle.process.join(timeout=10.0)
+
+    def restart_worker(self, name: str) -> None:
+        """Drain one worker and bring up a replacement (rolling restart).
+
+        Sequence: take it off the ring (new traffic reroutes), tell it to
+        drain (journals flushed, quota persisted), shut it down, spawn the
+        replacement, re-add it, then broadcast a rebalance so every worker
+        releases the sessions the restored ring no longer maps to it —
+        without this, a session resurrected elsewhere during the restart
+        would be double-hosted when the name rejoins.
+        """
+        with self._lock:
+            handle = self._workers.get(name)
+            if handle is None:
+                raise ServiceError(f"no worker named {name!r}")
+            if handle.process is None:
+                raise ServiceError(
+                    f"worker {name!r} was attached, not spawned; "
+                    f"restart it from its owning process"
+                )
+            self._ring.remove(name)
+        try:
+            if handle.alive():
+                try:
+                    self._control(handle, "drain")
+                    self._control(handle, "shutdown")
+                except (OSError, ServiceError):
+                    pass  # already dying; journals are the safety net
+                handle.process.join(timeout=30.0)
+                if handle.process.is_alive():
+                    handle.process.kill()
+                    handle.process.join(timeout=10.0)
+            handle.close_pool()
+            replacement = self._spawn(handle.spec)
+        except BaseException:
+            with self._lock:
+                self._workers.pop(name, None)
+            raise
+        with self._lock:
+            self._workers[name] = replacement
+            self._ring.add(name)
+            self.worker_restarts += 1
+        self._broadcast_rebalance()
+
+    def rolling_restart(self) -> None:
+        """Restart every worker one at a time; the service stays up."""
+        for name in self.worker_names():
+            self.restart_worker(name)
+
+    def _broadcast_rebalance(self) -> None:
+        with self._lock:
+            members = sorted(self._ring.members)
+            handles = list(self._workers.values())
+        for handle in handles:
+            try:
+                self._control(handle, "rebalance", {"members": members})
+            except (OSError, ServiceError, WorkerFailure):
+                continue  # a dead worker has nothing to release
+
+    # ------------------------------------------------------------------
+    # Control-plane round trips
+    # ------------------------------------------------------------------
+    def _control(self, handle: _WorkerHandle, op: str,
+                 args: dict[str, Any] | None = None) -> dict[str, Any]:
+        control = protocol.WorkerControl(op=op, args=args or {})
+        payload = handle.call(control.to_json(), self.request_timeout)
+        response = protocol.Response.from_json(payload)
+        if not response.ok:
+            raise protocol.exception_from_response(response)
+        return response.result or {}
+
+    # ------------------------------------------------------------------
+    # Routed user traffic (the SessionManager-shaped surface)
+    # ------------------------------------------------------------------
+    def handle_request(self, request: protocol.Request) -> protocol.Response:
+        try:
+            if request.action == "create_session":
+                # Mint the id router-side: placement needs the id *before*
+                # any worker is involved.
+                session_id = (request.params.get("session_id")
+                              or request.session_id or uuid.uuid4().hex[:12])
+                request = protocol.Request(
+                    action="create_session",
+                    params=dict(request.params, session_id=session_id),
+                    session_id=str(session_id),
+                    request_id=request.request_id,
+                    auth_token=request.auth_token,
+                )
+                return self._route(str(session_id), request)
+            if request.action == "stats":
+                return protocol.Response.success(self.stats(), request)
+            if request.action == "tables":
+                return self._any_worker_request(request)
+            session_id = request.session_id or request.params.get("session_id")
+            if not session_id:
+                return protocol.Response.failure(
+                    protocol.ProtocolError(
+                        f"action {request.action!r} needs a session_id"
+                    ), request,
+                )
+            return self._route(str(session_id), request)
+        except ServiceError as error:
+            return protocol.Response.failure(error, request)
+
+    def _route(self, session_id: str,
+               request: protocol.Request) -> protocol.Response:
+        """Send to the owner; on worker death, reroute and retry.
+
+        The retry is safe for the same reason migration is: the journal
+        holds every *accepted* action. If the worker died before
+        accepting, the retry simply applies it on the new owner; if it
+        died between accepting and replying (the at-least-once window),
+        the retried action re-executes on the replayed state — for this
+        protocol's deterministic, history-appending actions the second
+        apply is the one the client observes, matching what it would have
+        seen had the first reply arrived.
+        """
+        attempts = 0
+        while True:
+            with self._lock:
+                self.routed_requests += 1
+                owner = self._ring.owner(session_id)
+                handle = self._workers[owner]
+                fleet_size = len(self._workers)
+            try:
+                payload = handle.call(request.to_json(), self.request_timeout)
+                return protocol.Response.from_json(payload)
+            except (OSError, json.JSONDecodeError):
+                attempts += 1
+                if handle.alive() or attempts >= fleet_size + 1:
+                    raise WorkerFailure(
+                        f"worker {owner!r} failed serving session "
+                        f"{session_id!r} and cannot be retried"
+                    ) from None
+                # Crash failover: drop the dead member; the ring reroutes
+                # this session (and its siblings) to live owners, which
+                # resurrect from the shared journals on this very retry.
+                self._remove_dead(owner)
+
+    def _remove_dead(self, name: str) -> None:
+        with self._lock:
+            handle = self._workers.pop(name, None)
+            if handle is None:
+                return  # another thread already buried it
+            self._ring.remove(name)
+            if not self._workers:
+                self._workers[name] = handle  # keep the error readable
+                self._ring.add(name)
+                raise ServiceError(
+                    f"last fleet worker {name!r} died; nothing to fail "
+                    f"over to"
+                )
+            self.migrations += 1
+        handle.close_pool()
+
+    def _any_worker_request(self, request: protocol.Request
+                            ) -> protocol.Response:
+        with self._lock:
+            handles = list(self._workers.values())
+        last_error: Exception | None = None
+        for handle in handles:
+            try:
+                payload = handle.call(request.to_json(), self.request_timeout)
+                return protocol.Response.from_json(payload)
+            except (OSError, json.JSONDecodeError) as error:
+                last_error = error
+        raise WorkerFailure(f"no worker answered: {last_error}")
+
+    # ------------------------------------------------------------------
+    # SessionManager-shaped conveniences (frontends + tests)
+    # ------------------------------------------------------------------
+    def apply(self, session_id: str, action: str,
+              params: dict[str, Any] | None = None,
+              auth_token: str | None = None) -> dict[str, Any]:
+        response = self._route(session_id, protocol.Request(
+            action=action, params=params or {}, session_id=session_id,
+            auth_token=auth_token,
+        ))
+        if not response.ok:
+            raise protocol.exception_from_response(response)
+        return response.result or {}
+
+    def create_session(self, session_id: str | None = None) -> str:
+        params = {"session_id": session_id} if session_id else {}
+        response = self.handle_request(
+            protocol.Request(action="create_session", params=params)
+        )
+        if not response.ok:
+            raise protocol.exception_from_response(response)
+        return response.result["session_id"]
+
+    def close_session(self, session_id: str, drop_journal: bool = False,
+                      auth_token: str | None = None) -> None:
+        params: dict[str, Any] = {}
+        if drop_journal:
+            params["drop_journal"] = True
+        response = self._route(session_id, protocol.Request(
+            action="close_session", params=params, session_id=session_id,
+            auth_token=auth_token,
+        ))
+        if not response.ok:
+            raise protocol.exception_from_response(response)
+
+    def session_auth_token(self, session_id: str) -> str | None:
+        with self._lock:
+            owner = self._ring.owner(session_id)
+            handle = self._workers[owner]
+        return self._control(
+            handle, "token", {"session_id": session_id}
+        ).get("auth_token")
+
+    def recover_all(self) -> list[str]:
+        """Warm-start: every journaled session resumed on its ring owner."""
+        by_owner: dict[str, list[str]] = {}
+        for session_id in journaled_sessions(self.journal_dir):
+            by_owner.setdefault(self.owner_of(session_id), []).append(
+                session_id
+            )
+        resumed: list[str] = []
+        for owner, ids in sorted(by_owner.items()):
+            with self._lock:
+                handle = self._workers[owner]
+            resumed.extend(
+                self._control(handle, "resume", {"session_ids": ids})
+                .get("resumed", [])
+            )
+        return resumed
+
+    def add_action_observer(self, observer: Callable[..., Any]) -> None:
+        """Accepted for SessionManager duck-typing; fleet workers live in
+        other processes, so in-process observers can never fire."""
+
+    def add_lifecycle_observer(self, observer: Callable[..., Any]) -> None:
+        """Accepted for SessionManager duck-typing (see above)."""
+
+    def with_session(self, session_id: str, fn: Callable[..., Any],
+                     auth_token: str | None = None) -> Any:
+        raise ServiceError(
+            "SSE streaming is not yet proxied across the fleet boundary; "
+            "serve streams from a single-process deployment (the "
+            "'restore'-frame follow-on in ROADMAP covers fleet SSE)"
+        )
+
+    def stats(self) -> dict[str, Any]:
+        with self._lock:
+            handles = dict(self._workers)
+            routed = self.routed_requests
+            migrations = self.migrations
+            restarts = self.worker_restarts
+        per_worker: dict[str, Any] = {}
+        totals = {"live_sessions": 0, "created": 0, "resumed": 0,
+                  "evicted": 0, "actions": 0}
+        for name, handle in sorted(handles.items()):
+            try:
+                worker_stats = self._control(handle, "stats")
+            except (OSError, ServiceError, WorkerFailure):
+                per_worker[name] = {"alive": False}
+                continue
+            per_worker[name] = worker_stats
+            for key in totals:
+                totals[key] += int(worker_stats.get(key, 0))
+        return {
+            **totals,
+            "fleet": {
+                "workers": sorted(handles),
+                "routed_requests": routed,
+                "migrations": migrations,
+                "worker_restarts": restarts,
+                "per_worker": per_worker,
+            },
+        }
+
+    def shutdown(self) -> None:
+        """Graceful fleet stop: drain + shutdown every worker, then join."""
+        with self._lock:
+            handles, self._workers = dict(self._workers), {}
+            self._ring = HashRing()
+        for handle in handles.values():
+            try:
+                self._control(handle, "shutdown")
+            except (OSError, ServiceError, WorkerFailure):
+                pass  # already dead; journals hold its sessions
+            handle.close_pool()
+        for handle in handles.values():
+            if handle.process is None:
+                continue
+            handle.process.join(timeout=30.0)
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.kill()
+                handle.process.join(timeout=10.0)

@@ -1,0 +1,279 @@
+"""One fleet worker process: a SessionManager behind a loopback socket.
+
+Each worker is a full single-process service — the shared graph, its own
+:class:`~repro.core.cache.CachingExecutor` (and therefore its own
+``CompiledPlanCache``), a :class:`~repro.service.manager.SessionManager`
+over the *fleet-shared* journal directory — listening on an ephemeral
+loopback port for newline-delimited JSON. Two envelope kinds ride the
+same socket, discriminated by the ``"control"`` key:
+
+* :class:`~repro.service.protocol.Request` — user traffic, answered by
+  ``manager.handle_request`` exactly as the HTTP frontends would;
+* :class:`~repro.service.protocol.WorkerControl` — router control plane
+  (drain, rebalance, resume, shutdown), answered with the same
+  :class:`~repro.service.protocol.Response` envelope.
+
+The worker never knows the whole fleet: rebalance hands it the member
+list and it keeps only the sessions the ring maps to itself, releasing
+the rest (journals intact) for their new owners to resurrect.
+
+The graph is *built inside the worker* from a ``"module:callable"`` (or
+``"path.py:callable"``) factory named in the picklable spec dict — the
+spec crosses the process boundary, the graph never does. Statistics do
+cross, as JSON: the first worker to boot writes the graph's
+``GraphStatistics.to_payload()`` snapshot next to the journals, later
+workers ``install_statistics`` from it instead of re-scanning.
+"""
+
+from __future__ import annotations
+
+import importlib
+import importlib.util
+import json
+import os
+import socket
+import threading
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ProtocolError, ServiceError
+from repro.service import protocol
+from repro.service.journal import JOURNAL_SUFFIX
+from repro.service.manager import SessionManager
+from repro.service.fleet.hashring import HashRing
+
+
+def resolve_factory(factory: str):
+    """``"pkg.module:callable"`` or ``"/path/file.py:callable"`` -> callable."""
+    target, sep, name = factory.partition(":")
+    if not sep or not target or not name:
+        raise ServiceError(
+            f"factory must look like 'module:callable' or "
+            f"'path.py:callable', got {factory!r}"
+        )
+    if target.endswith(".py"):
+        spec = importlib.util.spec_from_file_location("_fleet_factory", target)
+        if spec is None or spec.loader is None:
+            raise ServiceError(f"cannot load factory file {target!r}")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+    else:
+        module = importlib.import_module(target)
+    fn = getattr(module, name, None)
+    if fn is None:
+        raise ServiceError(f"factory {factory!r} does not exist")
+    return fn
+
+
+def _load_or_snapshot_statistics(graph, stats_path: str | None) -> None:
+    """Share one statistics scan across the fleet via a JSON snapshot.
+
+    First worker up computes and atomically publishes the snapshot; every
+    later worker installs it instead of re-scanning the graph. A corrupt
+    or torn snapshot (crash mid-publish cannot happen — ``os.replace`` is
+    atomic — but a stale partial ``.tmp`` can linger) falls back to a
+    local scan; the fleet never fails to boot over warm-up state.
+    """
+    if stats_path is None:
+        return
+    path = Path(stats_path)
+    if path.exists():
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            from repro.tgm.instance_graph import GraphStatistics
+
+            graph.install_statistics(
+                GraphStatistics.from_payload(graph, payload)
+            )
+            return
+        except Exception:
+            pass  # unreadable snapshot: scan locally, leave file alone
+    statistics = graph.statistics()
+    tmp = path.with_suffix(path.suffix + f".tmp{os.getpid()}")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(
+            json.dumps(statistics.to_payload(), default=str),
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+    except OSError:  # pragma: no cover - disk trouble must not kill boot
+        tmp.unlink(missing_ok=True)
+
+
+class FleetWorker:
+    """The in-process half of one worker: socket loop over a manager."""
+
+    def __init__(self, spec: dict[str, Any]) -> None:
+        self.name = str(spec["name"])
+        tgdb = resolve_factory(spec["factory"])(**spec.get("factory_kwargs", {}))
+        _load_or_snapshot_statistics(tgdb.graph, spec.get("stats_path"))
+        self.manager = SessionManager(
+            tgdb.schema, tgdb.graph,
+            row_limit=spec.get("row_limit"),
+            max_sessions=spec.get("max_sessions", 256),
+            ttl_seconds=spec.get("ttl_seconds", 1800.0),
+            journal_dir=spec["journal_dir"],
+            engine=spec.get("engine", "planned"),
+            compact_every=spec.get("compact_every", 64),
+            require_auth=spec.get("require_auth", False),
+            quota_actions=spec.get("quota_actions"),
+            quota_window=spec.get("quota_window", 60.0),
+            fsync_journal=spec.get("fsync_journal", False),
+        )
+        self._server = socket.create_server(("127.0.0.1", 0))
+        self._server.settimeout(0.2)
+        self.port = self._server.getsockname()[1]
+        self._stop = threading.Event()
+
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Accept loop: one thread per connection (the router pools its
+        connections, so the thread count is O(router concurrency))."""
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _addr = self._server.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,),
+                    name=f"fleet-{self.name}-conn", daemon=True,
+                )
+                thread.start()
+        finally:
+            self._server.close()
+            self.manager.shutdown()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        stream = conn.makefile("rwb")
+        try:
+            while not self._stop.is_set():
+                line = stream.readline()
+                if not line:
+                    return
+                response = self._serve_line(line)
+                stream.write(
+                    json.dumps(response.to_json(), default=str).encode("utf-8")
+                    + b"\n"
+                )
+                stream.flush()
+        except (OSError, ValueError):
+            pass  # router went away mid-line; its retry logic owns this
+        finally:
+            stream.close()
+            conn.close()
+
+    def _serve_line(self, line: bytes) -> protocol.Response:
+        try:
+            payload = json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return protocol.Response.failure(
+                ProtocolError(f"worker request is not JSON: {error}")
+            )
+        try:
+            if isinstance(payload, dict) and "control" in payload:
+                control = protocol.WorkerControl.from_json(payload)
+                return self._serve_control(control)
+            return self.manager.handle_request(
+                protocol.Request.from_json(payload)
+            )
+        except Exception as error:  # noqa: BLE001 - worker must answer
+            return protocol.Response.failure(error)
+
+    # ------------------------------------------------------------------
+    def _serve_control(self, control: protocol.WorkerControl
+                       ) -> protocol.Response:
+        op, args = control.op, control.args
+        if op == "ping":
+            result: dict[str, Any] = {"name": self.name, "pid": os.getpid(),
+                                      "port": self.port}
+        elif op == "stats":
+            result = self.manager.stats()
+            result["worker"] = self.name
+        elif op == "token":
+            result = {"auth_token": self._session_token(args.get("session_id"))}
+        elif op == "resume":
+            resumed = []
+            for session_id in args.get("session_ids", []):
+                self.manager.resume_session(str(session_id))
+                resumed.append(str(session_id))
+            result = {"resumed": resumed}
+        elif op == "release":
+            ids = args.get("session_ids")
+            released = self.manager.release_sessions(
+                [str(s) for s in ids] if ids is not None else None
+            )
+            result = {"released": released}
+        elif op == "rebalance":
+            result = {"released": self._rebalance(args.get("members", []))}
+        elif op == "drain":
+            result = {"released": self.manager.release_sessions()}
+        elif op == "shutdown":
+            # Reply first (the socket loop sends this return value), then
+            # stop accepting; serve_forever's finally drains the manager.
+            self._stop.set()
+            result = {"stopping": self.name}
+        else:  # pragma: no cover - from_json already validated the op
+            raise ProtocolError(f"unhandled control op {op!r}")
+        # The socket protocol is strictly request/response per connection,
+        # so the reply needs no request-id correlation.
+        return protocol.Response.success(result)
+
+    def _session_token(self, session_id: Any) -> str | None:
+        if not session_id:
+            raise ProtocolError("token control needs a session_id")
+        token = self.manager.session_auth_token(str(session_id))
+        if token is None:
+            # Not live here (yet): resurrect, then read the journal-kept
+            # token — the router asks the *owner*, so resuming is correct.
+            from repro.errors import UnknownSession
+
+            try:
+                self.manager.resume_session(str(session_id))
+            except UnknownSession:
+                return None
+            token = self.manager.session_auth_token(str(session_id))
+        return token
+
+    def _rebalance(self, members: list[str]) -> list[str]:
+        """Keep only sessions the new ring maps here; release the rest."""
+        if not members or self.name not in members:
+            return self.manager.release_sessions()
+        ring = HashRing(tuple(str(m) for m in members))
+        strays = [
+            session_id for session_id in self.manager.session_ids()
+            if ring.owner(session_id) != self.name
+        ]
+        return self.manager.release_sessions(strays)
+
+
+def fleet_worker_main(spec: dict[str, Any], conn) -> None:
+    """``multiprocessing.Process`` target: build, report the port, serve.
+
+    ``spec`` is a dict of picklable primitives (see :class:`FleetWorker`);
+    ``conn`` is the parent's pipe end, which receives either
+    ``{"port": n}`` on success or ``{"error": str}`` on boot failure and
+    is then closed — all later traffic rides the socket.
+    """
+    try:
+        worker = FleetWorker(spec)
+    except BaseException as error:
+        try:
+            conn.send({"error": f"{type(error).__name__}: {error}"})
+        finally:
+            conn.close()
+        raise SystemExit(1)
+    conn.send({"port": worker.port})
+    conn.close()
+    worker.serve_forever()
+
+
+def journaled_sessions(journal_dir: str | Path) -> list[str]:
+    """Session ids with a journal on disk (the router's recovery scan)."""
+    return sorted(
+        path.name[: -len(JOURNAL_SUFFIX)]
+        for path in Path(journal_dir).glob(f"*{JOURNAL_SUFFIX}")
+    )

@@ -149,12 +149,14 @@ class NavigationRequestHandler(BaseHTTPRequestHandler):
                 drain.end()
 
     def _handle_get(self) -> None:
-        self._drain_body()
         parsed = urlparse(self.path)
         parts = [part for part in parsed.path.split("/") if part]
         query = {key: values[-1]
                  for key, values in parse_qs(parsed.query).items()}
         try:
+            # Inside the try: a malformed Content-Length surfaces as a
+            # typed 400 protocol_error, not an unhandled 500.
+            self._drain_body()
             if parts == ["healthz"]:
                 stats = self.manager.stats()
                 self._send(200, protocol.Response.success({
@@ -228,9 +230,9 @@ class NavigationRequestHandler(BaseHTTPRequestHandler):
             self._send_error_response(error)
 
     def _handle_delete(self) -> None:
-        self._drain_body()
         parts = [part for part in urlparse(self.path).path.split("/") if part]
         try:
+            self._drain_body()
             if len(parts) == 3 and parts[:2] == ["v1", "sessions"]:
                 self.manager.close_session(
                     parts[2],
@@ -260,8 +262,28 @@ class NavigationRequestHandler(BaseHTTPRequestHandler):
         response = self.manager.handle_request(request)
         self._send(_status_of(response), response)
 
+    def _body_length(self) -> int:
+        """Parse Content-Length; a malformed header is a typed 400.
+
+        The naive ``int(...)`` here used to let a garbage header escape as
+        a ValueError — a 500 for what is plainly a client protocol error.
+        The connection cannot be reused either way: with an unparseable
+        length the body boundary is unknowable.
+        """
+        raw = self.headers.get("Content-Length") or 0
+        try:
+            length = int(raw)
+            if length < 0:
+                raise ValueError(length)
+        except ValueError:
+            self.close_connection = True
+            raise ProtocolError(
+                f"Content-Length header is not an integer: {raw!r}"
+            ) from None
+        return length
+
     def _read_json_body(self) -> Any:
-        length = int(self.headers.get("Content-Length") or 0)
+        length = self._body_length()
         if length > _MAX_BODY_BYTES:
             # Too big to drain; the connection must not be reused with the
             # unread body still in the stream.
@@ -281,7 +303,7 @@ class NavigationRequestHandler(BaseHTTPRequestHandler):
         HTTP/1.1 keep-alive parses the next request where the last one
         ended; unread body bytes would desync the connection.
         """
-        length = int(self.headers.get("Content-Length") or 0)
+        length = self._body_length()
         if length <= 0:
             return
         if length > _MAX_BODY_BYTES:
@@ -332,7 +354,16 @@ def _etable_params(query: dict[str, str]) -> dict[str, Any]:
     params: dict[str, Any] = {}
     for name in ("offset", "limit", "max_refs"):
         if name in query:
-            params[name] = query[name]
+            # Validate at the HTTP edge so "?limit=abc" is a typed 400
+            # protocol_error here, same as it would be from the protocol
+            # layer's own _int_param — never an unhandled ValueError.
+            try:
+                params[name] = int(query[name])
+            except ValueError:
+                raise ProtocolError(
+                    f"query param {name!r} must be an integer, "
+                    f"got {query[name]!r}"
+                ) from None
     if query.get("include_history") in ("1", "true", "yes"):
         params["include_history"] = True
     return params

@@ -14,6 +14,7 @@ Record shapes (one JSON object per line)::
     {"type": "meta", "version": 1, "session_id": "..."}
     {"type": "action", "seq": 3, "action": "filter", "params": {...}}
     {"type": "checkpoint", "seq": 7, "history": [<history entries>]}
+    {"type": "quota", "used": 9, "window_expires_at": 1754550000.0}
 
 **Revert truncates.** A revert makes every action after the reverted step
 dead weight: replaying them only to revert away from them again would make
@@ -117,6 +118,17 @@ class ActionJournal:
         self.actions_since_checkpoint += 1
         self._write({"type": "action", "seq": self.seq, "action": action,
                      "params": params})
+
+    def record_quota(self, used: int, window_expires_at: float) -> None:
+        """Persist quota bookkeeping for a session leaving memory.
+
+        Written when a throttled session is closed, evicted, or drained so
+        that resurrection (same process or another fleet worker) does not
+        grant a fresh quota window. Wall-clock expiry, not ``monotonic()``:
+        the record must mean the same thing in a different process.
+        """
+        self._write({"type": "quota", "used": int(used),
+                     "window_expires_at": float(window_expires_at)})
 
     def checkpoint(self, history_payload: list[dict[str, Any]]) -> None:
         """Atomically replace the journal with one checkpoint record.
@@ -252,7 +264,9 @@ def replay_records(session: EtableSession,
     applied = 0
     for record in records:
         kind = record.get("type")
-        if kind == "meta":
+        if kind in ("meta", "quota"):
+            # Quota records are manager bookkeeping, not session state; the
+            # manager's resume path reads them from recovered_records.
             continue
         if kind == "checkpoint":
             session.restore_history(

@@ -136,6 +136,12 @@ class SessionManager:
         # lock after each accepted mutating action, so observers see
         # session states in exact action order.
         self._observers: list[Callable[[str, str, EtableSession], None]] = []
+        # Session-end hooks (the stream hub again): called with
+        # ``(session_id, event)`` after a session leaves memory — event is
+        # "closed" (deliberate close / drain) or "evicted" (TTL or LRU) —
+        # so SSE subscribers get a terminal frame instead of hanging on
+        # keepalives forever.
+        self._lifecycle_observers: list[Callable[[str, str], None]] = []
         self.observer_errors = 0  # guarded-by: self._lock
         # One executor for everyone: cross-session prefix reuse is the
         # service's whole performance story. With engine="parallel" the
@@ -219,11 +225,14 @@ class SessionManager:
             # was checked out before the pop above and must still be able
             # to record its (already accepted) action.
             with managed.lock:
+                self._persist_quota(managed)
                 managed.journal.close()
         if drop_journal and self.journal_dir is not None:
             path = self._journal_path(session_id)
             if path.exists():
                 path.unlink()
+        if managed is not None:
+            self._notify_lifecycle(session_id, "closed")
 
     def session_ids(self) -> list[str]:
         with self._lock:
@@ -243,7 +252,40 @@ class SessionManager:
                 # Wait for any in-flight action before closing its journal
                 # (same contract as close_session).
                 with managed.lock:
+                    self._persist_quota(managed)
                     managed.journal.close()
+
+    def release_sessions(
+        self, session_ids: list[str] | None = None
+    ) -> list[str]:
+        """Control-plane drain: close hosted sessions, keep their journals.
+
+        The fleet worker's handoff hook — on drain, rebalance, or a
+        rolling restart the router tells the old owner to release, and the
+        new owner resurrects each session from its journal on the next
+        request. Unlike :meth:`close_session` this bypasses per-session
+        auth (it is never reachable from the public HTTP surface) and
+        skips ids that are not currently live. Returns the released ids.
+        """
+        with self._lock:
+            if session_ids is None:
+                targets = list(self._sessions)
+            else:
+                targets = [sid for sid in session_ids if sid in self._sessions]
+            released = [
+                (sid, managed)
+                for sid in targets
+                if (managed := self._sessions.pop(sid, None)) is not None
+            ]
+        for session_id, managed in released:
+            if managed.journal is not None:
+                # Same contract as close_session: wait out any in-flight
+                # action before flushing quota state and closing the file.
+                with managed.lock:
+                    self._persist_quota(managed)
+                    managed.journal.close()
+            self._notify_lifecycle(session_id, "closed")
+        return [session_id for session_id, _ in released]
 
     # ------------------------------------------------------------------
     # The hot path
@@ -362,6 +404,22 @@ class SessionManager:
                 with self._lock:
                     self.observer_errors += 1
 
+    def add_lifecycle_observer(
+        self, observer: Callable[[str, str], None]
+    ) -> None:
+        """Register a session-end hook: ``observer(session_id, event)``
+        runs after a session leaves memory, with event ``"closed"`` or
+        ``"evicted"``. Exceptions are counted, not propagated."""
+        self._lifecycle_observers.append(observer)
+
+    def _notify_lifecycle(self, session_id: str, event: str) -> None:
+        for observer in list(self._lifecycle_observers):
+            try:
+                observer(session_id, event)
+            except Exception:
+                with self._lock:
+                    self.observer_errors += 1
+
     def with_session(self, session_id: str,
                      fn: Callable[[EtableSession], Any],
                      auth_token: str | None = None) -> Any:
@@ -458,6 +516,10 @@ class SessionManager:
             # Replay outside the manager lock (it can take a while).
             assert managed.journal is not None
             replay_records(managed.session, managed.journal.recovered_records)
+            # Quota bookkeeping rides eviction/resurrection too: without
+            # this, LRU pressure would hand a throttled session a fresh
+            # window (the quota-reset bug this PR fixes).
+            self._restore_quota(managed)
             managed.last_used = time.monotonic()
         except BaseException:
             # A failed replay must not leave a half-built session live.
@@ -619,11 +681,65 @@ class SessionManager:
         try:
             del self._sessions[session_id]
             if managed.journal is not None:
+                self._persist_quota(managed)
                 managed.journal.close()
             self.evicted += 1
-            return True
         finally:
             managed.lock.release()
+        self._notify_lifecycle(session_id, "evicted")
+        return True
+
+    def _persist_quota(self, managed: ManagedSession) -> None:
+        """Flush live quota state into the journal before it closes.
+
+        Caller holds ``managed.lock``. Only written when there is anything
+        to carry: a throttled-or-partially-spent quota whose fixed window
+        has not yet expired. Wall-clock expiry so the record survives a
+        process boundary (fleet migration) where ``monotonic()`` does not.
+        """
+        if (
+            self.quota_actions is None
+            or managed.journal is None
+            or managed.quota_used <= 0
+        ):
+            return
+        remaining = self.quota_window - (
+            time.monotonic() - managed.quota_window_start
+        )
+        if remaining <= 0:
+            return  # window already over: resurrection starts fresh anyway
+        managed.journal.record_quota(
+            managed.quota_used, time.time() + remaining
+        )
+
+    def _restore_quota(self, managed: ManagedSession) -> None:
+        """Re-arm quota state from the journal's last quota record.
+
+        Caller holds ``managed.lock``. The record's wall-clock expiry is
+        mapped back onto this process's monotonic clock; an expired record
+        is ignored (the window lapsed while the session was cold).
+        """
+        if self.quota_actions is None or managed.journal is None:
+            return
+        record = None
+        for candidate in managed.journal.recovered_records:
+            if candidate.get("type") == "quota":
+                record = candidate
+        if record is None:
+            return
+        try:
+            used = int(record["used"])
+            expires_at = float(record["window_expires_at"])
+        except (KeyError, TypeError, ValueError):
+            return  # malformed bookkeeping must not block resurrection
+        remaining = expires_at - time.time()
+        if remaining <= 0 or used <= 0:
+            return
+        remaining = min(remaining, self.quota_window)
+        managed.quota_used = used
+        managed.quota_window_start = time.monotonic() - (
+            self.quota_window - remaining
+        )
 
     def _required_session_id(self, request: protocol.Request) -> str:
         session_id = request.session_id or request.params.get("session_id")

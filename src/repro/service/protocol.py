@@ -254,6 +254,110 @@ def _snake_case(name: str) -> str:
     return "".join(out)
 
 
+def _error_classes() -> dict[str, type]:
+    from repro import errors as errors_module
+
+    return {
+        _snake_case(name): obj
+        for name, obj in vars(errors_module).items()
+        if isinstance(obj, type)
+        and issubclass(obj, errors_module.ReproError)
+    }
+
+
+def exception_from_response(response: Response) -> Exception:
+    """Rehydrate a failure response into its typed exception.
+
+    The fleet router forwards requests to worker processes over the wire;
+    when a worker replies with a failure envelope, the router must raise
+    the *same* exception type the worker raised so frontends keep mapping
+    it to the right HTTP status (``unknown_session`` -> 404, and so on).
+    Unknown ``error_type`` values degrade to :class:`ServiceError`.
+    """
+    from repro.errors import ServiceError
+
+    if response.ok:
+        raise ValueError("exception_from_response needs a failure response")
+    error_class = _error_classes().get(response.error_type or "")
+    if error_class is None:
+        error_class = ServiceError
+    return error_class(response.error or "unspecified worker failure")
+
+
+# ----------------------------------------------------------------------
+# Fleet worker-control envelopes
+# ----------------------------------------------------------------------
+# The fleet router and its worker processes share the session wire
+# protocol for user traffic; control-plane traffic (drain, rebalance,
+# resume, shutdown) rides this second envelope on the same socket. The
+# discriminator is the "control" key: a line with it is a WorkerControl,
+# any other line is a Request. Replies are ordinary Response envelopes.
+
+CONTROL_OPS = (
+    "ping",       # liveness + identity
+    "stats",      # the worker manager's stats payload
+    "token",      # a session's bearer token (resuming it if needed)
+    "resume",     # eagerly resurrect the listed sessions from journals
+    "release",    # close the listed sessions (journals kept: handoff)
+    "rebalance",  # close every session that no longer hashes here
+    "drain",      # close all sessions, flush journals (pre-restart)
+    "shutdown",   # drain, then exit the worker process
+)
+
+_CONTROL_FIELDS = frozenset({"version", "control", "args", "request_id"})
+
+
+@dataclass(frozen=True)
+class WorkerControl:
+    """One router->worker control request.
+
+    ``op`` names the operation (one of :data:`CONTROL_OPS`); ``args``
+    carries its JSON parameters (session id lists, ring membership).
+    These envelopes never leave the loopback sockets between the router
+    and its workers — they are not part of the public HTTP surface.
+    """
+
+    op: str
+    args: dict[str, Any] = field(default_factory=dict)
+    request_id: str | None = None
+    version: int = PROTOCOL_VERSION
+
+    def to_json(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "version": self.version,
+            "control": self.op,
+            "args": dict(self.args),
+        }
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        return payload
+
+    @classmethod
+    def from_json(cls, payload: dict[str, Any]) -> "WorkerControl":
+        if not isinstance(payload, dict):
+            raise ProtocolError("control envelope must be a JSON object")
+        unknown = set(payload) - _CONTROL_FIELDS
+        if unknown:
+            raise ProtocolError(
+                f"unknown control field(s): {', '.join(sorted(unknown))}"
+            )
+        version = _envelope_version(payload, "worker-control")
+        op = payload.get("control")
+        if op not in CONTROL_OPS:
+            raise ProtocolError(
+                f"unknown control op {op!r}; known: {', '.join(CONTROL_OPS)}"
+            )
+        args = payload.get("args", {})
+        if not isinstance(args, dict):
+            raise ProtocolError("control 'args' must be a JSON object")
+        return cls(
+            op=op,
+            args=args,
+            request_id=_optional_str(payload, "request_id"),
+            version=version,
+        )
+
+
 # ----------------------------------------------------------------------
 # Condition serialization
 # ----------------------------------------------------------------------
@@ -519,7 +623,7 @@ def etable_from_json(payload: dict[str, Any], graph: InstanceGraph) -> ETable:
 
 STREAM_VERSION = 1
 
-FRAME_KINDS = ("snapshot", "delta")
+FRAME_KINDS = ("snapshot", "delta", "closed")
 
 
 @dataclass(frozen=True)
@@ -547,6 +651,12 @@ class DeltaFrame:
     a live frame, >1 when backpressure merged a backlog, 0 for the
     subscribe-time snapshot (no action produced it) — clients can sum it to
     know how many actions their folded state reflects.
+
+    ``kind="closed"`` is the terminal frame: the session was closed or
+    evicted server-side and no further frames will arrive. ``action``
+    carries the lifecycle event (``"closed"`` or ``"evicted"``);
+    ``coalesced`` is 0 (no user action produced it). Folding it is a
+    no-op — the client keeps its last state and tears the stream down.
     """
 
     seq: int
@@ -574,7 +684,7 @@ def frame_to_json(frame: DeltaFrame) -> dict[str, Any]:
     }
     if frame.kind == "snapshot":
         payload["etable"] = frame.etable
-    else:
+    elif frame.kind == "delta":
         if frame.pattern is not None:
             payload["pattern"] = frame.pattern
         if frame.columns is not None:
@@ -642,7 +752,7 @@ def frame_from_json(payload: dict[str, Any]) -> DeltaFrame:
         etable = payload.get("etable")
         if etable is not None and not isinstance(etable, dict):
             raise ProtocolError("snapshot frame 'etable' must be an object")
-    else:
+    elif kind == "delta":
         pattern = payload.get("pattern")
         if pattern is not None and not isinstance(pattern, dict):
             raise ProtocolError("delta frame 'pattern' must be an object")

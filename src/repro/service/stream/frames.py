@@ -184,6 +184,10 @@ def fold_frame(
     """
     if frame.kind == "snapshot":
         return frame.etable
+    if frame.kind == "closed":
+        # Terminal frame: the session ended server-side. Carries no table
+        # data; the client keeps whatever state it last folded.
+        return state
     if state is None:
         raise ProtocolError("delta frame received before any snapshot")
     rows_by_id = {row["node_id"]: row for row in state["rows"]}
@@ -247,6 +251,17 @@ class FrameSource:
         self.stats.snapshots += 1
         return DeltaFrame(seq=self.seq, kind="snapshot", action=action,
                           coalesced=coalesced, etable=payload)
+
+    def closed(self, event: str = "closed") -> DeltaFrame:
+        """The terminal frame for a closed/evicted session.
+
+        ``action`` carries the lifecycle event name so clients can tell a
+        deliberate close from LRU eviction; no table data rides along.
+        """
+        self.seq += 1
+        self.stats.frames += 1
+        return DeltaFrame(seq=self.seq, kind="closed", action=event,
+                          coalesced=0)
 
     def frame_for(self, payload: dict[str, Any] | None,
                   action: str | None = None,

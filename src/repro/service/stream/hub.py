@@ -76,6 +76,18 @@ class StreamSubscriber:
             self.queue.append((frame, payload_after))
         self.event.set()
 
+    def push_closed(self, frame: DeltaFrame) -> None:
+        """Enqueue the terminal frame, bypassing backlog coalescing.
+
+        A closed frame must never be merged away by the slow-consumer
+        path — it is the only thing telling the client the session ended —
+        and the deque may exceed ``max_queue`` by this one frame.
+        """
+        if self.closed:
+            return
+        self.queue.append((frame, self.base_payload))
+        self.event.set()
+
     def pop(self) -> tuple[DeltaFrame, dict[str, Any] | None] | None:
         """Next frame to write; advances the coalescing baseline."""
         if not self.queue:
@@ -110,6 +122,7 @@ class StreamHub:
         self._seen_reports: dict[str, int] = {}  # guarded-by: self._watch_lock
         self._closed = False  # guarded-by: self._watch_lock
         manager.add_action_observer(self.on_action)
+        manager.add_lifecycle_observer(self.on_session_end)
 
     # ------------------------------------------------------------------
     # Action side (manager worker threads, under the session lock)
@@ -126,6 +139,21 @@ class StreamHub:
         identities = self._fresh_identities(session_id, session)
         self._loop.call_soon_threadsafe(
             self._publish, session_id, action, payload, identities
+        )
+
+    def on_session_end(self, session_id: str, event: str) -> None:
+        """Lifecycle hook: the session was closed or evicted server-side.
+
+        Without this, subscribers of a closed/evicted session would hang
+        on ``: ping`` keepalives forever (the bug this PR fixes). Runs on
+        the manager's action side; the terminal frame is built and fanned
+        out on the loop, like every other frame.
+        """
+        with self._watch_lock:
+            if self._closed or self._watchers.get(session_id, 0) <= 0:
+                return
+        self._loop.call_soon_threadsafe(
+            self._publish_closed, session_id, event
         )
 
     def _fresh_identities(
@@ -158,6 +186,17 @@ class StreamHub:
                                        identities=identities)
         for subscriber in list(state.subscribers):
             subscriber.push(frame, payload, self.stats)
+
+    def _publish_closed(self, session_id: str, event: str) -> None:
+        state = self._sessions.pop(session_id, None)
+        if state is None:
+            return  # last subscriber left while the callback was in flight
+        frame = state.source.closed(event)
+        for subscriber in list(state.subscribers):
+            # The subscriber stays open so the server task drains and
+            # writes the terminal frame, then breaks and unsubscribes
+            # (unsubscribe tolerates the already-popped session state).
+            subscriber.push_closed(frame)
 
     async def subscribe(self, session_id: str,
                         auth_token: str | None = None,

@@ -29,7 +29,13 @@ every sequence is replayed step-in-lockstep through seven sessions:
                     joins cross process boundaries too;
 * ``incremental_pushdown`` — the same delta engine layered over the shared
                     pushdown executor (threshold still zero), so replans
-                    and delta-extension joins run as SQL too.
+                    and delta-extension joins run as SQL too;
+* ``routed``      — not an eighth engine but a *transport*: the same
+                    actions driven through a live two-worker
+                    :class:`~repro.service.fleet.FleetRouter` (consistent
+                    hashing, local sockets, journal-handoff migration),
+                    compared against the oracle modulo one JSON wire
+                    round trip.
 
 The three incremental sessions also *adopt* their delta-derived relations
 into the shared executors' whole-pattern caches, so a wrong delta would
@@ -81,7 +87,8 @@ MASTER_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "0"))
 MAX_ACTIONS = int(os.environ.get("REPRO_FUZZ_MAX_ACTIONS", "5"))
 
 ENGINES = ("naive", "planned", "parallel", "pushdown",  # repro: engine-surface fuzzer
-           "incremental", "incremental_parallel", "incremental_pushdown")
+           "incremental", "incremental_parallel", "incremental_pushdown",
+           "routed")
 
 
 # ----------------------------------------------------------------------
@@ -149,6 +156,35 @@ def parallel_ctx():
     # the small-table serial fallback.
     with ParallelContext(workers=2, min_partition_rows=0) as context:
         yield context
+
+
+@pytest.fixture(scope="module")
+def fleet(corpus):
+    """A live two-worker fleet over the same dataset as ``corpus``.
+
+    Workers rebuild the corpus from this very file's builder functions
+    (the spec crosses the process boundary as strings, the graph never
+    does) and share a throwaway journal directory — sessions created per
+    sequence are dropped (journal included) at sequence end.
+    """
+    import tempfile
+
+    from repro.service.fleet import FleetRouter
+
+    dataset = corpus[0]
+    journal_dir = tempfile.mkdtemp(prefix=f"fuzz-fleet-{dataset}-")
+    router = FleetRouter(
+        {
+            "factory": f"{os.path.abspath(__file__)}:"
+                       f"{_BUILDERS[dataset].__name__}",
+            "journal_dir": journal_dir,
+            "stats_path": os.path.join(journal_dir, "statistics.json"),
+            "engine": "planned",
+        },
+        workers=2,
+    )
+    yield router
+    router.shutdown()
 
 
 @pytest.fixture(scope="module", params=sorted(_BUILDERS))
@@ -292,6 +328,40 @@ def _etable_payload(session):
     return protocol.etable_to_json(etable)
 
 
+def _wire(obj):
+    """What ``obj`` looks like after one JSON wire round trip.
+
+    The routed participant's results crossed a socket, so lockstep
+    comparisons against it must normalize the local oracle the same way
+    (tuples become lists, non-JSON scalars stringify)."""
+    return json.loads(json.dumps(obj, default=str))
+
+
+class _RoutedSession:
+    """One fuzz sequence's session driven through the fleet router."""
+
+    def __init__(self, router):
+        self.router = router
+        self.session_id = router.create_session()
+
+    def apply(self, action, params):
+        return self.router.apply(self.session_id, action, params)
+
+    def etable_payload(self):
+        from repro.errors import EtableError
+
+        try:
+            return self.apply("etable", {})["etable"]
+        except EtableError:
+            return None  # no table open yet, like session.current is None
+
+    def history_entries(self):
+        return self.apply("history", {})["entries"]
+
+    def close(self):
+        self.router.close_session(self.session_id, drop_journal=True)
+
+
 def _assert_fixpoint(payload, graph, context):
     rebuilt = protocol.etable_from_json(payload, graph)
     again = protocol.etable_to_json(rebuilt)
@@ -385,9 +455,10 @@ class _StreamClients:
         return None
 
 
-def _run_sequence(dataset, tgdb, executors, seed, stream_stats):
+def _run_sequence(dataset, tgdb, executors, seed, stream_stats, router):
     rng = random.Random(seed)
     graph = tgdb.graph
+    routed = _RoutedSession(router)
     sessions = {
         "naive": EtableSession(tgdb.schema, graph, engine="naive"),
         "planned": EtableSession(tgdb.schema, graph,
@@ -417,25 +488,39 @@ def _run_sequence(dataset, tgdb, executors, seed, stream_stats):
         results = {}
         for engine in ENGINES:
             try:
-                results[engine] = protocol.apply_action(
-                    sessions[engine], action, params
-                )
+                if engine == "routed":
+                    results[engine] = routed.apply(action, params)
+                else:
+                    results[engine] = protocol.apply_action(
+                        sessions[engine], action, params
+                    )
             except Exception as error:  # noqa: BLE001 - reported with script
                 _fail(dataset, seed, script, step,
                       f"{engine} raised {type(error).__name__}: {error}")
-        if any(results[engine] != results["naive"] for engine in ENGINES):
+        # The routed participant's views crossed a JSON socket, so it is
+        # compared against the wire-normalized oracle; in-process engines
+        # must match the oracle exactly.
+        if any(results[engine] != results["naive"]
+               for engine in ENGINES if engine != "routed"):
             _fail(dataset, seed, script, step, "action results diverged")
+        if results["routed"] != _wire(results["naive"]):
+            _fail(dataset, seed, script, step, "routed action result diverged")
         payloads = {
-            engine: _etable_payload(sessions[engine]) for engine in ENGINES
+            engine: _etable_payload(sessions[engine])
+            for engine in ENGINES if engine != "routed"
         }
-        if any(payloads[engine] != payloads["naive"] for engine in ENGINES):
+        if any(payloads[engine] != payloads["naive"] for engine in payloads):
             _fail(dataset, seed, script, step, "ETables diverged")
+        if routed.etable_payload() != _wire(payloads["naive"]):
+            _fail(dataset, seed, script, step, "routed ETable diverged")
         histories = {
             engine: protocol.history_to_json(sessions[engine].history)
-            for engine in ENGINES
+            for engine in ENGINES if engine != "routed"
         }
-        if any(histories[engine] != histories["naive"] for engine in ENGINES):
+        if any(histories[engine] != histories["naive"] for engine in histories):
             _fail(dataset, seed, script, step, "histories diverged")
+        if routed.history_entries() != _wire(histories["naive"]):
+            _fail(dataset, seed, script, step, "routed history diverged")
         if payloads["naive"] is not None:
             _assert_fixpoint(payloads["naive"], graph,
                              f"{dataset} seed {seed} step {step}")
@@ -452,10 +537,11 @@ def _run_sequence(dataset, tgdb, executors, seed, stream_stats):
         assert rebuilt == histories["naive"], (
             f"{dataset} seed {seed} step {step}: history not a fixpoint"
         )
+    routed.close()
     return len(script)
 
 
-def test_fuzz_engines_bit_identical(corpus):
+def test_fuzz_engines_bit_identical(corpus, fleet):
     dataset, tgdb, executors = corpus
     master = random.Random(MASTER_SEED)
     sequence_seeds = [master.randrange(2**31) for _ in range(SEQUENCES)]
@@ -463,7 +549,7 @@ def test_fuzz_engines_bit_identical(corpus):
     stream_stats = StreamStats()
     for seed in sequence_seeds:
         total_actions += _run_sequence(dataset, tgdb, executors, seed,
-                                       stream_stats)
+                                       stream_stats, fleet)
     assert total_actions >= SEQUENCES * 2, "sequences were unexpectedly short"
     # The streaming lockstep clients must have exercised every frame shape:
     # structural snapshots, row-level deltas, identity-proven skipped rows
@@ -493,3 +579,8 @@ def test_fuzz_engines_bit_identical(corpus):
         assert incremental["delta_actions"] > 0, (
             f"{name} base: no fuzz action ever took the delta path"
         )
+    # The routed transport must have really pushed actions through the
+    # fleet's worker processes (not short-circuited in the router).
+    fleet_stats = fleet.stats()
+    assert fleet_stats["actions"] > 0, "no fuzz action crossed the fleet"
+    assert len(fleet_stats["fleet"]["workers"]) == 2, fleet_stats["fleet"]

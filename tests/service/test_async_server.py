@@ -196,6 +196,38 @@ class TestRouteParity:
             sock.close()
 
 
+class TestMalformedRequests:
+    def test_malformed_content_length_is_a_typed_400(self, server):
+        """Regression (parity with the threaded frontend): a non-integer
+        Content-Length must come back as a typed 400 protocol_error, not
+        a ValueError-driven 500 or a dropped connection."""
+        for bad in (b"banana", b"12abc", b"-5"):
+            sock = socket.create_connection((server.host, server.port),
+                                            timeout=10)
+            try:
+                sock.sendall(b"POST /v1/sessions HTTP/1.1\r\nHost: t\r\n"
+                             b"Content-Length: " + bad + b"\r\n\r\n")
+                data = b""
+                while True:
+                    chunk = sock.recv(65536)
+                    if not chunk:
+                        break
+                    data += chunk
+            finally:
+                sock.close()
+            head, _, body = data.partition(b"\r\n\r\n")
+            assert head.split(b"\r\n")[0] == b"HTTP/1.1 400 Bad Request", bad
+            assert json.loads(body)["error_type"] == "protocol_error", bad
+
+    def test_non_integer_etable_params_are_a_typed_400(self, server):
+        _, created = _call(server, "/v1/sessions", "POST", {})
+        sid = created["result"]["session_id"]
+        _act(server, sid, "open", {"type": "Papers"})
+        status, body = _call(server, f"/v1/sessions/{sid}/etable?limit=abc")
+        assert status == 400
+        assert body["error_type"] == "protocol_error"
+
+
 class TestStreaming:
     def test_stream_folds_to_etable_after_each_action(self, server):
         sid = _call(server, "/v1/sessions", "POST", {})[1]["result"]["session_id"]
@@ -239,6 +271,46 @@ class TestStreaming:
         state_b = second.wait_folded(1)
         assert state_a == state_b
         first.close(), second.close()
+
+    def test_delete_session_ends_stream_with_closed_frame(self, server):
+        """Regression: closing a session never told its subscribers — the
+        SSE connection just hung. It must now receive a terminal
+        ``closed`` frame and the server must end the stream."""
+        sid = _call(server, "/v1/sessions", "POST", {})[1]["result"]["session_id"]
+        _act(server, sid, "open", {"type": "Papers"})
+        stream = _RawStream(server, sid)
+        assert stream.wait_status() == 200
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:  # subscribe-time snapshot
+            with stream._lock:
+                if stream.frames:
+                    break
+            time.sleep(0.01)
+
+        status, _ = _call(server, f"/v1/sessions/{sid}", "DELETE")
+        assert status == 200
+
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            with stream._lock:
+                if stream.frames and stream.frames[-1].kind == "closed":
+                    break
+            time.sleep(0.01)
+        else:
+            raise AssertionError("stream never saw the closed frame")
+        with stream._lock:
+            assert stream.frames[-1].action == "closed"
+        # The server ends the SSE response after the terminal frame, so
+        # the subscriber count must drain to zero without client action.
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline:
+            _, body = _call(server, "/v1/stats")
+            if body["result"]["stream"]["open_streams"] == 0:
+                break
+            time.sleep(0.01)
+        else:
+            raise AssertionError("server never released the stream")
+        stream.close()
 
 
 class TestAuthAndQuota:

@@ -83,6 +83,41 @@ class TestRoutes:
         with excinfo.value as error:  # close the response socket
             assert error.code == 400
 
+    def test_malformed_content_length_is_a_typed_400(self, server):
+        """Regression: a non-integer Content-Length used to escape as a
+        ValueError from int(), surfacing as a 500 instead of the typed
+        400 protocol_error every other malformed request gets."""
+        import http.client
+
+        for bad in ("banana", "12abc", "-5"):
+            connection = http.client.HTTPConnection(server.host, server.port,
+                                                    timeout=10)
+            try:
+                connection.putrequest("POST", "/v1/sessions",
+                                      skip_accept_encoding=True)
+                connection.putheader("Content-Type", "application/json")
+                connection.putheader("Content-Length", bad)
+                connection.endheaders()
+                response = connection.getresponse()
+                body = json.loads(response.read())
+                assert response.status == 400, bad
+                assert body["error_type"] == "protocol_error", bad
+            finally:
+                connection.close()
+
+    def test_non_integer_etable_params_are_a_typed_400(self, server):
+        _, created = _call(server, "/v1/sessions", "POST", {})
+        sid = created["result"]["session_id"]
+        _act(server, sid, "open", {"type": "Papers"})
+        for query in ("limit=abc", "offset=1.5", "max_refs=lots"):
+            status, body = _call(server, f"/v1/sessions/{sid}/etable?{query}")
+            assert status == 400, query
+            assert body["error_type"] == "protocol_error", query
+        # Sane values still work on the very same session.
+        status, body = _call(server, f"/v1/sessions/{sid}/etable?limit=2")
+        assert status == 200
+        assert len(body["result"]["etable"]["rows"]) <= 2
+
     def test_session_id_mismatch_400(self, server):
         _, created = _call(server, "/v1/sessions", "POST", {})
         sid = created["result"]["session_id"]

@@ -4,7 +4,12 @@ import time
 
 import pytest
 
-from repro.errors import ProtocolError, ServiceError, UnknownSession
+from repro.errors import (
+    ProtocolError,
+    QuotaExceeded,
+    ServiceError,
+    UnknownSession,
+)
 from repro.service import Request, protocol
 from repro.service.manager import SessionManager
 
@@ -253,6 +258,65 @@ class TestEviction:
         manager.create_session("bob")
         with pytest.raises(UnknownSession):
             manager.apply("alice", "etable", {})
+
+
+class TestQuotaPersistence:
+    def test_quota_survives_eviction_and_resurrection(self, toy, tmp_path):
+        """Regression: eviction used to reset quota state — an evicted
+        throttled session came back from the journal with a fresh budget,
+        so capacity pressure doubled as a quota laundering loop."""
+        manager = _manager(toy, max_sessions=1, ttl_seconds=None,
+                           journal_dir=tmp_path / "j",
+                           quota_actions=2, quota_window=3600.0)
+        alice = manager.create_session("alice")
+        manager.apply(alice, "open", {"type": "Papers"})
+        manager.apply(alice, "sort", {"column": "year"})
+        with pytest.raises(QuotaExceeded):
+            manager.apply(alice, "hide", {"column": "title"})
+        before = manager.apply(alice, "etable", {})  # reads stay free
+
+        manager.create_session("bob")  # evicts the throttled alice (LRU)
+        assert "alice" not in manager.session_ids()
+
+        # Resurrected from the journal: still throttled, state intact.
+        assert manager.apply("alice", "etable", {}) == before
+        assert manager.resumed == 1
+        with pytest.raises(QuotaExceeded):
+            manager.apply("alice", "hide", {"column": "title"})
+
+    def test_quota_survives_close_and_resume(self, toy, tmp_path):
+        manager = _manager(toy, journal_dir=tmp_path / "j",
+                           quota_actions=1, quota_window=3600.0)
+        sid = manager.create_session()
+        manager.apply(sid, "open", {"type": "Papers"})
+        manager.close_session(sid)
+        manager.resume_session(sid)
+        with pytest.raises(QuotaExceeded):
+            manager.apply(sid, "sort", {"column": "year"})
+
+    def test_expired_quota_window_is_not_restored(self, toy, tmp_path):
+        """The journal carries the window's wall-clock expiry; a record
+        whose window has lapsed must not throttle the resumed session."""
+        import json as _json
+
+        manager = _manager(toy, max_sessions=1, ttl_seconds=None,
+                           journal_dir=tmp_path / "j",
+                           quota_actions=1, quota_window=3600.0)
+        alice = manager.create_session("alice")
+        manager.apply(alice, "open", {"type": "Papers"})
+        manager.create_session("bob")  # evicts alice, persisting quota
+
+        journal_path = tmp_path / "j" / "alice.journal"
+        lines = journal_path.read_text().splitlines()
+        rewritten = []
+        for line in lines:
+            record = _json.loads(line)
+            if record.get("type") == "quota":
+                record["window_expires_at"] = time.time() - 10.0
+            rewritten.append(_json.dumps(record))
+        journal_path.write_text("\n".join(rewritten) + "\n")
+
+        manager.apply("alice", "sort", {"column": "year"})  # fresh budget
 
 
 class TestHandleRequest:

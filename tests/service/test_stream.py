@@ -333,6 +333,83 @@ class TestStreamHub:
 
         _run(scenario())
 
+    async def _next_frame_of_kind(self, subscriber, kind, timeout=10.0):
+        while True:
+            popped = subscriber.pop()
+            if popped is None:
+                await asyncio.wait_for(subscriber.event.wait(),
+                                       timeout=timeout)
+                continue
+            frame, _after = popped
+            if frame.kind == kind:
+                return frame
+
+    def test_close_session_pushes_terminal_closed_frame(self, toy):
+        """Regression: close_session used to leave subscribers hanging —
+        no terminal frame, no unsubscribe — so an SSE client blocked
+        forever on a session that no longer existed."""
+        manager = self._manager(toy)
+        sid = manager.create_session()
+        manager.apply(sid, "open", {"type": "Papers"})
+
+        async def scenario():
+            hub = StreamHub(manager, asyncio.get_running_loop())
+            subscriber = await hub.subscribe(sid)
+            snapshot = await self._next_frame_of_kind(subscriber, "snapshot")
+            state = fold_frame(None, snapshot)
+            await asyncio.get_running_loop().run_in_executor(
+                None, manager.close_session, sid)
+            closed = await self._next_frame_of_kind(subscriber, "closed")
+            assert closed.action == "closed"
+            assert closed.seq > snapshot.seq
+            # Terminal frames carry no table data: folding is a no-op.
+            assert fold_frame(state, closed) == state
+            hub.unsubscribe(subscriber)
+            assert hub.open_streams() == 0
+
+        _run(scenario())
+
+    def test_eviction_pushes_terminal_evicted_frame(self, toy, tmp_path):
+        manager = self._manager(toy, max_sessions=1, ttl_seconds=None,
+                                journal_dir=tmp_path / "j")
+        alice = manager.create_session("alice")
+        manager.apply(alice, "open", {"type": "Papers"})
+
+        async def scenario():
+            hub = StreamHub(manager, asyncio.get_running_loop())
+            subscriber = await hub.subscribe(alice)
+            await self._next_frame_of_kind(subscriber, "snapshot")
+            # Capacity pressure evicts alice (LRU) from another thread.
+            await asyncio.get_running_loop().run_in_executor(
+                None, manager.create_session, "bob")
+            closed = await self._next_frame_of_kind(subscriber, "closed")
+            assert closed.action == "evicted"
+            hub.unsubscribe(subscriber)
+
+        _run(scenario())
+
+    def test_closed_frame_survives_backlog_coalescing(self, toy):
+        """The terminal frame must never be merged away by the
+        slow-consumer path — it is the only end-of-session signal."""
+        manager = self._manager(toy)
+        sid = manager.create_session()
+        manager.apply(sid, "open", {"type": "Papers"})
+
+        async def scenario():
+            hub = StreamHub(manager, asyncio.get_running_loop(), max_queue=1)
+            subscriber = await hub.subscribe(sid)
+            loop = asyncio.get_running_loop()
+            # Overflow the queue without draining it, then close.
+            for action, params in SCRIPT[1:5]:
+                await loop.run_in_executor(
+                    None, manager.apply, sid, action, params)
+            await loop.run_in_executor(None, manager.close_session, sid)
+            closed = await self._next_frame_of_kind(subscriber, "closed")
+            assert closed.action == "closed"
+            hub.unsubscribe(subscriber)
+
+        _run(scenario())
+
     def test_closed_hub_drops_subscribers_and_ignores_actions(self, toy):
         manager = self._manager(toy)
         sid = manager.create_session()
