@@ -222,6 +222,7 @@ def _build_manager(args: argparse.Namespace, tgdb, journal_dir,
         require_auth=args.require_auth,
         quota_actions=args.quota_actions,
         quota_window=args.quota_window,
+        fsync_journal=args.fsync,
         **extra,
     )
 
@@ -243,7 +244,11 @@ def _build_fleet(args: argparse.Namespace, journal_dir: str):
         "compact_every": args.compact_every or None,
         "max_sessions": args.max_sessions,
         "ttl_seconds": args.ttl,
+        "fsync_journal": args.fsync,
     }
+    if args.faults:
+        spec["faults"] = args.faults
+        spec["faults_seed"] = args.faults_seed
     return FleetRouter(spec, workers=args.fleet)
 
 
@@ -252,9 +257,11 @@ def _build_server(args: argparse.Namespace, manager, port: int):
 
     if args.frontend == "async":
         return AsyncNavigationServer(manager, host="127.0.0.1", port=port,
-                                     verbose=args.verbose)
+                                     verbose=args.verbose,
+                                     max_inflight=args.max_inflight)
     return NavigationServer(manager, host="127.0.0.1", port=port,
-                            verbose=args.verbose)
+                            verbose=args.verbose,
+                            max_inflight=args.max_inflight)
 
 
 def fleet_self_test(args: argparse.Namespace) -> int:
@@ -268,6 +275,18 @@ def fleet_self_test(args: argparse.Namespace) -> int:
     """
     args.require_auth = True  # the fleet smoke always proves token survival
     journal_dir = args.journal_dir or tempfile.mkdtemp(prefix="etable-fleet-")
+    if args.faults:
+        # Chaos leg: the same fault spec is armed on both sides — in each
+        # worker (via the spec, where journal.* faults bite) and here in
+        # the router process (where router.send/recv faults bite). The
+        # scripted session must still come through bit-identically.
+        from repro.service import faults as faults_mod
+
+        faults_mod.arm(faults_mod.FaultInjector.parse(
+            args.faults, seed=args.faults_seed
+        ))
+        print(f"self-test: chaos armed ({args.faults!r}, "
+              f"seed={args.faults_seed})")
     router = _build_fleet(args, journal_dir)
     server = _build_server(args, router, port=0).start()
     base = server.url
@@ -340,6 +359,20 @@ def fleet_self_test(args: argparse.Namespace) -> int:
                    {"action": "sort", "params": {"column": "year"}},
                    token=token)
     assert result["ok"], result
+    if args.faults:
+        from repro.service import faults as faults_mod
+
+        fleet_stats = _http(f"{base}/v1/stats")["result"]["fleet"]
+        injector = faults_mod.active()
+        fired = injector.stats() if injector is not None else {}
+        faults_mod.disarm()
+        assert any(fired.values()) or fleet_stats["retries"] > 0, (
+            "chaos leg ran but neither a fault fired nor a retry happened "
+            f"(fired={fired}, fleet={fleet_stats})"
+        )
+        print(f"  chaos    -> survived with faults fired={fired}, "
+              f"retries={fleet_stats['retries']}, "
+              f"breaker_opens={fleet_stats['breaker_opens']}")
     server.shutdown()
     router.shutdown()
     print("self-test: OK (fleet)")
@@ -509,6 +542,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="with --self-test --fleet: also restart every "
                              "worker one at a time and verify the session "
                              "survives bit-identically")
+    parser.add_argument("--fsync", action="store_true",
+                        help="fsync every journal append (durability over "
+                             "latency; default relies on OS flush)")
+    parser.add_argument("--max-inflight", type=int, default=None,
+                        help="shed requests over this many concurrent "
+                             "dispatches with 503 + Retry-After "
+                             "(default: unlimited)")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="arm deterministic fault injection, e.g. "
+                             "'journal.write:raise:0.05,router.recv:raise:"
+                             "0.1' (the REPRO_FAULTS grammar); with "
+                             "--self-test --fleet this runs the chaos leg")
+    parser.add_argument("--faults-seed", type=int,
+                        default=int(os.environ.get("REPRO_FAULTS_SEED", "0")),
+                        help="seed for the fault injector's RNG (default "
+                             "$REPRO_FAULTS_SEED or 0)")
     parser.add_argument("--verbose", action="store_true",
                         help="log every HTTP request")
     parser.add_argument("--self-test", action="store_true",
@@ -519,6 +568,15 @@ def main(argv: list[str] | None = None) -> int:
         if args.fleet:
             return fleet_self_test(args)
         return self_test(args)
+
+    if args.faults:
+        from repro.service import faults as faults_mod
+
+        faults_mod.arm(faults_mod.FaultInjector.parse(
+            args.faults, seed=args.faults_seed
+        ))
+        print(f"fault injection armed: {args.faults!r} "
+              f"(seed={args.faults_seed})")
 
     from repro.service import AsyncNavigationServer, NavigationServer
 
@@ -545,10 +603,12 @@ def main(argv: list[str] | None = None) -> int:
                 print(f"resumed {len(resumed)} journaled session(s)")
     if args.frontend == "async":
         server = AsyncNavigationServer(manager, host=args.host,
-                                       port=args.port, verbose=args.verbose)
+                                       port=args.port, verbose=args.verbose,
+                                       max_inflight=args.max_inflight)
     else:
         server = NavigationServer(manager, host=args.host, port=args.port,
-                                  verbose=args.verbose)
+                                  verbose=args.verbose,
+                                  max_inflight=args.max_inflight)
     server.start()
     print(f"serving ETable navigation API at {server.url} "
           f"({args.frontend} frontend; Ctrl-C or SIGTERM to stop)")

@@ -135,6 +135,24 @@ class WorkerFailure(ServiceError):
     """A fleet worker process failed mid-request and could not be retried."""
 
 
+class Overloaded(ServiceError):
+    """The frontend shed this request: its in-flight cap is reached.
+
+    Clients should honor the accompanying ``Retry-After`` and resubmit;
+    nothing about the session changed.
+    """
+
+
+class Degraded(ServiceError):
+    """A session's journal stopped accepting writes (disk full, IO error).
+
+    The session is read-only until recovered: mutating actions are
+    refused rather than accepted-but-not-durable, because an accepted
+    action that would vanish on crash breaks the bit-identical-resume
+    contract.
+    """
+
+
 class StudyError(ReproError):
     """Base class for user-study simulator errors."""
 

@@ -17,11 +17,19 @@ streams ETable delta frames to subscribed clients over SSE.
     server = AsyncNavigationServer(manager, port=8080).start()
 """
 
+from repro.service import faults
 from repro.service.async_server import AsyncNavigationServer
+from repro.service.faults import FaultInjector, FaultRule, InjectedFault
 from repro.service.fleet import FleetRouter, FleetWorker, HashRing
 from repro.service.journal import ActionJournal, read_records, replay_journal
 from repro.service.manager import ManagedSession, SessionManager
 from repro.service.http_api import NavigationServer
+from repro.service.resilience import (
+    AdmissionControl,
+    CircuitBreaker,
+    HealthProbe,
+    RetryPolicy,
+)
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     STREAM_VERSION,
@@ -54,23 +62,31 @@ from repro.service.stream import (
 
 __all__ = [
     "ActionJournal",
+    "AdmissionControl",
     "AsyncNavigationServer",
+    "CircuitBreaker",
     "DeltaFrame",
+    "FaultInjector",
+    "FaultRule",
     "FleetRouter",
     "FleetWorker",
     "FrameSource",
     "HashRing",
+    "HealthProbe",
+    "InjectedFault",
     "ManagedSession",
     "NavigationServer",
     "PROTOCOL_VERSION",
     "Request",
     "Response",
+    "RetryPolicy",
     "STREAM_VERSION",
     "SessionManager",
     "StreamHub",
     "StreamStats",
     "WorkerControl",
     "apply_action",
+    "faults",
     "exception_from_response",
     "build_frame",
     "coalesce_frame",

@@ -35,10 +35,11 @@ import threading
 from typing import Any
 from urllib.parse import parse_qs, urlparse
 
-from repro.errors import ProtocolError, ReproError
+from repro.errors import Overloaded, ProtocolError, ReproError
 from repro.service import protocol
 from repro.service.http_api import _bearer_token, _etable_params, _status_of
 from repro.service.manager import SessionManager
+from repro.service.resilience import AdmissionControl
 from repro.service.stream.hub import StreamHub
 
 _MAX_HEADER_BYTES = 64 * 1024
@@ -136,13 +137,15 @@ class AsyncNavigationServer:
 
     def __init__(self, manager: SessionManager, host: str = "127.0.0.1",
                  port: int = 8080, verbose: bool = False,
-                 max_queue: int = 32, ping_interval: float = 15.0) -> None:
+                 max_queue: int = 32, ping_interval: float = 15.0,
+                 max_inflight: int | None = None) -> None:
         self.manager = manager
         self._host = host
         self._port = port
         self.verbose = verbose
         self.max_queue = max_queue
         self.ping_interval = ping_interval
+        self.admission = AdmissionControl(max_inflight=max_inflight)
         self.hub: StreamHub | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stop_event: asyncio.Event | None = None
@@ -310,6 +313,12 @@ class AsyncNavigationServer:
             return 400, protocol.Response.failure(
                 ProtocolError(f"request body is not JSON: {error}")
             )
+        # Shed before the executor hop: an over-cap request must not queue
+        # behind the very backlog that makes the server overloaded.
+        if not self.admission.try_acquire():
+            return 503, protocol.Response.failure(Overloaded(
+                "server is at its in-flight request cap; retry shortly"
+            ))
         loop = asyncio.get_running_loop()
         self._inflight += 1
         try:
@@ -319,11 +328,13 @@ class AsyncNavigationServer:
             )
         finally:
             self._inflight -= 1
+            self.admission.release()
         # The stream section of /v1/stats reads loop-local hub state, so
         # it is merged here on the loop thread, not inside route_request.
         if path.rstrip("/") == "/v1/stats" and response.ok and self.hub:
             result = dict(response.result)
             result["stream"] = self.hub.stats_payload()
+            result["admission"] = self.admission.stats()
             response = protocol.Response(
                 ok=True, result=result, version=response.version
             )
@@ -334,11 +345,18 @@ class AsyncNavigationServer:
                        keep_alive: bool) -> None:
         body = json.dumps(response.to_json(), default=str).encode("utf-8")
         reason = {200: "OK", 400: "Bad Request", 401: "Unauthorized",
-                  404: "Not Found", 429: "Too Many Requests"}.get(status, "")
+                  404: "Not Found", 429: "Too Many Requests",
+                  503: "Service Unavailable"}.get(status, "")
+        retry_after = ""
+        if response.error_type == "overloaded":
+            retry_after = (
+                f"Retry-After: {max(1, round(self.admission.retry_after))}\r\n"
+            )
         head = (
             f"HTTP/1.1 {status} {reason}\r\n"
             f"Content-Type: application/json; charset=utf-8\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{retry_after}"
             f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
             f"\r\n"
         )

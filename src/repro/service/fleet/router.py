@@ -33,6 +33,7 @@ request/response surface only; the ROADMAP names the cross-process
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import multiprocessing
 import socket
@@ -42,9 +43,10 @@ import uuid
 from typing import Any, Callable
 
 from repro.errors import ServiceError, UnknownSession, WorkerFailure
-from repro.service import protocol
+from repro.service import faults, protocol
 from repro.service.fleet.hashring import HashRing
 from repro.service.fleet.worker import fleet_worker_main, journaled_sessions
+from repro.service.resilience import CircuitBreaker, HealthProbe, RetryPolicy
 
 
 class _WorkerHandle:
@@ -65,25 +67,54 @@ class _WorkerHandle:
 
     # -- pooled newline-JSON round trip --------------------------------
     def call(self, payload: dict[str, Any], timeout: float) -> dict[str, Any]:
-        sock = self._acquire(timeout)
+        """One request/reply round trip; transport trouble of any shape
+        (connect refusal, timeout, torn reply, undecodable reply, or an
+        injected fault) surfaces as a typed :class:`WorkerFailure` so
+        callers never match on broad ``OSError`` tuples."""
         try:
+            sock = self._acquire(timeout)
+        except OSError as error:
+            raise WorkerFailure(
+                f"worker {self.name!r} is unreachable: {error}"
+            ) from error
+        try:
+            faults.fire("router.send")
             sock.sendall(
                 json.dumps(payload, default=str).encode("utf-8") + b"\n"
             )
             line = b""
             while not line.endswith(b"\n"):
+                # The recv fault fires *after* the send: the worker may
+                # already have applied the action — exactly the
+                # at-least-once window the dedup cache closes.
+                faults.fire("router.recv")
                 chunk = sock.recv(1 << 20)
                 if not chunk:
-                    raise OSError("worker closed the connection mid-reply")
+                    raise WorkerFailure(
+                        f"worker {self.name!r} closed the connection "
+                        f"mid-reply"
+                    )
                 line += chunk
-        except BaseException:
+        except BaseException as error:
+            # Never pool a socket with an unread reply in flight.
             try:
                 sock.close()
             except OSError:
                 pass
+            if isinstance(error, WorkerFailure):
+                raise
+            if isinstance(error, OSError):
+                raise WorkerFailure(
+                    f"transport to worker {self.name!r} failed: {error}"
+                ) from error
             raise
         self._release(sock)
-        return json.loads(line.decode("utf-8"))
+        try:
+            return json.loads(line.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise WorkerFailure(
+                f"worker {self.name!r} sent an undecodable reply: {error}"
+            ) from error
 
     def _acquire(self, timeout: float) -> socket.socket:
         with self._pool_lock:
@@ -113,7 +144,11 @@ class FleetRouter:
 
     def __init__(self, worker_spec: dict[str, Any], workers: int = 2,
                  request_timeout: float = 60.0,
-                 start_method: str | None = None) -> None:
+                 start_method: str | None = None,
+                 retry_policy: RetryPolicy | None = None,
+                 breaker_threshold: int = 5,
+                 breaker_reset: float = 5.0,
+                 probe_interval: float | None = 5.0) -> None:
         if workers < 1:
             raise ServiceError(f"a fleet needs >= 1 worker, got {workers}")
         if "journal_dir" not in worker_spec or not worker_spec["journal_dir"]:
@@ -127,20 +162,46 @@ class FleetRouter:
         self._lock = threading.Lock()
         self._workers: dict[str, _WorkerHandle] = {}  # guarded-by: self._lock
         self._ring = HashRing()  # guarded-by: self._lock
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._breaker_threshold = breaker_threshold
+        self._breaker_reset = breaker_reset
+        self._breakers: dict[str, CircuitBreaker] = {}  # guarded-by: self._lock
         self.migrations = 0  # guarded-by: self._lock
         self.worker_restarts = 0  # guarded-by: self._lock
         self.routed_requests = 0  # guarded-by: self._lock
+        self.retries = 0  # guarded-by: self._lock
+        self.breaker_opens = 0  # guarded-by: self._lock
+        self.rebalance_failures = 0  # guarded-by: self._lock
         for index in range(workers):
             name = f"worker-{index}"
             handle = self._spawn(dict(worker_spec, name=name))
             with self._lock:
                 self._workers[name] = handle
                 self._ring.add(name)
+        self._probe: HealthProbe | None = None
+        if probe_interval is not None:
+            self._probe = HealthProbe(self._probe_once,
+                                      interval=probe_interval)
+            self._probe.start()
 
     # ------------------------------------------------------------------
     # Worker lifecycle
     # ------------------------------------------------------------------
-    def _spawn(self, spec: dict[str, Any]) -> _WorkerHandle:
+    def _spawn(self, spec: dict[str, Any],
+               attempts: int = 3) -> _WorkerHandle:
+        """Spawn with a bounded boot retry: a worker that dies during
+        startup (OOM, an injected ``worker.boot`` fault) gets fresh
+        processes before the failure escapes."""
+        last_error: ServiceError | None = None
+        for _ in range(attempts):
+            try:
+                return self._spawn_once(spec)
+            except ServiceError as error:
+                last_error = error
+        assert last_error is not None
+        raise last_error
+
+    def _spawn_once(self, spec: dict[str, Any]) -> _WorkerHandle:
         parent_conn, child_conn = self._context.Pipe()
         process = self._context.Process(
             target=fleet_worker_main, args=(spec, child_conn),
@@ -162,13 +223,20 @@ class FleetRouter:
 
     @classmethod
     def attach(cls, endpoints: dict[str, int], journal_dir: str,
-               request_timeout: float = 60.0) -> "FleetRouter":
+               request_timeout: float = 60.0,
+               retry_policy: RetryPolicy | None = None,
+               breaker_threshold: int = 5,
+               breaker_reset: float = 5.0,
+               probe_interval: float | None = None) -> "FleetRouter":
         """A router over *already running* workers (router-restart path).
 
         ``endpoints`` maps worker name -> loopback port. The attached
         router cannot respawn what it did not spawn (``process`` is
         unknown), but routing, draining, and rebalancing all work — which
-        is exactly what a restarted front process needs.
+        is exactly what a restarted front process needs. Endpoints that
+        fail the attach-time ping are dropped from the ring (their
+        sessions are served by the survivors via journal handoff); only
+        an entirely dead endpoint map is an error.
         """
         router = cls.__new__(cls)
         router.journal_dir = journal_dir
@@ -177,19 +245,49 @@ class FleetRouter:
         router._lock = threading.Lock()
         router._workers = {}
         router._ring = HashRing()
+        router.retry_policy = retry_policy or RetryPolicy()
+        router._breaker_threshold = breaker_threshold
+        router._breaker_reset = breaker_reset
+        router._breakers = {}
         router.migrations = 0
         router.worker_restarts = 0
         router.routed_requests = 0
+        router.retries = 0
+        router.breaker_opens = 0
+        router.rebalance_failures = 0
+        router._probe = None
         for name, port in endpoints.items():
             handle = _WorkerHandle(name, {"name": name}, None, port)
             router._workers[name] = handle
             router._ring.add(name)
+        dead: list[str] = []
         try:
-            for handle in router._workers.values():
-                router._control(handle, "ping")  # fail fast on dead endpoints
+            for name, handle in sorted(router._workers.items()):
+                try:
+                    router._control(handle, "ping", attempts=1)
+                except (OSError, ServiceError):
+                    dead.append(name)
         except BaseException:
             router.detach()
             raise
+        if len(dead) == len(router._workers):
+            router.detach()
+            raise ServiceError(
+                f"no live workers among endpoints {dict(endpoints)!r}"
+            )
+        stale: list[_WorkerHandle] = []
+        with router._lock:
+            for name in dead:
+                handle = router._workers.pop(name, None)
+                router._ring.remove(name)
+                if handle is not None:
+                    stale.append(handle)
+        for handle in stale:
+            handle.close_pool()
+        if probe_interval is not None:
+            router._probe = HealthProbe(router._probe_once,
+                                        interval=probe_interval)
+            router._probe.start()
         return router
 
     def detach(self) -> None:
@@ -199,6 +297,9 @@ class FleetRouter:
         :meth:`shutdown` would stop the fleet, which an attached router
         does not own.
         """
+        if self._probe is not None:
+            self._probe.stop()
+            self._probe = None
         with self._lock:
             handles, self._workers = dict(self._workers), {}
             self._ring = HashRing()
@@ -251,8 +352,8 @@ class FleetRouter:
         try:
             if handle.alive():
                 try:
-                    self._control(handle, "drain")
-                    self._control(handle, "shutdown")
+                    self._control(handle, "drain", attempts=1)
+                    self._control(handle, "shutdown", attempts=1)
                 except (OSError, ServiceError):
                     pass  # already dying; journals are the safety net
                 handle.process.join(timeout=30.0)
@@ -268,6 +369,7 @@ class FleetRouter:
         with self._lock:
             self._workers[name] = replacement
             self._ring.add(name)
+            self._breakers.pop(name, None)  # the replacement starts closed
             self.worker_restarts += 1
         self._broadcast_rebalance()
 
@@ -282,17 +384,46 @@ class FleetRouter:
             handles = list(self._workers.values())
         for handle in handles:
             try:
-                self._control(handle, "rebalance", {"members": members})
-            except (OSError, ServiceError, WorkerFailure):
-                continue  # a dead worker has nothing to release
+                self._control(handle, "rebalance", {"members": members},
+                              attempts=1)
+            except (OSError, ServiceError):
+                # A dead worker has nothing to release — but count the
+                # skip so chaos runs can prove nothing was silently lost.
+                with self._lock:
+                    self.rebalance_failures += 1
+                continue
 
     # ------------------------------------------------------------------
     # Control-plane round trips
     # ------------------------------------------------------------------
     def _control(self, handle: _WorkerHandle, op: str,
-                 args: dict[str, Any] | None = None) -> dict[str, Any]:
-        control = protocol.WorkerControl(op=op, args=args or {})
-        payload = handle.call(control.to_json(), self.request_timeout)
+                 args: dict[str, Any] | None = None,
+                 attempts: int | None = None) -> dict[str, Any]:
+        """One control round trip under the same retry policy as user
+        traffic. Control ops are idempotent (and carry a request id for
+        the worker's dedup cache anyway); ``attempts=1`` opts out for
+        callers that own their failure handling (probe, drain, stats)."""
+        control = protocol.WorkerControl(op=op, args=args or {},
+                                         request_id=uuid.uuid4().hex)
+        policy = self.retry_policy
+        max_attempts = policy.max_attempts if attempts is None else attempts
+        deadline = time.monotonic() + self.request_timeout
+        attempt = 0
+        while True:
+            remaining = deadline - time.monotonic()
+            try:
+                payload = handle.call(control.to_json(),
+                                      max(0.05, remaining))
+                break
+            except WorkerFailure:
+                attempt += 1
+                remaining = deadline - time.monotonic()
+                if (attempt >= max_attempts or remaining <= 0
+                        or not handle.alive()):
+                    raise
+                with self._lock:
+                    self.retries += 1
+                time.sleep(min(policy.delay(attempt), remaining))
         response = protocol.Response.from_json(payload)
         if not response.ok:
             raise protocol.exception_from_response(response)
@@ -333,54 +464,137 @@ class FleetRouter:
 
     def _route(self, session_id: str,
                request: protocol.Request) -> protocol.Response:
-        """Send to the owner; on worker death, reroute and retry.
+        """Send to the owner under the retry policy, breaker, and budget.
 
-        The retry is safe for the same reason migration is: the journal
-        holds every *accepted* action. If the worker died before
-        accepting, the retry simply applies it on the new owner; if it
-        died between accepting and replying (the at-least-once window),
-        the retried action re-executes on the replayed state — for this
-        protocol's deterministic, history-appending actions the second
-        apply is the one the client observes, matching what it would have
-        seen had the first reply arrived.
+        Three failure regimes, three answers:
+
+        * **worker died** — drop the member; the ring reroutes this
+          session (and its siblings) to live owners, which resurrect
+          from the shared journals on the immediate retry (no backoff:
+          the new owner is healthy);
+        * **transport flake, worker alive** — bounded retries with
+          exponential backoff + full jitter *to the same owner*, inside
+          a deadline budget that never exceeds ``request_timeout``;
+        * **worker flapping** — its breaker opens after consecutive
+          failures and requests fail fast (typed ``WorkerFailure``)
+          until the half-open probe heals it. An open breaker never
+          reroutes a *live* worker's sessions: two workers appending to
+          one journal would corrupt it.
+
+        The retry is exactly-once end to end: one ``request_id`` is
+        minted here and reused across every attempt, and the worker's
+        dedup cache replays its recorded reply if the action already
+        applied (the at-least-once window between apply and reply).
         """
-        attempts = 0
+        if not request.request_id:
+            request = dataclasses.replace(request,
+                                          request_id=uuid.uuid4().hex)
+        policy = self.retry_policy
+        deadline = time.monotonic() + self.request_timeout
+        attempt = 0
         while True:
             with self._lock:
                 self.routed_requests += 1
                 owner = self._ring.owner(session_id)
                 handle = self._workers[owner]
-                fleet_size = len(self._workers)
+                breaker = self._breakers.setdefault(
+                    owner,
+                    CircuitBreaker(
+                        failure_threshold=self._breaker_threshold,
+                        reset_timeout=self._breaker_reset,
+                    ),
+                )
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise WorkerFailure(
+                    f"request for session {session_id!r} ran out of its "
+                    f"{self.request_timeout:g}s budget retrying worker "
+                    f"{owner!r}"
+                )
+            # allow() may hand out the one half-open trial, so after this
+            # point every path must record a success or a failure — the
+            # deadline was checked above for exactly that reason.
+            if not breaker.allow():
+                if not handle.alive():
+                    self._remove_dead(owner)
+                    continue
+                raise WorkerFailure(
+                    f"worker {owner!r} circuit is open (retry after "
+                    f"{breaker.reset_timeout:g}s)"
+                )
             try:
-                payload = handle.call(request.to_json(), self.request_timeout)
-                return protocol.Response.from_json(payload)
-            except (OSError, json.JSONDecodeError):
-                attempts += 1
-                if handle.alive() or attempts >= fleet_size + 1:
-                    raise WorkerFailure(
-                        f"worker {owner!r} failed serving session "
-                        f"{session_id!r} and cannot be retried"
-                    ) from None
-                # Crash failover: drop the dead member; the ring reroutes
-                # this session (and its siblings) to live owners, which
-                # resurrect from the shared journals on this very retry.
-                self._remove_dead(owner)
+                payload = handle.call(request.to_json(),
+                                      max(0.05, remaining))
+            except WorkerFailure:
+                if breaker.record_failure():
+                    with self._lock:
+                        self.breaker_opens += 1
+                if not handle.alive():
+                    self._remove_dead(owner)
+                    with self._lock:
+                        self.retries += 1
+                    continue  # rerouted owner is healthy: retry now
+                attempt += 1
+                remaining = deadline - time.monotonic()
+                if attempt >= policy.max_attempts or remaining <= 0:
+                    raise
+                with self._lock:
+                    self.retries += 1
+                time.sleep(min(policy.delay(attempt), remaining))
+                continue
+            breaker.record_success()
+            return protocol.Response.from_json(payload)
 
     def _remove_dead(self, name: str) -> None:
         with self._lock:
             handle = self._workers.pop(name, None)
             if handle is None:
                 return  # another thread already buried it
-            self._ring.remove(name)
-            if not self._workers:
-                self._workers[name] = handle  # keep the error readable
-                self._ring.add(name)
-                raise ServiceError(
-                    f"last fleet worker {name!r} died; nothing to fail "
-                    f"over to"
-                )
-            self.migrations += 1
+            if name in self._ring:
+                if len(self._workers) == 0:
+                    self._workers[name] = handle  # keep the error readable
+                    raise ServiceError(
+                        f"last fleet worker {name!r} died; nothing to "
+                        f"fail over to"
+                    )
+                self._ring.remove(name)
+                self.migrations += 1
+            self._breakers.pop(name, None)
         handle.close_pool()
+
+    def _breaker_for(self, name: str) -> CircuitBreaker:
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    failure_threshold=self._breaker_threshold,
+                    reset_timeout=self._breaker_reset,
+                )
+                self._breakers[name] = breaker
+            return breaker
+
+    def _probe_once(self) -> None:
+        """One health sweep: ping every worker, keep breakers honest,
+        bury the dead before a user request trips over them."""
+        with self._lock:
+            handles = dict(self._workers)
+        for name, handle in sorted(handles.items()):
+            breaker = self._breaker_for(name)
+            try:
+                self._control(handle, "ping", attempts=1)
+            except (OSError, ServiceError):
+                if breaker.record_failure():
+                    with self._lock:
+                        self.breaker_opens += 1
+                if not handle.alive():
+                    try:
+                        self._remove_dead(name)
+                    except ServiceError:
+                        pass  # last worker: requests will report it
+            else:
+                # A live ping closes the breaker early — faster than
+                # waiting out reset_timeout on the request path.
+                breaker.record_success()
 
     def _any_worker_request(self, request: protocol.Request
                             ) -> protocol.Response:
@@ -391,7 +605,7 @@ class FleetRouter:
             try:
                 payload = handle.call(request.to_json(), self.request_timeout)
                 return protocol.Response.from_json(payload)
-            except (OSError, json.JSONDecodeError) as error:
+            except WorkerFailure as error:
                 last_error = error
         raise WorkerFailure(f"no worker answered: {last_error}")
 
@@ -476,38 +690,51 @@ class FleetRouter:
             routed = self.routed_requests
             migrations = self.migrations
             restarts = self.worker_restarts
+            retries = self.retries
+            breaker_opens = self.breaker_opens
+            rebalance_failures = self.rebalance_failures
+            breakers = {name: breaker.state
+                        for name, breaker in sorted(self._breakers.items())
+                        if name in handles}
         per_worker: dict[str, Any] = {}
         totals = {"live_sessions": 0, "created": 0, "resumed": 0,
                   "evicted": 0, "actions": 0}
         for name, handle in sorted(handles.items()):
             try:
-                worker_stats = self._control(handle, "stats")
-            except (OSError, ServiceError, WorkerFailure):
+                worker_stats = self._control(handle, "stats", attempts=1)
+            except (OSError, ServiceError):
                 per_worker[name] = {"alive": False}
                 continue
             per_worker[name] = worker_stats
             for key in totals:
                 totals[key] += int(worker_stats.get(key, 0))
-        return {
-            **totals,
-            "fleet": {
-                "workers": sorted(handles),
-                "routed_requests": routed,
-                "migrations": migrations,
-                "worker_restarts": restarts,
-                "per_worker": per_worker,
-            },
+        fleet: dict[str, Any] = {
+            "workers": sorted(handles),
+            "routed_requests": routed,
+            "migrations": migrations,
+            "worker_restarts": restarts,
+            "retries": retries,
+            "breaker_opens": breaker_opens,
+            "rebalance_failures": rebalance_failures,
+            "breakers": breakers,
+            "per_worker": per_worker,
         }
+        if self._probe is not None:
+            fleet["probe"] = self._probe.stats()
+        return {**totals, "fleet": fleet}
 
     def shutdown(self) -> None:
         """Graceful fleet stop: drain + shutdown every worker, then join."""
+        if self._probe is not None:
+            self._probe.stop()
+            self._probe = None
         with self._lock:
             handles, self._workers = dict(self._workers), {}
             self._ring = HashRing()
         for handle in handles.values():
             try:
-                self._control(handle, "shutdown")
-            except (OSError, ServiceError, WorkerFailure):
+                self._control(handle, "shutdown", attempts=1)
+            except (OSError, ServiceError):
                 pass  # already dead; journals hold its sessions
             handle.close_pool()
         for handle in handles.values():

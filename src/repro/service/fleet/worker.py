@@ -37,10 +37,16 @@ from pathlib import Path
 from typing import Any
 
 from repro.errors import ProtocolError, ServiceError
-from repro.service import protocol
+from repro.service import faults, protocol
 from repro.service.journal import JOURNAL_SUFFIX
 from repro.service.manager import SessionManager
 from repro.service.fleet.hashring import HashRing
+
+# The reply cache keeps this many recent request ids per worker. It only
+# needs to outlive the router's retry window for in-flight requests, not
+# remember history — the router pools a handful of connections, so a few
+# hundred entries is orders of magnitude past what retries can reference.
+_DEDUP_CAPACITY = 512
 
 
 def resolve_factory(factory: str):
@@ -106,6 +112,7 @@ class FleetWorker:
 
     def __init__(self, spec: dict[str, Any]) -> None:
         self.name = str(spec["name"])
+        faults.fire("worker.boot")
         tgdb = resolve_factory(spec["factory"])(**spec.get("factory_kwargs", {}))
         _load_or_snapshot_statistics(tgdb.graph, spec.get("stats_path"))
         self.manager = SessionManager(
@@ -125,6 +132,15 @@ class FleetWorker:
         self._server.settimeout(0.2)
         self.port = self._server.getsockname()[1]
         self._stop = threading.Event()
+        # Reply cache for exactly-once application: the router reuses one
+        # request_id across retries, so a retry whose original was applied
+        # (but whose reply was lost) replays the recorded Response instead
+        # of re-executing the action.
+        self._dedup_lock = threading.Lock()
+        self._dedup: dict[str, protocol.Response] = {}  # guarded-by: self._dedup_lock
+        self._stats_lock = threading.Lock()
+        self.client_disconnects = 0  # guarded-by: self._stats_lock
+        self.dedup_hits = 0  # guarded-by: self._stats_lock
 
     # ------------------------------------------------------------------
     def serve_forever(self) -> None:
@@ -161,7 +177,10 @@ class FleetWorker:
                 )
                 stream.flush()
         except (OSError, ValueError):
-            pass  # router went away mid-line; its retry logic owns this
+            # Router went away mid-line; its retry logic owns this — but
+            # the drop is counted so chaos runs can assert the books add up.
+            with self._stats_lock:
+                self.client_disconnects += 1
         finally:
             stream.close()
             conn.close()
@@ -173,15 +192,32 @@ class FleetWorker:
             return protocol.Response.failure(
                 ProtocolError(f"worker request is not JSON: {error}")
             )
+        request_id = (payload.get("request_id")
+                      if isinstance(payload, dict) else None)
+        if isinstance(request_id, str) and request_id:
+            with self._dedup_lock:
+                cached = self._dedup.get(request_id)
+            if cached is not None:
+                with self._stats_lock:
+                    self.dedup_hits += 1
+                return cached
         try:
             if isinstance(payload, dict) and "control" in payload:
                 control = protocol.WorkerControl.from_json(payload)
-                return self._serve_control(control)
-            return self.manager.handle_request(
-                protocol.Request.from_json(payload)
-            )
+                response = self._serve_control(control)
+            else:
+                response = self.manager.handle_request(
+                    protocol.Request.from_json(payload)
+                )
         except Exception as error:  # noqa: BLE001 - worker must answer
-            return protocol.Response.failure(error)
+            response = protocol.Response.failure(error)
+        if isinstance(request_id, str) and request_id:
+            with self._dedup_lock:
+                self._dedup[request_id] = response
+                while len(self._dedup) > _DEDUP_CAPACITY:
+                    # dicts iterate in insertion order: drop the oldest.
+                    self._dedup.pop(next(iter(self._dedup)))
+        return response
 
     # ------------------------------------------------------------------
     def _serve_control(self, control: protocol.WorkerControl
@@ -193,6 +229,11 @@ class FleetWorker:
         elif op == "stats":
             result = self.manager.stats()
             result["worker"] = self.name
+            with self._stats_lock:
+                result["client_disconnects"] = self.client_disconnects
+                result["dedup_hits"] = self.dedup_hits
+            if (injector := faults.active()) is not None:
+                result["faults"] = injector.stats()
         elif op == "token":
             result = {"auth_token": self._session_token(args.get("session_id"))}
         elif op == "resume":
@@ -257,8 +298,17 @@ def fleet_worker_main(spec: dict[str, Any], conn) -> None:
     ``conn`` is the parent's pipe end, which receives either
     ``{"port": n}`` on success or ``{"error": str}`` on boot failure and
     is then closed — all later traffic rides the socket.
+
+    A ``"faults"`` spec entry (the ``REPRO_FAULTS`` grammar, seeded by
+    ``"faults_seed"``) arms fault injection inside this process before
+    anything else runs — chaos tests inject journal faults worker-side
+    this way. Spec-armed faults win over the inherited environment.
     """
     try:
+        if spec.get("faults"):
+            faults.arm(faults.FaultInjector.parse(
+                str(spec["faults"]), seed=int(spec.get("faults_seed", 0))
+            ))
         worker = FleetWorker(spec)
     except BaseException as error:
         try:

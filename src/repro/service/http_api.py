@@ -44,6 +44,8 @@ from urllib.parse import parse_qs, urlparse
 
 from repro.errors import (
     AuthError,
+    Degraded,
+    Overloaded,
     ProtocolError,
     QuotaExceeded,
     ReproError,
@@ -51,6 +53,7 @@ from repro.errors import (
 )
 from repro.service import protocol
 from repro.service.manager import SessionManager
+from repro.service.resilience import AdmissionControl
 
 _MAX_BODY_BYTES = 8 * 1024 * 1024
 
@@ -134,7 +137,12 @@ class NavigationRequestHandler(BaseHTTPRequestHandler):
         self._guarded(self._handle_delete)
 
     def _guarded(self, handler: Any) -> None:
-        """Run one request dispatch inside the server's drain counter."""
+        """Run one request dispatch inside the server's drain counter.
+
+        Admission control sits behind the drain check: a shed request is
+        counted (and 503'd with ``Retry-After``) but never holds a slot,
+        so load shedding itself stays O(1) under any backlog.
+        """
         drain: _RequestDrain | None = getattr(self.server, "drain", None)
         if drain is not None and not drain.begin():
             self.close_connection = True
@@ -143,7 +151,19 @@ class NavigationRequestHandler(BaseHTTPRequestHandler):
             ))
             return
         try:
-            handler()
+            admission: AdmissionControl | None = getattr(
+                self.server, "admission", None
+            )
+            if admission is not None and not admission.try_acquire():
+                self._send(503, protocol.Response.failure(Overloaded(
+                    "server is at its in-flight request cap; retry shortly"
+                )))
+                return
+            try:
+                handler()
+            finally:
+                if admission is not None:
+                    admission.release()
         finally:
             if drain is not None:
                 drain.end()
@@ -166,7 +186,11 @@ class NavigationRequestHandler(BaseHTTPRequestHandler):
                 }))
                 return
             if parts == ["v1", "stats"]:
-                self._send(200, protocol.Response.success(self.manager.stats()))
+                stats = self.manager.stats()
+                admission = getattr(self.server, "admission", None)
+                if admission is not None:
+                    stats["admission"] = admission.stats()
+                self._send(200, protocol.Response.success(stats))
                 return
             if parts == ["v1", "tables"]:
                 response = self.manager.handle_request(
@@ -321,6 +345,10 @@ class NavigationRequestHandler(BaseHTTPRequestHandler):
         self.send_response(status)
         self.send_header("Content-Type", "application/json; charset=utf-8")
         self.send_header("Content-Length", str(len(payload)))
+        if response.error_type == "overloaded":
+            admission = getattr(self.server, "admission", None)
+            retry_after = admission.retry_after if admission else 1.0
+            self.send_header("Retry-After", str(max(1, round(retry_after))))
         self.end_headers()
         self.wfile.write(payload)
 
@@ -331,6 +359,8 @@ class NavigationRequestHandler(BaseHTTPRequestHandler):
             status = 401
         elif isinstance(error, QuotaExceeded):
             status = 429
+        elif isinstance(error, (Overloaded, Degraded)):
+            status = 503
         else:
             status = 400
         # Pass the exception itself so the envelope keeps its
@@ -347,6 +377,8 @@ def _status_of(response: protocol.Response) -> int:
         return 401
     if response.error_type == "quota_exceeded":
         return 429
+    if response.error_type in ("overloaded", "degraded"):
+        return 503
     return 400
 
 
@@ -377,7 +409,8 @@ class NavigationServer:
     """
 
     def __init__(self, manager: SessionManager, host: str = "127.0.0.1",
-                 port: int = 8080, verbose: bool = False) -> None:
+                 port: int = 8080, verbose: bool = False,
+                 max_inflight: int | None = None) -> None:
         self.manager = manager
         self.httpd = ThreadingHTTPServer(
             (host, port), NavigationRequestHandler
@@ -387,6 +420,8 @@ class NavigationServer:
         self.httpd.verbose = verbose  # type: ignore[attr-defined]
         self.drain = _RequestDrain()
         self.httpd.drain = self.drain  # type: ignore[attr-defined]
+        self.admission = AdmissionControl(max_inflight=max_inflight)
+        self.httpd.admission = self.admission  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
 
     @property

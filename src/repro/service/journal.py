@@ -11,10 +11,19 @@ re-computation.
 
 Record shapes (one JSON object per line)::
 
-    {"type": "meta", "version": 1, "session_id": "..."}
-    {"type": "action", "seq": 3, "action": "filter", "params": {...}}
-    {"type": "checkpoint", "seq": 7, "history": [<history entries>]}
-    {"type": "quota", "used": 9, "window_expires_at": 1754550000.0}
+    {"type": "meta", "version": 1, "session_id": "...", "crc": 3735928559}
+    {"type": "action", "seq": 3, "action": "filter", "params": {...}, ...}
+    {"type": "checkpoint", "seq": 7, "history": [<history entries>], ...}
+    {"type": "quota", "used": 9, "window_expires_at": 1754550000.0, ...}
+
+**Every record carries a CRC32.** The trailing ``"crc"`` key checksums
+the record's own serialized bytes, so a flipped byte that still parses as
+JSON (bit rot, a fault-injected corruption) is caught instead of silently
+replayed into a diverged session. Old journals without checksums still
+replay — the field is verified only when present. On open, a journal
+whose middle is damaged recovers to the longest valid prefix; the
+damaged suffix is quarantined to ``<session>.journal.corrupt`` for
+forensics rather than deleted.
 
 **Revert truncates.** A revert makes every action after the reverted step
 dead weight: replaying them only to revert away from them again would make
@@ -46,15 +55,21 @@ from __future__ import annotations
 
 import json
 import os
+import zlib
 from pathlib import Path
 from typing import Any, Callable, Iterable
 
 from repro.errors import JournalCorrupt
 from repro.core.session import EtableSession
-from repro.service import protocol
+from repro.service import faults, protocol
 
 JOURNAL_SUFFIX = ".journal"
 JOURNAL_VERSION = 1
+
+# Transient write failures (including injected ones) are retried this
+# many times before the error escapes to the manager, which then flips
+# the session read-only ("degraded") instead of crashing the worker.
+_WRITE_ATTEMPTS = 5
 
 
 class ActionJournal:
@@ -85,10 +100,13 @@ class ActionJournal:
         if stale_tmp.exists():
             stale_tmp.unlink()
         # Records recovered from an existing file, for the resume path to
-        # replay without re-reading the file.
+        # replay without re-reading the file. If the file was damaged
+        # mid-way, ``quarantined`` names the sibling holding the bytes
+        # that did not survive recovery.
         self.recovered_records: list[dict[str, Any]] = []
+        self.quarantined: Path | None = None
         if self.path.exists():
-            records, durable_length, max_seq = scan_journal(self.path)
+            records, durable_length, max_seq, corruption = _scan(self.path)
             self.recovered_records = records
             self.seq = max_seq
             for record in records:
@@ -98,6 +116,13 @@ class ActionJournal:
                     self.actions_since_checkpoint = 0
                 elif record.get("type") == "meta" and record.get("auth_token"):
                     self.auth_token = str(record["auth_token"])
+            if corruption is not None:
+                # Mid-file damage (not a torn tail): resume from the
+                # longest valid prefix, but keep the damaged suffix on
+                # disk for forensics instead of silently deleting it.
+                raw = self.path.read_bytes()
+                self.quarantined = Path(str(self.path) + ".corrupt")
+                self.quarantined.write_bytes(raw[durable_length:])
             # A crash can leave a torn (or garbled) tail after the last
             # durable record. Appending onto it would weld the next record
             # to the partial line and silently lose it on the following
@@ -106,6 +131,10 @@ class ActionJournal:
                 with self.path.open("r+b") as handle:
                     handle.truncate(durable_length)
             self._handle = self.path.open("a", encoding="utf-8")
+            if not records:
+                # Nothing durable survived (even the meta record was
+                # damaged): restart the journal with a well-formed head.
+                self._write(self._meta_record())
         else:
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = self.path.open("a", encoding="utf-8")
@@ -140,12 +169,31 @@ class ActionJournal:
         """
         self.seq += 1
         tmp_path = self.path.with_suffix(self.path.suffix + ".tmp")
-        with tmp_path.open("w", encoding="utf-8") as handle:
-            handle.write(_dump(self._meta_record()) + "\n")
-            handle.write(_dump({"type": "checkpoint", "seq": self.seq,
-                                "history": history_payload}) + "\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        meta_line = _encode(self._meta_record()) + "\n"
+        ckpt_line = _encode({"type": "checkpoint", "seq": self.seq,
+                             "history": history_payload}) + "\n"
+        last_error: OSError | None = None
+        for _ in range(_WRITE_ATTEMPTS):
+            try:
+                with tmp_path.open("w", encoding="utf-8") as handle:
+                    handle.write(meta_line)
+                    handle.write(ckpt_line)
+                    faults.fire("journal.write")
+                    handle.flush()
+                    faults.fire("journal.fsync")
+                    os.fsync(handle.fileno())
+                last_error = None
+                break
+            except OSError as error:
+                # "w" mode rewrites the tmp file whole on the next try,
+                # so a failed attempt leaves nothing to clean up yet.
+                last_error = error
+        if last_error is not None:
+            try:
+                tmp_path.unlink()
+            except OSError:
+                pass
+            raise last_error
         if self._handle is not None:
             self._handle.close()
             self._handle = None
@@ -184,26 +232,90 @@ class ActionJournal:
 
     def _write(self, record: dict[str, Any]) -> None:
         assert self._handle is not None
-        self._handle.write(_dump(record) + "\n")
-        self._handle.flush()
-        if self.fsync:
-            os.fsync(self._handle.fileno())
+        line = _encode(record) + "\n"
+        last_error: OSError | None = None
+        for _ in range(_WRITE_ATTEMPTS):
+            durable = os.fstat(self._handle.fileno()).st_size
+            try:
+                # mangle() is the silent-corruption injection point: the
+                # damaged bytes are written *successfully* on purpose, so
+                # the CRC path has something realistic to catch later.
+                self._handle.write(faults.mangle("journal.write", line))
+                faults.fire("journal.write")
+                self._handle.flush()
+                faults.fire("journal.fsync")
+                if self.fsync:
+                    os.fsync(self._handle.fileno())
+                return
+            except OSError as error:
+                last_error = error
+                self._rewind(durable)
+        assert last_error is not None
+        raise last_error
+
+    def _rewind(self, durable: int) -> None:
+        """Drop whatever a failed append left past the durable boundary.
+
+        Closing the text handle first flushes any buffered partial line
+        to the OS, so the byte-level truncate below removes *all* of the
+        failed record — retrying then appends onto a clean boundary
+        instead of welding onto a half-written line.
+        """
+        handle, self._handle = self._handle, None
+        try:
+            if handle is not None:
+                handle.close()
+        except OSError:
+            pass  # the truncate below removes what the flush wrote
+        with self.path.open("r+b") as raw:
+            raw.truncate(durable)
+        self._handle = self.path.open("a", encoding="utf-8")
 
 
 def _dump(record: dict[str, Any]) -> str:
     return json.dumps(record, separators=(",", ":"), default=str)
 
 
-def scan_journal(path: Path | str) -> tuple[list[dict[str, Any]], int, int]:
+def _encode(record: dict[str, Any]) -> str:
+    """Serialize ``record`` with a trailing CRC32 over its own bytes.
+
+    The checksum covers the serialization *without* the ``crc`` key; the
+    key is spliced in as the last member, so verification is: pop
+    ``crc``, re-dump the (insertion-ordered) rest, compare. ``_dump``
+    emits ASCII with stable float reprs, which makes that round trip
+    byte-exact.
+    """
+    body = _dump(record)
+    crc = zlib.crc32(body.encode("utf-8"))
+    if body == "{}":  # no leading comma to splice after
+        return f'{{"crc":{crc}}}'
+    return f'{body[:-1]},"crc":{crc}}}'
+
+
+def _crc_ok(record: dict[str, Any]) -> bool:
+    """Verify (and strip) a record's checksum; un-checksummed is valid."""
+    stored = record.pop("crc", None)
+    if stored is None:
+        return True  # a pre-checksum journal record: still replayable
+    if isinstance(stored, bool) or not isinstance(stored, int):
+        return False
+    return zlib.crc32(_dump(record).encode("utf-8")) == stored
+
+
+def _scan(
+    path: Path | str,
+) -> tuple[list[dict[str, Any]], int, int, tuple[int, str] | None]:
     """One pass over a journal file, tolerant of a torn tail.
 
-    Returns ``(records, durable_byte_length, max_seq)``: every decodable
-    record, the byte offset where durable content ends (everything after
-    it is a torn/garbled tail from a crash mid-write), and the highest
-    ``seq`` seen. An undecodable line *followed by* decodable records means
-    real corruption — not a crash artifact — and raises
-    :class:`JournalCorrupt`.
+    Returns ``(records, durable_byte_length, max_seq, corruption)``:
+    every valid record (checksums verified and stripped), the byte
+    offset where durable content ends, the highest ``seq`` seen, and —
+    when an invalid line is *followed by* decodable content (real
+    mid-file damage, not a crash artifact) — a ``(line_number, reason)``
+    pair describing it. The lenient recovery path (``ActionJournal``)
+    quarantines and continues; the strict readers raise.
     """
+    faults.fire("journal.read")
     raw = Path(path).read_bytes()
     lines = raw.split(b"\n")
     # Every element except the last was newline-terminated; the last is
@@ -213,6 +325,7 @@ def scan_journal(path: Path | str) -> tuple[list[dict[str, Any]], int, int]:
     records: list[dict[str, Any]] = []
     durable_length = 0
     max_seq = 0
+    corruption: tuple[int, str] | None = None
     for index, line in enumerate(terminated):
         if not line.strip():
             durable_length += len(line) + 1
@@ -222,12 +335,16 @@ def scan_journal(path: Path | str) -> tuple[list[dict[str, Any]], int, int]:
             record = json.loads(line.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError):
             record = None
+        reason = None
         if not isinstance(record, dict) or "type" not in record:
+            reason = f"undecodable record at line {index + 1}"
+        elif not _crc_ok(record):  # also strips the crc key
+            reason = f"checksum mismatch at line {index + 1}"
+        if reason is not None:
             if any(rest.strip() for rest in terminated[index + 1:]):
-                raise JournalCorrupt(
-                    f"{path}: undecodable record at line {index + 1}"
-                )
-            break  # garbled final terminated line: treat as torn tail
+                corruption = (index + 1, reason)
+            # else: garbled final terminated line — an ordinary torn tail
+            break
         records.append(record)
         durable_length += len(line) + 1
         try:
@@ -235,6 +352,19 @@ def scan_journal(path: Path | str) -> tuple[list[dict[str, Any]], int, int]:
         except (TypeError, ValueError):
             pass
     # ``tail`` (an unterminated partial line, if any) is never durable.
+    return records, durable_length, max_seq, corruption
+
+
+def scan_journal(path: Path | str) -> tuple[list[dict[str, Any]], int, int]:
+    """Strict scan: mid-file damage raises :class:`JournalCorrupt`.
+
+    Returns ``(records, durable_byte_length, max_seq)`` exactly like the
+    pre-checksum format did; a torn/garbled *tail* is still tolerated
+    (that is the expected crash signature, not corruption).
+    """
+    records, durable_length, max_seq, corruption = _scan(path)
+    if corruption is not None:
+        raise JournalCorrupt(f"{path}: {corruption[1]}")
     return records, durable_length, max_seq
 
 

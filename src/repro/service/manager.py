@@ -33,6 +33,7 @@ from typing import Any, Callable
 from repro.analysis.runtime import assert_locked
 from repro.errors import (
     AuthError,
+    Degraded,
     ProtocolError,
     QuotaExceeded,
     ReproError,
@@ -177,12 +178,19 @@ class SessionManager:
                 executor = CachingExecutor(graph)
         self.executor = executor
         self._sessions: dict[str, ManagedSession] = {}  # guarded-by: self._lock
+        # Sessions whose journal stopped accepting writes (disk full, IO
+        # error): session_id -> reason. A degraded session is read-only —
+        # reads resurrect it from the journal's durable prefix, mutating
+        # actions get a typed Degraded error — until an operator restarts
+        # with the disk healed.
+        self._degraded: dict[str, str] = {}  # guarded-by: self._lock
         self._lock = threading.RLock()
         self.created = 0  # guarded-by: self._lock
         self.resumed = 0  # guarded-by: self._lock
         self.evicted = 0  # guarded-by: self._lock
         self.total_actions = 0  # guarded-by: self._lock
         self.compactions = 0  # guarded-by: self._lock
+        self.degraded = 0  # guarded-by: self._lock
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -347,17 +355,30 @@ class SessionManager:
         managed = self._checkout_locked(session_id)
         try:
             self._check_access(managed, action, auth_token)
+            if action in protocol.MUTATING_ACTIONS:
+                with self._lock:
+                    reason = self._degraded.get(session_id)
+                if reason is not None:
+                    raise Degraded(
+                        f"session {session_id!r} is read-only: {reason}"
+                    )
             result = protocol.apply_action(managed.session, action, params)
             # Journal only after the action was accepted — a rejected
             # action must not poison replay.
             if managed.journal is not None and action in protocol.MUTATING_ACTIONS:
                 if action == "revert":
-                    # Truncate-and-checkpoint: see repro.service.journal.
-                    managed.journal.checkpoint(
-                        protocol.history_to_json(managed.session.history)
-                    )
+                    try:
+                        # Truncate-and-checkpoint: see repro.service.journal.
+                        managed.journal.checkpoint(
+                            protocol.history_to_json(managed.session.history)
+                        )
+                    except OSError as error:
+                        raise self._degrade(managed, error) from error
                 else:
-                    managed.journal.record_action(action, params)
+                    try:
+                        managed.journal.record_action(action, params)
+                    except OSError as error:
+                        raise self._degrade(managed, error) from error
                     if (
                         self.compact_every is not None
                         and managed.journal.actions_since_checkpoint
@@ -365,7 +386,10 @@ class SessionManager:
                     ):
                         # Periodic compaction: same atomic checkpoint as a
                         # revert, so replay cost stays bounded for sessions
-                        # that never revert.
+                        # that never revert. A *failed* compaction does not
+                        # degrade the session — the action itself is already
+                        # durable as a plain record, so the error propagates
+                        # and the next action simply retries the checkpoint.
                         managed.journal.checkpoint(
                             protocol.history_to_json(managed.session.history)
                         )
@@ -565,6 +589,8 @@ class SessionManager:
             created, resumed, evicted = self.created, self.resumed, self.evicted
             compactions = self.compactions
             observer_errors = self.observer_errors
+            degraded = self.degraded
+            degraded_live = len(self._degraded)
         return {
             "live_sessions": live,
             "created": created,
@@ -572,6 +598,8 @@ class SessionManager:
             "evicted": evicted,
             "actions": actions,
             "journal_compactions": compactions,
+            "degraded": degraded,
+            "degraded_sessions": degraded_live,
             "engine": self.engine,
             "require_auth": self.require_auth,
             "quota_actions": self.quota_actions,
@@ -627,6 +655,35 @@ class SessionManager:
             if managed is None:
                 raise UnknownSession(f"no session {session_id!r}")
         return managed
+
+    def _degrade(self, managed: ManagedSession, error: OSError) -> Degraded:
+        """Flip a session read-only after its journal refused a write.
+
+        The in-memory state already holds the action that failed to
+        become durable; keeping it would break bit-identical resume, so
+        the instance is dropped — the next *read* resurrects the session
+        from the journal's durable prefix (which is exactly the state
+        minus the lost action), while mutating actions get the typed
+        ``Degraded`` error until an operator intervenes. Called with the
+        session lock held (the same ordering as ``_checkout_locked``).
+        """
+        session_id = managed.session_id
+        with self._lock:
+            if self._sessions.get(session_id) is managed:
+                del self._sessions[session_id]
+            self._degraded[session_id] = (
+                f"journal write failed ({error})"
+            )
+            self.degraded += 1
+        if managed.journal is not None:
+            try:
+                managed.journal.close()
+            except OSError:  # pragma: no cover - double disk failure
+                pass
+        return Degraded(
+            f"session {session_id!r} is read-only: journal write failed "
+            f"({error})"
+        )
 
     def _journal_path(self, session_id: str) -> Path:
         assert self.journal_dir is not None

@@ -1,0 +1,57 @@
+"""Admission control: shed load instead of queueing it unboundedly."""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["AdmissionControl"]
+
+
+class AdmissionControl:
+    """A bounded in-flight counter for an HTTP frontend.
+
+    ``try_acquire`` admits a request unless ``max_inflight`` are already
+    being served; the frontend turns a refusal into 503 + ``Retry-After:
+    <retry_after>`` with a typed ``overloaded`` error. ``max_inflight=None``
+    (the default) admits everything, so wiring the control in is free
+    until an operator opts into a cap.
+    """
+
+    def __init__(self, max_inflight: int | None = None, retry_after: float = 1.0):
+        if max_inflight is not None and max_inflight < 1:
+            raise ValueError(f"max_inflight must be >= 1, got {max_inflight}")
+        self.max_inflight = max_inflight
+        self.retry_after = retry_after
+        self._lock = threading.Lock()
+        self._inflight = 0  # guarded-by: self._lock
+        self.shed = 0  # guarded-by: self._lock
+        self.peak_inflight = 0  # guarded-by: self._lock
+
+    def try_acquire(self) -> bool:
+        """Admit one request; False means shed it (and count the shed)."""
+        with self._lock:
+            if (
+                self.max_inflight is not None
+                and self._inflight >= self.max_inflight
+            ):
+                self.shed += 1
+                return False
+            self._inflight += 1
+            if self._inflight > self.peak_inflight:
+                self.peak_inflight = self._inflight
+            return True
+
+    def release(self) -> None:
+        with self._lock:
+            if self._inflight > 0:
+                self._inflight -= 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "max_inflight": self.max_inflight,
+                "inflight": self._inflight,
+                "peak_inflight": self.peak_inflight,
+                "shed": self.shed,
+                "retry_after": self.retry_after,
+            }

@@ -1,0 +1,92 @@
+"""Per-worker circuit breaker: closed -> open -> half-open -> closed."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+__all__ = ["CircuitBreaker"]
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Trip after ``failure_threshold`` consecutive failures.
+
+    While open, :meth:`allow` refuses calls until ``reset_timeout``
+    seconds have passed, then admits exactly one half-open trial; a
+    success closes the breaker, a failure re-opens it (and restarts the
+    timeout clock). ``record_failure`` returns ``True`` on each
+    transition *into* the open state so the owner can count trips.
+
+    The clock is injectable (``time.monotonic`` by default) so the
+    open->half-open transition is unit-testable without sleeping.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_timeout: float = 5.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED  # guarded-by: self._lock
+        self._failures = 0  # guarded-by: self._lock
+        self._opened_at = 0.0  # guarded-by: self._lock
+        self.opens = 0  # guarded-by: self._lock
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?"""
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                if self._clock() - self._opened_at >= self.reset_timeout:
+                    self._state = HALF_OPEN
+                    return True  # the one half-open trial
+                return False
+            return False  # HALF_OPEN: a trial is already in flight
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._failures = 0
+
+    def record_failure(self) -> bool:
+        """Count one failure; True if this call opened the breaker."""
+        with self._lock:
+            self._failures += 1
+            should_open = (
+                self._state == HALF_OPEN
+                or self._failures >= self.failure_threshold
+            )
+            if should_open and self._state != OPEN:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self.opens += 1
+                return True
+            if self._state == OPEN:
+                self._opened_at = self._clock()  # stay open, restart clock
+            return False
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "opens": self.opens,
+            }

@@ -1,0 +1,61 @@
+"""Active health probing: notice dead workers before a request does."""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["HealthProbe"]
+
+
+class HealthProbe:
+    """Run ``probe()`` every ``interval`` seconds on a daemon thread.
+
+    The callable owns the actual sweep (ping every worker, update
+    breakers, evict the dead); this class owns only the lifecycle and the
+    counters, so it stays unit-testable with a plain lambda. Exceptions
+    from the probe are counted, never propagated — a failing sweep must
+    not kill the loop that would notice the failure healing.
+    """
+
+    def __init__(self, probe, interval: float = 5.0, name: str = "repro-health-probe"):
+        self._probe = probe
+        self._interval = interval
+        self._name = name
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._lock = threading.Lock()
+        self.sweeps = 0  # guarded-by: self._lock
+        self.errors = 0  # guarded-by: self._lock
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name=self._name, daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            try:
+                self._probe()
+            except Exception:  # noqa: BLE001 - counted, loop must survive
+                with self._lock:
+                    self.errors += 1
+            with self._lock:
+                self.sweeps += 1
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "interval": self._interval,
+                "sweeps": self.sweeps,
+                "errors": self.errors,
+            }

@@ -1,0 +1,52 @@
+"""Bounded retry with exponential backoff and full jitter."""
+
+from __future__ import annotations
+
+import random
+import threading
+
+__all__ = ["RetryPolicy"]
+
+
+class RetryPolicy:
+    """How many times to retry a failed call, and how long to wait.
+
+    ``delay(attempt)`` implements *full jitter*: a uniform draw over
+    ``[0, min(max_delay, base_delay * 2**(attempt-1))]``. Jitter
+    decorrelates the retry storms of concurrent callers; the exponential
+    ceiling keeps a persistently-failing worker from being hammered.
+    ``attempt`` is 1-based (the number of failures observed so far).
+
+    The policy itself is stateless between calls — one instance is safely
+    shared by every router thread — except for the RNG, which sits behind
+    a lock so seeded runs stay deterministic under contention.
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 4,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        seed: int | None = None,
+        rng: random.Random | None = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self._lock = threading.Lock()
+        self._rng = rng if rng is not None else random.Random(seed)  # guarded-by: self._lock
+
+    def delay(self, attempt: int) -> float:
+        """Seconds to sleep before retry number ``attempt`` (1-based)."""
+        ceiling = min(self.max_delay, self.base_delay * (2 ** max(0, attempt - 1)))
+        with self._lock:
+            return self._rng.uniform(0.0, ceiling)
+
+    def stats(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay": self.base_delay,
+            "max_delay": self.max_delay,
+        }

@@ -447,3 +447,33 @@ class TestGracefulShutdown:
         assert closed
         stream.close()
         manager.shutdown()
+
+
+class TestAdmissionControl:
+    """The async frontend sheds over-cap dispatches identically."""
+
+    def test_over_cap_requests_shed_with_typed_503(self, toy):
+        manager = SessionManager(toy.schema, toy.graph)
+        server = AsyncNavigationServer(manager, port=0,
+                                       max_inflight=1).start()
+        try:
+            assert server.admission.try_acquire()  # occupy the only slot
+            request = urllib.request.Request(server.url + "/healthz")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            error = excinfo.value
+            with error:
+                assert error.code == 503
+                assert error.headers["Retry-After"] == "1"
+                body = json.loads(error.read())
+            assert body["error_type"] == "overloaded"
+            server.admission.release()
+
+            status, _body = _call(server, "/healthz")
+            assert status == 200
+            status, body = _call(server, "/v1/stats")
+            assert status == 200
+            assert body["result"]["admission"]["shed"] == 1
+        finally:
+            server.shutdown()
+            manager.shutdown()

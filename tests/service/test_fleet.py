@@ -177,11 +177,32 @@ class TestRouterRestart:
                 attached.detach()  # drops sockets, leaves workers running
             router.apply(sid, "sort", {"column": "year"}, auth_token=token)
 
-    def test_attach_fails_fast_on_dead_endpoint(self, tmp_path):
+    def test_attach_drops_dead_endpoints_and_serves_survivors(
+        self, tmp_path
+    ):
+        """An endpoint map with one dead worker must not poison attach:
+        the dead member is dropped from the ring and its sessions are
+        served by the survivors via journal handoff."""
         with _fleet(tmp_path / "j") as router:
+            sid = router.create_session()
+            router.apply(sid, "open", {"type": "Papers"})
+            before = router.apply(sid, "etable", {})
             endpoints = router.endpoints()
             router.kill_worker("worker-0")
-            with pytest.raises(OSError):
+
+            attached = FleetRouter.attach(endpoints, str(tmp_path / "j"))
+            try:
+                assert attached.worker_names() == ["worker-1"]
+                # The session resurrects on the survivor, bit-identical.
+                assert attached.apply(sid, "etable", {}) == before
+            finally:
+                attached.detach()
+
+    def test_attach_refuses_an_entirely_dead_endpoint_map(self, tmp_path):
+        with _fleet(tmp_path / "j", workers=1) as router:
+            endpoints = router.endpoints()
+            router.kill_worker("worker-0")
+            with pytest.raises(ServiceError):
                 FleetRouter.attach(endpoints, str(tmp_path / "j"))
 
     def test_rolling_restart_keeps_sessions_and_quota(self, tmp_path):

@@ -243,3 +243,41 @@ class TestScriptedSession:
         assert results == {
             user: ("Papers" if user % 2 else "Authors") for user in range(6)
         }
+
+
+class TestAdmissionControl:
+    """Load shedding: over-cap requests get a typed 503 + Retry-After."""
+
+    def test_over_cap_requests_shed_with_typed_503(self, toy):
+        manager = SessionManager(toy.schema, toy.graph)
+        server = NavigationServer(manager, port=0, max_inflight=1).start()
+        try:
+            # Occupy the single slot directly: the next HTTP request must
+            # be shed without queueing behind anything.
+            assert server.admission.try_acquire()
+            request = urllib.request.Request(server.url + "/healthz")
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                urllib.request.urlopen(request, timeout=10)
+            error = excinfo.value
+            with error:
+                assert error.code == 503
+                assert error.headers["Retry-After"] == "1"
+                body = json.loads(error.read())
+            assert body["error_type"] == "overloaded"
+            server.admission.release()
+
+            status, _body = _call(server, "/healthz")
+            assert status == 200
+            status, body = _call(server, "/v1/stats")
+            assert status == 200
+            assert body["result"]["admission"]["shed"] == 1
+            assert body["result"]["admission"]["max_inflight"] == 1
+        finally:
+            server.shutdown()
+
+    def test_uncapped_by_default(self, server):
+        status, body = _call(server, "/v1/stats")
+        assert status == 200
+        admission = body["result"]["admission"]
+        assert admission["max_inflight"] is None
+        assert admission["shed"] == 0

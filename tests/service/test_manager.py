@@ -412,3 +412,53 @@ class TestParallelEngine:
 
         manager = _manager(toy, engine="parallel", workers=2)
         json.dumps(manager.stats())  # cold caches, no division by zero
+
+
+class TestDegradedSessions:
+    """A journal that stops accepting writes flips its session read-only
+    (typed ``degraded``) instead of silently diverging memory from disk."""
+
+    def _degrade(self, toy, tmp_path):
+        manager = SessionManager(toy.schema, toy.graph,
+                                 journal_dir=tmp_path / "journals")
+        sid = manager.create_session("alice")
+        manager.apply(sid, "open", {"type": "Papers"})
+        managed = manager._sessions[sid]
+
+        def broken_write(*args, **kwargs):
+            raise OSError(28, "No space left on device")
+
+        managed.journal.record_action = broken_write
+        return manager, sid
+
+    def test_write_failure_raises_typed_degraded(self, toy, tmp_path):
+        from repro.errors import Degraded
+
+        manager, sid = self._degrade(toy, tmp_path)
+        with pytest.raises(Degraded, match="read-only"):
+            manager.apply(sid, "sort", {"column": "year"})
+        stats = manager.stats()
+        assert stats["degraded"] == 1
+        assert stats["degraded_sessions"] == 1
+
+    def test_degraded_session_reads_from_durable_prefix(self, toy, tmp_path):
+        from repro.errors import Degraded
+
+        manager, sid = self._degrade(toy, tmp_path)
+        with pytest.raises(Degraded):
+            manager.apply(sid, "sort", {"column": "year"})
+        # Reads resurrect the session from its durable prefix: the failed
+        # sort never reached the journal, so it must not be visible.
+        history = manager.apply(sid, "history", {})
+        assert [e["description"] for e in history["entries"]] == [
+            "Open 'Papers' table"
+        ]
+        # Mutating actions keep failing with the typed error...
+        with pytest.raises(Degraded):
+            manager.apply(sid, "hide", {"column": "title"})
+        # ...and the wire envelope carries the machine-readable type.
+        response = manager.handle_request(Request(
+            action="sort", params={"column": "year"}, session_id=sid,
+        ))
+        assert not response.ok
+        assert response.error_type == "degraded"
